@@ -1,0 +1,96 @@
+// Command corpusgen materializes a synthetic corpus specification and
+// its query log to a directory, the offline first step of the paper's
+// §5.1 pipeline (corpus → index → experiments).
+//
+// Corpora are deterministic functions of their spec, so the corpus
+// itself is stored as a small JSON spec (regenerated on demand by
+// indexbuild); the query pools are written as a TSV for inspection.
+//
+// Usage:
+//
+//	corpusgen -out data/cw                      # paper's base scale
+//	corpusgen -out data/cwx10 -scale 10         # the 10x scale-up
+//	corpusgen -out data/small -docs 5000        # custom
+package main
+
+import (
+	"encoding/json"
+	"flag"
+
+	"log"
+	"os"
+	"path/filepath"
+
+	"sparta/internal/corpus"
+	"sparta/internal/index"
+	"sparta/internal/queries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corpusgen: ")
+
+	var (
+		out     = flag.String("out", "", "output directory (required)")
+		docs    = flag.Int("docs", 0, "document count (default: paper base scale)")
+		vocab   = flag.Int("vocab", 0, "vocabulary size")
+		scale   = flag.Int("scale", 1, "scale-up factor applied to the base spec (ClueWebX10 construction)")
+		meanLen = flag.Int("meanlen", 0, "mean document length in tokens")
+		quality = flag.Float64("quality", -1, "doc-quality prior sigma (default: spec default; 0 disables)")
+		seed    = flag.Uint64("seed", 0, "generation seed")
+		nq      = flag.Int("queries", queries.PerLength, "queries per length 1..12")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec := corpus.DefaultSpec()
+	if *docs > 0 {
+		spec.Docs = *docs
+	}
+	if *vocab > 0 {
+		spec.Vocab = *vocab
+	}
+	if *meanLen > 0 {
+		spec.MeanDocLen = *meanLen
+	}
+	if *quality >= 0 {
+		spec.QualitySigma = *quality
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *scale > 1 {
+		spec = corpus.ScaledSpec(spec, *scale)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	specBytes, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "corpus.json"), specBytes, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query pools need the index's dictionary statistics; build the
+	// in-memory index once to sample them.
+	log.Printf("generating %s (%d docs, %d terms)...", spec.Name, spec.Docs, spec.Vocab)
+	x := index.FromCorpus(corpus.New(spec))
+	sets := queries.Generate(x, queries.MaxLen, *nq, spec.Seed+1)
+
+	qf, err := os.Create(filepath.Join(*out, "queries.tsv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qf.Close()
+	if err := sets.WriteTSV(qf); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: corpus.json + queries.tsv (%d postings in index)",
+		*out, x.TotalPostings())
+}

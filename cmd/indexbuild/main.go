@@ -1,0 +1,74 @@
+// Command indexbuild pre-builds the on-disk index of a corpus
+// directory created by corpusgen — the paper's offline index build
+// (§5.1): uncompressed binary posting files in both document order and
+// score order, block-max metadata, the RA secondary ordering, and the
+// sNRA shard partition.
+//
+// Usage:
+//
+//	indexbuild -corpus data/cw -out data/cw/index
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sparta/internal/cindex"
+	"sparta/internal/corpus"
+	"sparta/internal/diskindex"
+	"sparta/internal/index"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("indexbuild: ")
+
+	var (
+		corpusDir = flag.String("corpus", "", "corpus directory containing corpus.json (required)")
+		out       = flag.String("out", "", "index output directory (default <corpus>/index)")
+		shards    = flag.Int("shards", diskindex.DefaultShards, "sNRA document-id shards")
+		comp      = flag.Bool("compressed", false, "also write the varint-delta compressed form to <out>-compressed")
+	)
+	flag.Parse()
+	if *corpusDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = filepath.Join(*corpusDir, "index")
+	}
+
+	raw, err := os.ReadFile(filepath.Join(*corpusDir, "corpus.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var spec corpus.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		log.Fatalf("parsing corpus.json: %v", err)
+	}
+
+	log.Printf("indexing %s (%d docs)...", spec.Name, spec.Docs)
+	start := time.Now()
+	x := index.FromCorpus(corpus.New(spec))
+	log.Printf("built in-memory index: %d terms, %d postings (%v)",
+		x.NumTerms(), x.TotalPostings(), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	if err := diskindex.WriteDir(x, *shards, *out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d shards) in %v", *out, *shards, time.Since(start).Round(time.Millisecond))
+
+	if *comp {
+		cdir := *out + "-compressed"
+		start = time.Now()
+		if err := cindex.WriteDir(x, *shards, cdir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s in %v", cdir, time.Since(start).Round(time.Millisecond))
+	}
+}

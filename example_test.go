@@ -1,0 +1,44 @@
+package sparta_test
+
+import (
+	"fmt"
+
+	"sparta"
+)
+
+// Example demonstrates the minimal index-and-search flow: the facade's
+// builder tokenizes and scores documents, Sparta retrieves the top-k.
+func Example() {
+	docs := []string{
+		"the quick brown fox",
+		"quick retrieval of brown documents",
+		"slow exhaustive scan of documents",
+	}
+	b := sparta.NewIndexBuilder()
+	for _, d := range docs {
+		b.Add(d)
+	}
+	idx := b.Build()
+
+	var q sparta.Query
+	for _, w := range []string{"quick", "documents"} {
+		if t, ok := idx.Lookup(w); ok {
+			q = append(q, t)
+		}
+	}
+	res, _, err := sparta.New(idx).Search(q, sparta.Options{K: 1, Threads: 2, Exact: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(docs[res[0].Doc])
+	// Output: quick retrieval of brown documents
+}
+
+// ExampleRecall shows the quality metric used throughout the paper's
+// evaluation: the fraction of the exact top-k an approximation found.
+func ExampleRecall() {
+	exact := sparta.TopK{{Doc: 1, Score: 30}, {Doc: 2, Score: 20}}
+	approx := sparta.TopK{{Doc: 1, Score: 30}, {Doc: 9, Score: 5}}
+	fmt.Println(sparta.Recall(exact, approx))
+	// Output: 0.5
+}

@@ -1,0 +1,64 @@
+// Quickstart: index a handful of documents and run Sparta.
+//
+// This is the smallest end-to-end use of the library: build an
+// in-memory inverted index from raw text, form a query, and retrieve
+// the top-k with the exact (safe) configuration of Sparta.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparta/internal/core"
+	"sparta/internal/index"
+	"sparta/internal/model"
+	"sparta/internal/text"
+	"sparta/internal/topk"
+)
+
+func main() {
+	docs := []string{
+		"the threshold algorithm retrieves top k objects from a database",
+		"parallel algorithms exploit multi core hardware for fast retrieval",
+		"web search engines rank documents with inverted indexes",
+		"sparta is a scalable parallel threshold algorithm for top k retrieval",
+		"posting lists are traversed in decreasing order of term score",
+		"approximate query evaluation trades recall for latency",
+		"multi core parallel web search with low latency and high recall",
+		"database systems aggregate features from multiple ranked inputs",
+	}
+
+	// Build the index. The builder tokenizes, drops stopwords, computes
+	// tf-idf term scores, and materializes both traversal orders.
+	b := index.NewBuilder()
+	for _, d := range docs {
+		b.Add(d)
+	}
+	idx := b.Build()
+	fmt.Printf("indexed %d documents, %d terms, %d postings\n\n",
+		idx.NumDocs(), idx.NumTerms(), idx.TotalPostings())
+
+	// Form a query: terms are dictionary ids.
+	analyzer := text.NewAnalyzer()
+	var q model.Query
+	for _, w := range analyzer.Tokenize("parallel top k retrieval") {
+		if t, ok := idx.Lookup(w); ok {
+			q = append(q, t)
+		}
+	}
+
+	// Search with Sparta, exact (Δ = ∞) mode, 4 worker threads.
+	sparta := core.New(idx)
+	res, st, err := sparta.Search(q, topk.Options{K: 3, Threads: 4, Exact: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query %v -> top %d of %d candidates in %v (%d postings, stop: %s)\n",
+		q, len(res), st.CandidatesPeak, st.Duration, st.Postings, st.StopReason)
+	for rank, r := range res {
+		fmt.Printf("%d. [score %.3f] %s\n", rank+1, r.Score.Float(), docs[r.Doc])
+	}
+}

@@ -1,0 +1,216 @@
+// Server: a minimal web-search service over the library — the
+// deployment surface the paper's latency SLAs are about (§5.3 cites
+// the 250 ms interactive budget).
+//
+// On startup it builds a small synthetic index; then it serves
+//
+//	GET /search?q=<terms>&k=10&algo=sparta|pbmw|pjass&mode=exact|high
+//	GET /stats
+//
+// with per-query latency, recall-free stats, and storage counters in
+// the JSON response. Queries run with intra-query parallelism equal to
+// their term count, admission-controlled by a shared worker pool as in
+// the paper's throughput methodology.
+//
+//	go run ./examples/server &
+//	curl 'localhost:8640/search?q=t12,t733,t5021&algo=sparta&mode=high'
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sparta/internal/algos/bmw"
+	"sparta/internal/algos/jass"
+	"sparta/internal/core"
+	"sparta/internal/corpus"
+	"sparta/internal/diskindex"
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/model"
+	"sparta/internal/topk"
+)
+
+const (
+	listenAddr = "localhost:8640"
+	poolSize   = 12
+)
+
+type server struct {
+	mem    *index.Index
+	disk   *diskindex.Index
+	tokens chan struct{} // shared worker pool (FCFS admission)
+}
+
+func main() {
+	spec := corpus.Spec{
+		Name: "web", Docs: 10_000, Vocab: 20_000, ZipfS: 1.0,
+		MeanDocLen: 120, MinDocLen: 8, QualitySigma: 1.0, Seed: 42,
+	}
+	log.Printf("building %d-doc index...", spec.Docs)
+	mem := index.FromCorpus(corpus.New(spec))
+	disk, err := diskindex.FromIndex(mem, diskindex.DefaultShards, iomodel.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{mem: mem, disk: disk, tokens: make(chan struct{}, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		s.tokens <- struct{}{}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	log.Printf("serving on http://%s  (try /search?q=t12,t733,t5021&algo=sparta&mode=high)", listenAddr)
+	log.Fatal(http.ListenAndServe(listenAddr, mux))
+}
+
+type searchResponse struct {
+	Algo      string        `json:"algo"`
+	Query     []int         `json:"query"`
+	K         int           `json:"k"`
+	LatencyMS float64       `json:"latency_ms"`
+	Stop      string        `json:"stop"`
+	Postings  int64         `json:"postings"`
+	Results   []resultEntry `json:"results"`
+}
+
+type resultEntry struct {
+	Doc   uint32  `json:"doc"`
+	Score float64 `json:"score"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r.URL.Query().Get("q"), s.disk.NumTerms())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		if k, err = strconv.Atoi(v); err != nil || k < 1 || k > 1000 {
+			http.Error(w, "k must be 1..1000", http.StatusBadRequest)
+			return
+		}
+	}
+
+	var alg topk.Algorithm
+	switch r.URL.Query().Get("algo") {
+	case "", "sparta":
+		alg = core.New(s.disk)
+	case "pbmw":
+		alg = bmw.NewPBMW(s.disk)
+	case "pjass":
+		alg = jass.NewP(s.disk)
+	default:
+		http.Error(w, "algo must be sparta|pbmw|pjass", http.StatusBadRequest)
+		return
+	}
+
+	opts := topk.Options{K: k}
+	switch r.URL.Query().Get("mode") {
+	case "", "high":
+		opts.Delta = 5 * time.Millisecond
+		opts.BoostF = 2
+		opts.FracP = 0.3
+	case "exact":
+		opts.Exact = true
+	default:
+		http.Error(w, "mode must be exact|high", http.StatusBadRequest)
+		return
+	}
+	if err := opts.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Acquire up to len(q) workers from the shared pool, at least one.
+	want := len(q)
+	if want > poolSize {
+		want = poolSize
+	}
+	got := 0
+	<-s.tokens // block FCFS until at least one worker is free
+	got++
+	for got < want {
+		select {
+		case <-s.tokens:
+			got++
+		default:
+			want = got // take what is free, as the paper's driver does
+		}
+	}
+	defer func() {
+		for i := 0; i < got; i++ {
+			s.tokens <- struct{}{}
+		}
+	}()
+	opts.Threads = got
+
+	res, st, err := alg.Search(q, opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := searchResponse{
+		Algo:      alg.Name(),
+		K:         k,
+		LatencyMS: float64(st.Duration.Microseconds()) / 1000,
+		Stop:      st.StopReason,
+		Postings:  st.Postings,
+	}
+	for _, term := range q {
+		resp.Query = append(resp.Query, int(term))
+	}
+	for _, rr := range res {
+		resp.Results = append(resp.Results, resultEntry{
+			Doc: uint32(rr.Doc), Score: rr.Score.Float(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	io := s.disk.Store().Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"docs":        s.disk.NumDocs(),
+		"terms":       s.disk.NumTerms(),
+		"postings":    s.disk.Manifest().TotalPostings,
+		"blocks_read": io.BlocksRead,
+		"cache_hits":  io.CacheHits,
+		"rand_reads":  io.RandReads,
+		"sim_io_ms":   float64(io.SimulatedIO.Microseconds()) / 1000,
+	})
+}
+
+// parseQuery accepts comma- or space-separated term ids, optionally
+// prefixed "t" ("t12,t733" or "12 733").
+func parseQuery(raw string, numTerms int) (model.Query, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("missing q parameter")
+	}
+	fields := strings.FieldsFunc(raw, func(r rune) bool { return r == ',' || r == ' ' })
+	var q model.Query
+	for _, f := range fields {
+		f = strings.TrimPrefix(strings.TrimSpace(f), "t")
+		id, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad term %q", f)
+		}
+		if id < 0 || id >= numTerms {
+			return nil, fmt.Errorf("term %d out of range (0..%d)", id, numTerms-1)
+		}
+		q = append(q, model.TermID(id))
+	}
+	if len(q) > 12 {
+		q = q[:12] // the paper's maximum evaluated length
+	}
+	return q, nil
+}

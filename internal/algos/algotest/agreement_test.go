@@ -1,0 +1,136 @@
+package algotest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/algos/bmw"
+	"sparta/internal/algos/jass"
+	"sparta/internal/algos/maxscore"
+	"sparta/internal/algos/pnra"
+	"sparta/internal/algos/pra"
+	"sparta/internal/algos/ta"
+	"sparta/internal/core"
+	"sparta/internal/corpus"
+	"sparta/internal/index"
+	"sparta/internal/topk"
+	"sparta/internal/xrand"
+)
+
+// TestAllExactAlgorithmsAgree is the repository's strongest correctness
+// property: on randomized corpora and queries, every exact algorithm —
+// sequential and parallel, document-order and score-order — must return
+// the same top-k document set as brute force. A bug in any cursor,
+// bound, heap, or synchronization path shows up here.
+func TestAllExactAlgorithmsAgree(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		seed := uint64(1000 + trial)
+		spec := corpus.Spec{
+			Name: "agree", Docs: 300 + trial*400, Vocab: 120 + trial*60,
+			ZipfS:      0.8 + 0.1*float64(trial%3),
+			MeanDocLen: 20 + trial*10, MinDocLen: 4,
+			QualitySigma: float64(trial%3) * 0.7,
+			Seed:         seed,
+		}
+		x := index.FromCorpus(corpus.New(spec))
+		rng := xrand.New(seed * 7)
+		for _, m := range []int{1, 3, 7} {
+			k := 5 + rng.Intn(30)
+			q := algotest.RandomQuery(x, m, seed+uint64(m))
+			exact := topk.BruteForce(x, q, k)
+			algos := []topk.Algorithm{
+				ta.NewRA(x),
+				ta.NewNRA(x),
+				ta.NewSelNRA(x),
+				maxscore.New(x),
+				bmw.NewWAND(x),
+				bmw.NewBMW(x),
+				jass.New(x),
+				core.New(x),
+				pra.New(x),
+				pnra.New(x),
+				bmw.NewPBMW(x),
+				jass.NewP(x),
+			}
+			for _, alg := range algos {
+				name := fmt.Sprintf("trial%d/m%d/k%d/%s", trial, m, k, alg.Name())
+				got, _, err := alg.Search(q, topk.Options{
+					K: k, Exact: true, Threads: 1 + trial%4, SegSize: 32 << (trial % 3),
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				algotest.AssertExactSet(t, name, exact, got)
+			}
+		}
+	}
+}
+
+// TestApproximateVariantsNeverExceedExactWork checks the approximation
+// contract across the family: an approximate run may stop early but
+// must never traverse more postings than its exact sibling.
+func TestApproximateVariantsNeverExceedExactWork(t *testing.T) {
+	x := algotest.MediumIndex(t, 77)
+	q := algotest.RandomQuery(x, 6, 99)
+
+	type pair struct {
+		name          string
+		exact, approx topk.Options
+		alg           topk.Algorithm
+	}
+	pairs := []pair{
+		{"pJASS", topk.Options{K: 20, Exact: true, Threads: 4},
+			topk.Options{K: 20, FracP: 0.2, Threads: 4}, jass.NewP(x)},
+		{"pBMW", topk.Options{K: 20, Exact: true, Threads: 4},
+			topk.Options{K: 20, BoostF: 4, Threads: 4}, bmw.NewPBMW(x)},
+	}
+	for _, p := range pairs {
+		_, stE, err := p.alg.Search(q, p.exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stA, err := p.alg.Search(q, p.approx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stA.Postings > stE.Postings {
+			t.Errorf("%s: approximate traversed more (%d) than exact (%d)",
+				p.name, stA.Postings, stE.Postings)
+		}
+	}
+}
+
+// TestStatsSanity verifies the Stats contract every algorithm reports:
+// nonzero duration, consistent posting counts, a stop reason.
+func TestStatsSanity(t *testing.T) {
+	x := algotest.SmallIndex(t, 88)
+	q := algotest.RandomQuery(x, 4, 111)
+	algos := []topk.Algorithm{
+		ta.NewRA(x), ta.NewNRA(x), ta.NewSelNRA(x), maxscore.New(x),
+		bmw.NewWAND(x), bmw.NewBMW(x), jass.New(x),
+		core.New(x), pra.New(x), pnra.New(x), bmw.NewPBMW(x), jass.NewP(x),
+	}
+	var total int64
+	for _, term := range q {
+		total += int64(x.DF(term))
+	}
+	for _, alg := range algos {
+		_, st, err := alg.Search(q, topk.Options{K: 10, Exact: true, Threads: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if st.Duration <= 0 {
+			t.Errorf("%s: zero duration", alg.Name())
+		}
+		if st.StopReason == "" {
+			t.Errorf("%s: empty stop reason", alg.Name())
+		}
+		// Document-order algorithms count cursor advances, which can
+		// exceed raw posting counts slightly (SkipTo probes), but never
+		// by more than a small factor.
+		if st.Postings > 4*total {
+			t.Errorf("%s: postings %d implausible (index total %d)", alg.Name(), st.Postings, total)
+		}
+	}
+}

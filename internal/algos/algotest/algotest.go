@@ -1,0 +1,89 @@
+// Package algotest provides the shared correctness harness for the
+// retrieval algorithms: randomized corpora, query generation, and the
+// exactness / recall assertions every algorithm package's tests use.
+package algotest
+
+import (
+	"testing"
+
+	"sparta/internal/corpus"
+	"sparta/internal/index"
+	"sparta/internal/model"
+	"sparta/internal/xrand"
+)
+
+// SmallIndex builds a deterministic ~400-doc index for fast tests.
+func SmallIndex(tb testing.TB, seed uint64) *index.Index {
+	tb.Helper()
+	c := corpus.New(corpus.Spec{
+		Name: "test", Docs: 400, Vocab: 150, ZipfS: 1.0,
+		MeanDocLen: 40, MinDocLen: 5, Seed: seed,
+	})
+	return index.FromCorpus(c)
+}
+
+// MediumIndex builds a ~3000-doc index exercising longer lists.
+func MediumIndex(tb testing.TB, seed uint64) *index.Index {
+	tb.Helper()
+	c := corpus.New(corpus.Spec{
+		Name: "test", Docs: 3000, Vocab: 400, ZipfS: 1.0,
+		MeanDocLen: 60, MinDocLen: 5, Seed: seed,
+	})
+	return index.FromCorpus(c)
+}
+
+// RandomQuery draws an m-term query biased toward popular terms, like
+// real query logs (and like the repository's query generator).
+func RandomQuery(x *index.Index, m int, seed uint64) model.Query {
+	rng := xrand.New(seed)
+	z := xrand.NewZipf(rng, 0.8, x.NumTerms())
+	q := make(model.Query, 0, m)
+	used := make(map[int]bool)
+	for len(q) < m {
+		t := z.Next()
+		if used[t] {
+			continue
+		}
+		used[t] = true
+		q = append(q, model.TermID(t))
+	}
+	return q
+}
+
+// AssertExactSet verifies that got contains exactly the exact top-k
+// document set, modulo ties at the k-th score: every returned doc must
+// score >= the exact cutoff, and every exact doc scoring strictly above
+// the cutoff must be present.
+func AssertExactSet(tb testing.TB, name string, exact, got model.TopK) {
+	tb.Helper()
+	if len(got) != len(exact) {
+		tb.Fatalf("%s: returned %d results, exact has %d", name, len(got), len(exact))
+	}
+	cut := exact.MinScore()
+	gotDocs := got.Docs()
+	for _, r := range exact {
+		if r.Score > cut && !gotDocs[r.Doc] {
+			tb.Errorf("%s: missing above-cutoff doc %d (score %d, cutoff %d)",
+				name, r.Doc, r.Score, cut)
+		}
+	}
+	if rec := model.Recall(exact, got); rec != 1 {
+		tb.Errorf("%s: recall %v, want 1 for an exact algorithm", name, rec)
+	}
+}
+
+// AssertFullScores verifies that every returned score equals the true
+// full document score — for algorithms (RA, WAND, BMW, brute force)
+// that report complete scores rather than lower bounds.
+func AssertFullScores(tb testing.TB, name string, exact, got model.TopK) {
+	tb.Helper()
+	truth := make(map[model.DocID]model.Score, len(exact))
+	for _, r := range exact {
+		truth[r.Doc] = r.Score
+	}
+	for _, r := range got {
+		if want, ok := truth[r.Doc]; ok && want != r.Score {
+			tb.Errorf("%s: doc %d score %d, want %d", name, r.Doc, r.Score, want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package pnra implements pNRA — the naïve shared-state parallelization
+// of NRA that the paper uses to demonstrate why Sparta's optimizations
+// matter (§5.2.2): "it uses a shared document map, which it does not
+// clean, and it updates the term upper bounds upon every document
+// evaluation. As in Sparta, a dedicated task checks the stopping
+// condition."
+//
+// The structural differences from Sparta (package core) are exactly the
+// three things the paper calls out:
+//
+//   - no cleaner: the shared docMap only grows, so both its memory
+//     footprint and the stop-checker's scan cost grow with it (and on
+//     the 10x corpus it exhausts memory — the N/A entries);
+//   - per-posting UB publication: every posting write invalidates the
+//     UB cache line that every other worker reads;
+//   - no termMap replicas: workers hit the shared map forever.
+package pnra
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/cmap"
+	"sparta/internal/heap"
+	"sparta/internal/jobqueue"
+	"sparta/internal/membudget"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+	"sparta/internal/topk"
+)
+
+// PNRA is the algorithm bound to an index view.
+type PNRA struct {
+	view postings.View
+}
+
+// New creates pNRA over view.
+func New(view postings.View) *PNRA { return &PNRA{view: view} }
+
+// Name implements topk.Algorithm.
+func (a *PNRA) Name() string { return "pNRA" }
+
+// Search implements topk.Algorithm.
+func (a *PNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	opts = opts.WithDefaults()
+	start := time.Now()
+	if opts.Probe != nil {
+		opts.Probe.Start()
+	}
+
+	r := &run{
+		opts:    opts,
+		m:       len(q),
+		docMap:  cmap.New(16 * opts.K),
+		docHeap: heap.NewDoc(opts.K),
+		doneCh:  make(chan struct{}),
+	}
+	r.cursors = make([]postings.ScoreCursor, r.m)
+	for i, t := range q {
+		r.cursors[i] = a.view.ScoreCursor(t)
+	}
+	r.ubs = topk.NewUpperBounds(topk.TermMaxima(a.view, q))
+	r.heapUpdTime.Store(start.UnixNano())
+	r.remaining.Store(int64(r.m))
+
+	workers := opts.Threads
+	if workers > r.m+1 {
+		workers = r.m + 1 // +1 for the dedicated stop-checker task
+	}
+	r.pool = jobqueue.New(workers)
+	for i := 0; i < r.m; i++ {
+		i := i
+		r.pool.Submit(func() { r.processTerm(i) })
+	}
+	r.pool.Submit(func() { r.stopChecker() })
+	<-r.doneCh
+	r.pool.Close()
+
+	var st topk.Stats
+	st.Postings = r.nPostings.Load()
+	st.HeapInserts = r.nInserts.Load()
+	st.CandidatesPeak = int64(r.docMap.Len())
+	opts.Budget.Release(r.mapBytes.Load())
+	if v := r.stopReason.Load(); v != nil {
+		st.StopReason = v.(string)
+	}
+	st.Duration = time.Since(start)
+	if r.failed.Load() {
+		return nil, st, membudget.ErrMemoryBudget
+	}
+	r.heapMu.Lock()
+	res := r.docHeap.Results()
+	r.heapMu.Unlock()
+	if opts.Probe != nil {
+		opts.Probe.Final(res)
+	}
+	return res, st, nil
+}
+
+type run struct {
+	opts topk.Options
+	m    int
+
+	cursors []postings.ScoreCursor
+	ubs     *topk.UpperBounds
+	pool    *jobqueue.Pool
+
+	docMap   *cmap.Map
+	mapBytes atomic.Int64
+
+	heapMu      sync.Mutex
+	docHeap     *heap.DocHeap
+	theta       atomic.Int64
+	heapUpdTime atomic.Int64
+
+	done      atomic.Bool
+	doneCh    chan struct{}
+	doneOnce  sync.Once
+	failed    atomic.Bool
+	remaining atomic.Int64
+
+	nPostings  atomic.Int64
+	nInserts   atomic.Int64
+	stopReason atomic.Value
+	ubBuf      []model.Score
+}
+
+func (r *run) finish(reason string) {
+	if r.done.CompareAndSwap(false, true) {
+		r.stopReason.Store(reason)
+		r.doneOnce.Do(func() { close(r.doneCh) })
+	}
+}
+
+func (r *run) processTerm(i int) {
+	if r.done.Load() {
+		return
+	}
+	c := r.cursors[i]
+	for j := 0; j < r.opts.SegSize; j++ {
+		if r.done.Load() {
+			return
+		}
+		if !c.Next() {
+			r.ubs.Set(i, 0)
+			if r.remaining.Add(-1) == 0 {
+				// Everything is fully scored; let the checker conclude.
+			}
+			return
+		}
+		r.nPostings.Add(1)
+		doc, score := c.Doc(), c.Score()
+		// Naïve: publish the upper bound on every evaluation.
+		r.ubs.Set(i, score)
+
+		d, created := r.docMap.GetOrCreate(doc, func() *cmap.DocState {
+			if err := r.opts.Budget.Charge(cmap.DocStateBytes); err != nil {
+				return nil
+			}
+			return cmap.NewDocState(doc, r.m)
+		})
+		if d == nil {
+			r.failed.Store(true)
+			r.finish("oom")
+			return
+		}
+		if created {
+			r.mapBytes.Add(cmap.DocStateBytes)
+		}
+		d.SetScore(i, score)
+		if d.LB() > model.Score(r.theta.Load()) {
+			r.updateHeap(d)
+		}
+	}
+	r.pool.Submit(func() { r.processTerm(i) })
+}
+
+func (r *run) updateHeap(d *cmap.DocState) {
+	r.heapMu.Lock()
+	if !r.docHeap.Contains(d) {
+		_, theta := r.docHeap.UpdateInsert(d)
+		r.theta.Store(int64(theta))
+		r.heapUpdTime.Store(time.Now().UnixNano())
+		r.nInserts.Add(1)
+		if r.opts.Probe != nil && r.opts.Probe.ShouldObserve() {
+			r.opts.Probe.Observe(r.docHeap.Results())
+		}
+	}
+	r.heapMu.Unlock()
+}
+
+// stopChecker is the dedicated stopping-condition task: it repeatedly
+// evaluates NRA's two safe conditions over the whole (uncleaned)
+// docMap, plus the Δ idle timeout for the approximate variant.
+func (r *run) stopChecker() {
+	if r.done.Load() {
+		return
+	}
+	theta := model.Score(r.theta.Load())
+	ubStop := theta > 0 && r.ubs.Sum() <= theta
+
+	if r.remaining.Load() == 0 {
+		r.finish("exhausted")
+		return
+	}
+	if ubStop {
+		// Condition 2: no visited doc outside the heap can still pass Θ.
+		r.ubBuf = r.ubs.Snapshot(r.ubBuf)
+		r.heapMu.Lock()
+		inHeap := make(map[*cmap.DocState]bool, r.docHeap.Len())
+		for _, d := range r.docHeap.Items() {
+			inHeap[d] = true
+		}
+		r.heapMu.Unlock()
+		safe := true
+		r.docMap.Range(func(d *cmap.DocState) bool {
+			if !inHeap[d] && d.UB(r.ubBuf) > theta {
+				safe = false
+				return false
+			}
+			return true
+		})
+		if safe {
+			r.finish("safe")
+			return
+		}
+	}
+	if !r.opts.Exact && r.opts.Delta > 0 {
+		idle := time.Since(time.Unix(0, r.heapUpdTime.Load()))
+		if idle >= r.opts.Delta {
+			r.finish("delta")
+			return
+		}
+	}
+	// Yield briefly before the next pass so the checker does not starve
+	// the workers on an oversubscribed pool (see core.cleaner).
+	time.Sleep(50 * time.Microsecond)
+	r.pool.Submit(func() { r.stopChecker() })
+}
+
+var _ topk.Algorithm = (*PNRA)(nil)

@@ -1,0 +1,128 @@
+package snra
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/diskindex"
+	"sparta/internal/iomodel"
+	"sparta/internal/membudget"
+	"sparta/internal/model"
+	"sparta/internal/topk"
+)
+
+func TestSNRAExactHighRecall(t *testing.T) {
+	x := algotest.SmallIndex(t, 1)
+	a := New(x)
+	for _, m := range []int{1, 2, 3, 5} {
+		for _, threads := range []int{1, 2, 4} {
+			q := algotest.RandomQuery(x, m, uint64(m*5+threads))
+			exact := topk.BruteForce(x, q, 20)
+			got, _, err := a.Search(q, topk.Options{
+				K: 20, Exact: true, Threads: threads, Shards: 4, SegSize: 32,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(exact) {
+				t.Fatalf("m=%d: %d results, want %d", m, len(got), len(exact))
+			}
+			// The LB merge makes sNRA-"exact" near-exact (see package
+			// docs); the paper's own Table 3 reports 99%.
+			if rec := model.Recall(exact, got); rec < 0.9 {
+				t.Errorf("m=%d threads=%d recall %v < 0.9", m, threads, rec)
+			}
+		}
+	}
+}
+
+func TestSNRAMediumRecall(t *testing.T) {
+	x := algotest.MediumIndex(t, 2)
+	a := New(x)
+	q := algotest.RandomQuery(x, 6, 7)
+	exact := topk.BruteForce(x, q, 100)
+	got, st, err := a.Search(q, topk.Options{K: 100, Exact: true, Threads: 4, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := model.Recall(exact, got); rec < 0.9 {
+		t.Errorf("recall %v", rec)
+	}
+	if st.Postings == 0 {
+		t.Error("no postings counted")
+	}
+}
+
+func TestSNRAShardsDefaultFromDiskIndex(t *testing.T) {
+	mem := algotest.SmallIndex(t, 3)
+	cfg := iomodel.DefaultConfig()
+	cfg.NoSleep = true
+	disk, err := diskindex.FromIndex(mem, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(disk)
+	q := algotest.RandomQuery(mem, 3, 11)
+	exact := topk.BruteForce(mem, q, 10)
+	// Shards unset: must pick up the index's build-time count (4).
+	got, _, err := a.Search(q, topk.Options{K: 10, Exact: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := model.Recall(exact, got); rec < 0.9 {
+		t.Errorf("recall %v", rec)
+	}
+}
+
+func TestSNRADelta(t *testing.T) {
+	x := algotest.MediumIndex(t, 4)
+	a := New(x)
+	q := algotest.RandomQuery(x, 6, 13)
+	exact := topk.BruteForce(x, q, 50)
+	got, _, err := a.Search(q, topk.Options{
+		K: 50, Delta: 2 * time.Millisecond, Threads: 4, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := model.Recall(exact, got); rec < 0.4 {
+		t.Errorf("approximate recall %v", rec)
+	}
+}
+
+func TestSNRAMemoryBudget(t *testing.T) {
+	x := algotest.MediumIndex(t, 5)
+	a := New(x)
+	q := algotest.RandomQuery(x, 5, 17)
+	b := membudget.New(1000)
+	_, st, err := a.Search(q, topk.Options{K: 10, Exact: true, Threads: 2, Shards: 4, Budget: b})
+	if !errors.Is(err, membudget.ErrMemoryBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	if st.StopReason != "oom" {
+		t.Errorf("stop = %q", st.StopReason)
+	}
+}
+
+func TestSNRAScansMoreThanSequentialNRA(t *testing.T) {
+	// The paper's headline negative result: shared-nothing does *more*
+	// total work because each shard needs its own full top-k with a
+	// weaker local threshold.
+	x := algotest.MediumIndex(t, 6)
+	q := algotest.RandomQuery(x, 4, 19)
+	_, stShard, err := New(x).Search(q, topk.Options{K: 100, Exact: true, Threads: 4, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential NRA = 1 shard.
+	_, stSeq, err := New(x).Search(q, topk.Options{K: 100, Exact: true, Threads: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stShard.Postings < stSeq.Postings {
+		t.Errorf("sharded postings %d < sequential %d; expected extra work",
+			stShard.Postings, stSeq.Postings)
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sparta/internal/stats"
+)
+
+// FormatTable renders one SweepPoint as the paper's table layout:
+// algorithms as columns, a single value row.
+func FormatTable(title, valueName string, p SweepPoint, pick func(LatencyCell) float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	cols := make([]string, 0, len(p.Cells))
+	vals := make([]string, 0, len(p.Cells))
+	for _, c := range p.Cells {
+		cols = append(cols, c.Label)
+		if c.NA {
+			vals = append(vals, "N/A")
+		} else {
+			vals = append(vals, stats.FmtMS(pick(c)))
+		}
+	}
+	writeRow(&b, append([]string{valueName}, cols...))
+	writeRow(&b, append([]string{""}, vals...))
+	return b.String()
+}
+
+// FormatSweep renders a figure's data as a series table: one row per
+// x value, one column per variant.
+func FormatSweep(title, xName string, points []SweepPoint, pick func(LatencyCell) float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(points) == 0 {
+		return b.String()
+	}
+	header := []string{xName}
+	for _, c := range points[0].Cells {
+		header = append(header, c.Label)
+	}
+	writeRow(&b, header)
+	for _, p := range points {
+		row := []string{fmt.Sprintf("%d", p.X)}
+		for _, c := range p.Cells {
+			if c.NA {
+				row = append(row, "N/A")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", pick(c)))
+			}
+		}
+		writeRow(&b, row)
+	}
+	return b.String()
+}
+
+// FormatRecallTable renders Table 3: recall percentages per variant.
+func FormatRecallTable(title string, p SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	cols := []string{"recall"}
+	vals := []string{""}
+	for _, c := range p.Cells {
+		cols = append(cols, c.Label)
+		if c.NA {
+			vals = append(vals, "N/A")
+		} else {
+			vals = append(vals, fmt.Sprintf("%.1f%%", c.Recall*100))
+		}
+	}
+	writeRow(&b, cols)
+	writeRow(&b, vals)
+	return b.String()
+}
+
+// FormatDynamics renders Figures 3f–3g: elapsed-ms rows, recall
+// columns per variant.
+func FormatDynamics(title string, series []DynamicsSeries, step, horizon time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	header := []string{"ms"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	writeRow(&b, header)
+	for t := time.Duration(0); t <= horizon; t += step {
+		row := []string{fmt.Sprintf("%d", t.Milliseconds())}
+		for _, s := range series {
+			if s.NA {
+				row = append(row, "N/A")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", s.Series.At(t)))
+			}
+		}
+		writeRow(&b, row)
+	}
+	return b.String()
+}
+
+// FormatThroughput renders Table 4.
+func FormatThroughput(title string, cells []ThroughputCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	cols := []string{"qps"}
+	vals := []string{""}
+	for _, c := range cells {
+		cols = append(cols, c.Label)
+		if c.NA {
+			vals = append(vals, "N/A")
+		} else {
+			vals = append(vals, fmt.Sprintf("%.2f", c.QPS))
+		}
+	}
+	writeRow(&b, cols)
+	writeRow(&b, vals)
+	return b.String()
+}
+
+func writeRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString("\t")
+		}
+		fmt.Fprintf(b, "%-14s", c)
+	}
+	b.WriteString("\n")
+}

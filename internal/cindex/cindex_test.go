@@ -1,0 +1,279 @@
+package cindex
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/core"
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/model"
+	"sparta/internal/topk"
+)
+
+func testCfg() iomodel.Config {
+	cfg := iomodel.DefaultConfig()
+	cfg.NoSleep = true
+	return cfg
+}
+
+func buildBoth(t *testing.T, seed uint64) (*index.Index, *Index) {
+	t.Helper()
+	mem := algotest.MediumIndex(t, seed)
+	ci, err := FromIndex(mem, 4, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, ci
+}
+
+func TestCompressedMatchesUncompressed(t *testing.T) {
+	mem, ci := buildBoth(t, 1)
+	if ci.NumDocs() != mem.NumDocs() || ci.NumTerms() != mem.NumTerms() {
+		t.Fatal("sizes differ")
+	}
+	for tid := 0; tid < mem.NumTerms(); tid += 5 {
+		term := model.TermID(tid)
+		if ci.DF(term) != mem.DF(term) || ci.MaxScore(term) != mem.MaxScore(term) {
+			t.Fatalf("term %d stats differ", tid)
+		}
+		// Doc-order traversal identical.
+		cc, mc := ci.DocCursor(term), mem.DocCursor(term)
+		for mc.Next() {
+			if !cc.Next() {
+				t.Fatalf("term %d compressed cursor short", tid)
+			}
+			if cc.Doc() != mc.Doc() || cc.Score() != mc.Score() {
+				t.Fatalf("term %d doc cursor mismatch at doc %d", tid, mc.Doc())
+			}
+		}
+		if cc.Next() {
+			t.Fatalf("term %d compressed cursor long", tid)
+		}
+		// Impact traversal identical.
+		cs, ms := ci.ScoreCursor(term), mem.ScoreCursor(term)
+		for ms.Next() {
+			if !cs.Next() {
+				t.Fatalf("term %d impact cursor short", tid)
+			}
+			if cs.Doc() != ms.Doc() || cs.Score() != ms.Score() {
+				t.Fatalf("term %d impact mismatch", tid)
+			}
+			if cs.Bound() != cs.Score() {
+				t.Fatalf("term %d bound %d != score %d", tid, cs.Bound(), cs.Score())
+			}
+		}
+	}
+}
+
+func TestCompressedSkipTo(t *testing.T) {
+	mem, ci := buildBoth(t, 2)
+	term := model.TermID(0)
+	list := mem.Postings(term)
+	c := ci.DocCursor(term)
+	for i := 0; i < len(list); i += 7 {
+		want := list[i]
+		if !c.SkipTo(want.Doc) {
+			t.Fatalf("SkipTo(%d) failed", want.Doc)
+		}
+		if c.Doc() != want.Doc || c.Score() != want.Score {
+			t.Fatalf("SkipTo(%d) landed on (%d,%d)", want.Doc, c.Doc(), c.Score())
+		}
+	}
+	if c.SkipTo(model.DocID(mem.NumDocs() + 1)) {
+		t.Error("SkipTo past end succeeded")
+	}
+	if c.Next() {
+		t.Error("Next after exhaustion succeeded")
+	}
+}
+
+func TestCompressedSkipToBetween(t *testing.T) {
+	mem, ci := buildBoth(t, 3)
+	term := model.TermID(1)
+	list := mem.Postings(term)
+	c := ci.DocCursor(term)
+	// Skip to an id between two postings: must land on the next one.
+	for i := 1; i < len(list); i += 11 {
+		target := list[i-1].Doc + 1
+		want := list[i]
+		if target > want.Doc {
+			continue
+		}
+		if !c.SkipTo(target) || c.Doc() != want.Doc {
+			t.Fatalf("SkipTo(%d) landed on %d, want %d", target, c.Doc(), want.Doc)
+		}
+	}
+}
+
+func TestCompressedBlockMetadata(t *testing.T) {
+	mem, ci := buildBoth(t, 4)
+	term := model.TermID(0)
+	cc, mc := ci.DocCursor(term), mem.DocCursor(term)
+	for mc.Next() && cc.Next() {
+		if cc.BlockMax() != mc.BlockMax() || cc.BlockLast() != mc.BlockLast() {
+			t.Fatalf("block metadata mismatch at doc %d", mc.Doc())
+		}
+		if cc.BlockMaxAt(mc.Doc()) != mc.BlockMaxAt(mc.Doc()) {
+			t.Fatalf("BlockMaxAt mismatch at %d", mc.Doc())
+		}
+	}
+}
+
+func TestCompressedRandomAccess(t *testing.T) {
+	mem, ci := buildBoth(t, 5)
+	for tid := 0; tid < mem.NumTerms(); tid += 17 {
+		term := model.TermID(tid)
+		for i, p := range mem.Postings(term) {
+			if i%3 != 0 {
+				continue
+			}
+			s, ok := ci.RandomAccess(term, p.Doc)
+			if !ok || s != p.Score {
+				t.Fatalf("term %d RandomAccess(%d) = %d,%v", tid, p.Doc, s, ok)
+			}
+		}
+		if _, ok := ci.RandomAccess(term, model.DocID(mem.NumDocs()+3)); ok {
+			t.Fatalf("term %d RA hit for absent doc", tid)
+		}
+	}
+}
+
+func TestCompressedShards(t *testing.T) {
+	mem, ci := buildBoth(t, 6)
+	const shards = 4
+	for tid := 0; tid < mem.NumTerms(); tid += 23 {
+		term := model.TermID(tid)
+		total := 0
+		for s := 0; s < shards; s++ {
+			c := ci.ScoreCursorShard(term, s, shards)
+			prev := model.Score(1 << 60)
+			for c.Next() {
+				if c.Score() > prev {
+					t.Fatalf("term %d shard %d out of order", tid, s)
+				}
+				prev = c.Score()
+				total++
+			}
+		}
+		if total != mem.DF(term) {
+			t.Fatalf("term %d shards yield %d, df %d", tid, total, mem.DF(term))
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	_, ci := buildBoth(t, 7)
+	ratio := float64(ci.RawBytes()) / float64(ci.CompressedBytes())
+	if ratio < 1.5 {
+		t.Errorf("compression ratio %.2f, want >= 1.5", ratio)
+	}
+	t.Logf("compression ratio %.2fx (%d -> %d bytes)", ratio, ci.RawBytes(), ci.CompressedBytes())
+}
+
+func TestAlgorithmsRunOnCompressedIndex(t *testing.T) {
+	// The full stack works over the compressed view: Sparta end-to-end.
+	mem, ci := buildBoth(t, 8)
+	q := algotest.RandomQuery(mem, 5, 31)
+	exact := topk.BruteForce(mem, q, 20)
+	got, _, err := core.New(ci).Search(q, topk.Options{K: 20, Exact: true, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := model.Recall(exact, got); rec != 1 {
+		t.Errorf("Sparta over cindex recall %v", rec)
+	}
+}
+
+func TestShardCountMismatchPanics(t *testing.T) {
+	_, ci := buildBoth(t, 9)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on shard mismatch")
+		}
+	}()
+	ci.ScoreCursorShard(0, 0, 7)
+}
+
+func TestWriteOpenDirRoundTrip(t *testing.T) {
+	mem := algotest.MediumIndex(t, 10)
+	dir := t.TempDir()
+	if err := WriteDir(mem, 4, dir); err != nil {
+		t.Fatal(err)
+	}
+	ci, err := OpenDir(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.NumDocs() != mem.NumDocs() || ci.NumTerms() != mem.NumTerms() {
+		t.Fatal("sizes differ after round trip")
+	}
+	// Full traversal equivalence for a sample of terms.
+	for tid := 0; tid < mem.NumTerms(); tid += 11 {
+		term := model.TermID(tid)
+		cc, mc := ci.DocCursor(term), mem.DocCursor(term)
+		for mc.Next() {
+			if !cc.Next() || cc.Doc() != mc.Doc() || cc.Score() != mc.Score() {
+				t.Fatalf("term %d mismatch after reopen", tid)
+			}
+		}
+		if cc.Next() {
+			t.Fatalf("term %d cursor long after reopen", tid)
+		}
+	}
+	// Shards and random access survive too.
+	total := 0
+	for s := 0; s < 4; s++ {
+		c := ci.ScoreCursorShard(0, s, 4)
+		for c.Next() {
+			total++
+		}
+	}
+	if total != mem.DF(0) {
+		t.Errorf("shards yield %d, df %d", total, mem.DF(0))
+	}
+	for _, p := range mem.Postings(1) {
+		if s, ok := ci.RandomAccess(1, p.Doc); !ok || s != p.Score {
+			t.Fatalf("RandomAccess(%d) after reopen", p.Doc)
+		}
+	}
+	// Sparta runs over a reopened compressed index.
+	q := algotest.RandomQuery(mem, 4, 13)
+	exact := topk.BruteForce(mem, q, 10)
+	got, _, err := core.New(ci).Search(q, topk.Options{K: 10, Exact: true, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := model.Recall(exact, got); rec != 1 {
+		t.Errorf("recall %v over reopened cindex", rec)
+	}
+}
+
+func TestOpenDirCorrupt(t *testing.T) {
+	mem := algotest.SmallIndex(t, 11)
+	dir := t.TempDir()
+	if err := WriteDir(mem, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated directory file must error, not panic.
+	raw, err := os.ReadFile(filepath.Join(dir, DirFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, DirFile), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir, testCfg()); err == nil {
+		t.Error("truncated directory accepted")
+	}
+	// Bad manifest.
+	os.WriteFile(filepath.Join(dir, ManifestFile), []byte("nope"), 0o644)
+	if _, err := OpenDir(dir, testCfg()); err == nil {
+		t.Error("bad manifest accepted")
+	}
+	if _, err := OpenDir(t.TempDir(), testCfg()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package cindex
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/model"
+)
+
+// On-disk layout of a compressed index directory: a JSON manifest, a
+// directory file holding the RAM-resident block metadata, and the
+// compressed postings region. Mirrors diskindex's three-file layout so
+// tooling treats the two interchangeably.
+const (
+	ManifestFile = "cmanifest.json"
+	DirFile      = "cdir.bin"
+	PostingsFile = "cpostings.bin"
+
+	formatVersion = 1
+
+	docMetaSize = 8 + 4 + 4 + 4 + 4 + 4 // off, len, count, base, last, max
+	impMetaSize = 8 + 4 + 4 + 4 + 4     // off, len, count, ceil, lastSc
+)
+
+// manifest is the corpus-level metadata of a compressed index.
+type manifest struct {
+	Version  int
+	NumDocs  int
+	NumTerms int
+	Shards   int
+	RawBytes int64
+}
+
+// WriteDir serializes a compressed index built from x into dir.
+func WriteDir(x *index.Index, shards int, dir string) error {
+	// Build in memory (cheap store: no charges), then dump.
+	ci, err := FromIndex(x, shards, iomodel.RAMConfig())
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cindex: creating %s: %w", dir, err)
+	}
+	m := manifest{
+		Version:  formatVersion,
+		NumDocs:  ci.numDocs,
+		NumTerms: len(ci.terms),
+		Shards:   ci.shards,
+		RawBytes: ci.rawBytes,
+	}
+	mb, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+
+	var dirBuf []byte
+	u32 := func(v uint32) { dirBuf = binary.LittleEndian.AppendUint32(dirBuf, v) }
+	u64 := func(v uint64) { dirBuf = binary.LittleEndian.AppendUint64(dirBuf, v) }
+	putDoc := func(b docBlockMeta) {
+		u64(uint64(b.off))
+		u32(uint32(b.byteLen))
+		u32(uint32(b.count))
+		u32(uint32(b.base))
+		u32(uint32(b.last))
+		u32(uint32(b.max))
+	}
+	putImp := func(b impBlockMeta) {
+		u64(uint64(b.off))
+		u32(uint32(b.byteLen))
+		u32(uint32(b.count))
+		u32(uint32(b.ceil))
+		u32(uint32(b.lastSc))
+	}
+	for _, tm := range ci.terms {
+		u32(uint32(tm.df))
+		u32(uint32(tm.max))
+		u32(uint32(len(tm.docBlocks)))
+		u32(uint32(len(tm.impBlocks)))
+		for _, b := range tm.docBlocks {
+			putDoc(b)
+		}
+		for _, b := range tm.impBlocks {
+			putImp(b)
+		}
+		for s := 0; s < ci.shards; s++ {
+			u32(uint32(len(tm.shards[s])))
+			for _, b := range tm.shards[s] {
+				putImp(b)
+			}
+		}
+	}
+
+	postFile, err := ci.store.Lookup(PostingsFile)
+	if err != nil {
+		return err
+	}
+	region := ci.store.RawBytesOf(postFile)
+
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{{ManifestFile, mb}, {DirFile, dirBuf}, {PostingsFile, region}} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			return fmt.Errorf("cindex: writing %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+// OpenDir loads a compressed index directory into a charged store.
+func OpenDir(dir string, cfg iomodel.Config) (*Index, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("cindex: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("cindex: parsing manifest: %w", err)
+	}
+	if m.Version != formatVersion {
+		return nil, fmt.Errorf("cindex: format version %d, want %d", m.Version, formatVersion)
+	}
+	dirBuf, err := os.ReadFile(filepath.Join(dir, DirFile))
+	if err != nil {
+		return nil, fmt.Errorf("cindex: %w", err)
+	}
+	region, err := os.ReadFile(filepath.Join(dir, PostingsFile))
+	if err != nil {
+		return nil, fmt.Errorf("cindex: %w", err)
+	}
+
+	ci := &Index{
+		numDocs:  m.NumDocs,
+		shards:   m.Shards,
+		terms:    make([]termMeta, m.NumTerms),
+		rawBytes: m.RawBytes,
+	}
+	pos := 0
+	need := func(n int) error {
+		if pos+n > len(dirBuf) {
+			return fmt.Errorf("cindex: truncated directory at offset %d", pos)
+		}
+		return nil
+	}
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(dirBuf[pos:])
+		pos += 4
+		return v
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(dirBuf[pos:])
+		pos += 8
+		return v
+	}
+	for t := 0; t < m.NumTerms; t++ {
+		if err := need(16); err != nil {
+			return nil, err
+		}
+		tm := termMeta{}
+		tm.df = int(u32())
+		tm.max = model.Score(u32())
+		nDoc := int(u32())
+		nImp := int(u32())
+		if err := need(nDoc*docMetaSize + nImp*impMetaSize); err != nil {
+			return nil, err
+		}
+		tm.docBlocks = make([]docBlockMeta, nDoc)
+		for i := range tm.docBlocks {
+			tm.docBlocks[i] = docBlockMeta{
+				off:     int64(u64()),
+				byteLen: int32(u32()),
+				count:   int32(u32()),
+				base:    model.DocID(u32()),
+				last:    model.DocID(u32()),
+				max:     model.Score(u32()),
+			}
+		}
+		tm.impBlocks = make([]impBlockMeta, nImp)
+		for i := range tm.impBlocks {
+			tm.impBlocks[i] = impBlockMeta{
+				off:     int64(u64()),
+				byteLen: int32(u32()),
+				count:   int32(u32()),
+				ceil:    model.Score(u32()),
+				lastSc:  model.Score(u32()),
+			}
+		}
+		tm.shards = make([][]impBlockMeta, m.Shards)
+		for s := 0; s < m.Shards; s++ {
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			n := int(u32())
+			if err := need(n * impMetaSize); err != nil {
+				return nil, err
+			}
+			tm.shards[s] = make([]impBlockMeta, n)
+			for i := range tm.shards[s] {
+				tm.shards[s][i] = impBlockMeta{
+					off:     int64(u64()),
+					byteLen: int32(u32()),
+					count:   int32(u32()),
+					ceil:    model.Score(u32()),
+					lastSc:  model.Score(u32()),
+				}
+			}
+		}
+		ci.terms[t] = tm
+	}
+	if pos != len(dirBuf) {
+		return nil, fmt.Errorf("cindex: %d trailing directory bytes", len(dirBuf)-pos)
+	}
+
+	ci.store = iomodel.NewStore(cfg)
+	ci.postFile = ci.store.AddFile(PostingsFile, region)
+	return ci, nil
+}

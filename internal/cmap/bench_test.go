@@ -1,0 +1,62 @@
+package cmap
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sparta/internal/model"
+)
+
+// Micro-benchmarks behind §4.3's locking claims: bucket-granular
+// stripes vs a single lock under concurrent GetOrCreate/Get mixes.
+
+func benchMap(b *testing.B, shards int, writeFrac int) {
+	m := NewWithShards(shards, 1<<16)
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			id := model.DocID(ctr.Add(1) % 100_000)
+			if i%100 < writeFrac {
+				m.GetOrCreate(id, func() *DocState { return NewDocState(id, 8) })
+			} else {
+				m.Get(id)
+			}
+		}
+	})
+}
+
+func BenchmarkMapStripes(b *testing.B) {
+	for _, shards := range []int{1, 4, 64} {
+		for _, wf := range []int{5, 50} {
+			b.Run(fmt.Sprintf("shards=%d/writes=%d%%", shards, wf), func(b *testing.B) {
+				benchMap(b, shards, wf)
+			})
+		}
+	}
+}
+
+func BenchmarkDocStateSetScore(b *testing.B) {
+	d := NewDocState(1, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.SetScore(i%12, model.Score(i+1))
+	}
+}
+
+func BenchmarkDocStateUB(b *testing.B) {
+	d := NewDocState(1, 12)
+	for i := 0; i < 6; i++ {
+		d.SetScore(i, model.Score(100+i))
+	}
+	ub := make([]model.Score, 12)
+	for i := range ub {
+		ub[i] = 500
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.UB(ub)
+	}
+}

@@ -1,0 +1,159 @@
+// Package codec implements posting-list compression: group-varint-style
+// byte-aligned varints over delta-encoded document ids (document order)
+// or delta-encoded scores (impact order).
+//
+// The paper deliberately stores its indexes uncompressed to "crystallize
+// the comparison among the core algorithms", citing evidence that with
+// state-of-the-art codecs "the impact of decompression on end-to-end
+// performance is marginal (e.g., up to 6% with QMX-D4 compression)"
+// (§5). This package — and the compressed index in package cindex —
+// exists to *check that claim within the reproduction*: the
+// BenchmarkCompressionImpact benchmark runs the same queries over both
+// index forms and reports the latency delta alongside the size ratio.
+//
+// Encoding. A posting is a (doc id, score) pair of uint32s. In document
+// order, ids strictly increase, so ids are delta-encoded (first delta
+// is from the block's base) and scores stored raw; in impact order,
+// scores never increase, so scores are delta-encoded downward and ids
+// stored raw. All values are LEB128 varints. Typical web posting lists
+// compress 2–3x, matching what byte-aligned codecs achieve in practice.
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"sparta/internal/model"
+)
+
+// ErrCorrupt reports malformed compressed data.
+var ErrCorrupt = errors.New("codec: corrupt compressed postings")
+
+// maxVarint32Len is the worst-case encoded size of a uint32.
+const maxVarint32Len = 5
+
+// putUvarint32 appends v as a LEB128 varint.
+func putUvarint32(buf []byte, v uint32) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// uvarint32 decodes a varint at buf[pos:], returning the value and the
+// next position, or pos < 0 on corruption.
+func uvarint32(buf []byte, pos int) (uint32, int) {
+	var v uint32
+	var shift uint
+	for i := 0; i < maxVarint32Len; i++ {
+		if pos >= len(buf) {
+			return 0, -1
+		}
+		b := buf[pos]
+		pos++
+		v |= uint32(b&0x7f) << shift
+		if b < 0x80 {
+			return v, pos
+		}
+		shift += 7
+	}
+	return 0, -1
+}
+
+// EncodeDocBlock compresses a doc-ordered block of postings. base is
+// the id immediately before the block (the previous block's last doc,
+// or 0 for the first block); ids must strictly increase from it.
+func EncodeDocBlock(base model.DocID, block []model.Posting) ([]byte, error) {
+	buf := make([]byte, 0, len(block)*4)
+	prev := uint32(base)
+	for i, p := range block {
+		doc := uint32(p.Doc)
+		if i == 0 && doc < prev {
+			return nil, fmt.Errorf("codec: block starts at doc %d before base %d", doc, prev)
+		}
+		if i > 0 && doc <= prev {
+			return nil, fmt.Errorf("codec: doc ids not strictly increasing at %d", i)
+		}
+		buf = putUvarint32(buf, doc-prev)
+		buf = putUvarint32(buf, uint32(p.Score))
+		prev = doc
+	}
+	return buf, nil
+}
+
+// DecodeDocBlock decompresses a doc-ordered block of n postings into
+// out (reused if big enough).
+func DecodeDocBlock(base model.DocID, buf []byte, n int, out []model.Posting) ([]model.Posting, error) {
+	if cap(out) < n {
+		out = make([]model.Posting, n)
+	}
+	out = out[:n]
+	pos := 0
+	prev := uint32(base)
+	for i := 0; i < n; i++ {
+		d, next := uvarint32(buf, pos)
+		if next < 0 {
+			return nil, ErrCorrupt
+		}
+		s, next2 := uvarint32(buf, next)
+		if next2 < 0 {
+			return nil, ErrCorrupt
+		}
+		pos = next2
+		prev += d
+		out[i] = model.Posting{Doc: model.DocID(prev), Score: model.Score(s)}
+	}
+	if pos != len(buf) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// EncodeImpactBlock compresses an impact-ordered block. ceil is the
+// score bound entering the block (the previous block's last score, or
+// the term max for the first block); scores must not increase.
+func EncodeImpactBlock(ceil model.Score, block []model.Posting) ([]byte, error) {
+	buf := make([]byte, 0, len(block)*4)
+	prev := uint32(ceil)
+	for i, p := range block {
+		s := uint32(p.Score)
+		if s > prev {
+			return nil, fmt.Errorf("codec: scores increase at %d (%d > %d)", i, s, prev)
+		}
+		buf = putUvarint32(buf, prev-s)
+		buf = putUvarint32(buf, uint32(p.Doc))
+		prev = s
+	}
+	return buf, nil
+}
+
+// DecodeImpactBlock decompresses an impact-ordered block of n postings.
+func DecodeImpactBlock(ceil model.Score, buf []byte, n int, out []model.Posting) ([]model.Posting, error) {
+	if cap(out) < n {
+		out = make([]model.Posting, n)
+	}
+	out = out[:n]
+	pos := 0
+	prev := uint32(ceil)
+	for i := 0; i < n; i++ {
+		d, next := uvarint32(buf, pos)
+		if next < 0 {
+			return nil, ErrCorrupt
+		}
+		doc, next2 := uvarint32(buf, next)
+		if next2 < 0 {
+			return nil, ErrCorrupt
+		}
+		pos = next2
+		if d > prev {
+			return nil, ErrCorrupt
+		}
+		prev -= d
+		out[i] = model.Posting{Doc: model.DocID(doc), Score: model.Score(prev)}
+	}
+	if pos != len(buf) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package codec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sparta/internal/model"
+)
+
+func docBlock(rng *rand.Rand, n int) []model.Posting {
+	ids := make(map[uint32]bool)
+	for len(ids) < n {
+		ids[rng.Uint32()%1_000_000+1] = true
+	}
+	out := make([]model.Posting, 0, n)
+	for id := range ids {
+		out = append(out, model.Posting{Doc: model.DocID(id), Score: model.Score(rng.Uint32() % 50_000_000)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+func TestDocBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		block := docBlock(rng, n)
+		buf, err := EncodeDocBlock(0, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDocBlock(0, buf, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range block {
+			if got[i] != block[i] {
+				t.Fatalf("trial %d posting %d: %+v != %+v", trial, i, got[i], block[i])
+			}
+		}
+	}
+}
+
+func TestDocBlockWithBase(t *testing.T) {
+	block := []model.Posting{{Doc: 100, Score: 7}, {Doc: 105, Score: 3}}
+	buf, err := EncodeDocBlock(99, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDocBlock(99, buf, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Doc != 100 || got[1].Doc != 105 {
+		t.Errorf("got %v", got)
+	}
+	// Wrong base shifts everything: detected only by the caller, but
+	// must not error.
+	got2, err := DecodeDocBlock(0, buf, 2, nil)
+	if err != nil || got2[0].Doc != 1 {
+		t.Errorf("base-0 decode: %v, %v", got2, err)
+	}
+}
+
+func TestDocBlockRejectsUnsorted(t *testing.T) {
+	if _, err := EncodeDocBlock(0, []model.Posting{{Doc: 5, Score: 1}, {Doc: 5, Score: 2}}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := EncodeDocBlock(10, []model.Posting{{Doc: 5, Score: 1}}); err == nil {
+		t.Error("doc before base accepted")
+	}
+}
+
+func TestImpactBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		block := make([]model.Posting, n)
+		score := model.Score(rng.Uint32()%50_000_000 + uint32(n))
+		for i := range block {
+			block[i] = model.Posting{Doc: model.DocID(rng.Uint32() % 1_000_000), Score: score}
+			if rng.Intn(2) == 0 {
+				score -= model.Score(rng.Intn(1000))
+			}
+			if score < 0 {
+				score = 0
+			}
+		}
+		ceil := block[0].Score
+		buf, err := EncodeImpactBlock(ceil, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeImpactBlock(ceil, buf, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range block {
+			if got[i] != block[i] {
+				t.Fatalf("trial %d posting %d: %+v != %+v", trial, i, got[i], block[i])
+			}
+		}
+	}
+}
+
+func TestImpactBlockRejectsIncreasing(t *testing.T) {
+	if _, err := EncodeImpactBlock(10, []model.Posting{{Doc: 1, Score: 20}}); err == nil {
+		t.Error("score above ceiling accepted")
+	}
+	if _, err := EncodeImpactBlock(30, []model.Posting{
+		{Doc: 1, Score: 20}, {Doc: 2, Score: 25},
+	}); err == nil {
+		t.Error("increasing scores accepted")
+	}
+}
+
+func TestDecodeCorruptData(t *testing.T) {
+	// Truncated buffer.
+	block := []model.Posting{{Doc: 1, Score: 1 << 30}, {Doc: 2, Score: 1 << 29}}
+	buf, _ := EncodeDocBlock(0, block)
+	if _, err := DecodeDocBlock(0, buf[:len(buf)-1], 2, nil); err == nil {
+		t.Error("truncated doc block accepted")
+	}
+	// Trailing garbage.
+	if _, err := DecodeDocBlock(0, append(buf, 0), 2, nil); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	ibuf, _ := EncodeImpactBlock(1<<30, block)
+	if _, err := DecodeImpactBlock(1<<30, ibuf[:len(ibuf)-1], 2, nil); err == nil {
+		t.Error("truncated impact block accepted")
+	}
+	// All-continuation bytes never terminate a varint.
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeDocBlock(0, bad, 1, nil); err == nil {
+		t.Error("overlong varint accepted")
+	}
+}
+
+func TestVarintRoundTripProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var buf []byte
+		for _, v := range vals {
+			buf = putUvarint32(buf, v)
+		}
+		pos := 0
+		for _, v := range vals {
+			got, next := uvarint32(buf, pos)
+			if next < 0 || got != v {
+				return false
+			}
+			pos = next
+		}
+		return pos == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionRatioOnDenseLists(t *testing.T) {
+	// Dense doc-ordered lists (small deltas) must compress well below
+	// the fixed 8-byte encoding.
+	var block []model.Posting
+	for i := 0; i < 1000; i++ {
+		block = append(block, model.Posting{
+			Doc:   model.DocID(i*7 + 1),
+			Score: model.Score(1_000_000 + i%1000),
+		})
+	}
+	buf, err := EncodeDocBlock(0, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := len(block) * 8
+	if len(buf)*2 > raw {
+		t.Errorf("compressed %d bytes vs raw %d; expected at least 2x", len(buf), raw)
+	}
+}
+
+func TestDecodeReusesBuffer(t *testing.T) {
+	block := docBlock(rand.New(rand.NewSource(3)), 64)
+	buf, _ := EncodeDocBlock(0, block)
+	scratch := make([]model.Posting, 0, 128)
+	out, err := DecodeDocBlock(0, buf, 64, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &scratch[:1][0] {
+		t.Error("decode did not reuse the provided buffer")
+	}
+}
+
+func FuzzDecodeDocBlock(f *testing.F) {
+	valid, _ := EncodeDocBlock(0, []model.Posting{{Doc: 3, Score: 9}, {Doc: 8, Score: 2}})
+	f.Add(valid, 2)
+	f.Add([]byte{0xff, 0x01}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1024 {
+			return
+		}
+		// Must never panic; errors are fine.
+		out, err := DecodeDocBlock(0, data, n, nil)
+		if err == nil && len(out) != n {
+			t.Fatalf("no error but %d postings, want %d", len(out), n)
+		}
+	})
+}
+
+func FuzzDecodeImpactBlock(f *testing.F) {
+	valid, _ := EncodeImpactBlock(100, []model.Posting{{Doc: 3, Score: 90}, {Doc: 8, Score: 20}})
+	f.Add(valid, 2)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1024 {
+			return
+		}
+		out, err := DecodeImpactBlock(1<<31, data, n, nil)
+		if err == nil && len(out) != n {
+			t.Fatalf("no error but %d postings, want %d", len(out), n)
+		}
+	})
+}

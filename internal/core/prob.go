@@ -1,0 +1,79 @@
+// Probabilistic pruning — the future-work extension the paper sketches
+// in §6: "Theobald et al. introduced an approximate TA algorithm based
+// on probabilistic arguments: when scanning the posting lists in
+// descending order of local scores, various forms of derived bounds
+// are employed to predict when it is safe, with high probability, to
+// skip candidate items … Applying similar probabilistic pruning rules
+// for Sparta may prove beneficial and is left for future work."
+//
+// This file supplies those rules. The deterministic algorithm treats a
+// candidate's unseen term scores as worst-case: each contributes its
+// full per-term bound UB[i]. The probabilistic variant instead treats
+// the unseen score of term i as a random variable supported on
+// [0, UB[i]] — by construction every remaining posting of list i lies
+// there, and impact-ordered tails are bottom-heavy, so the uniform
+// assumption is itself conservative. A candidate is pruned once
+//
+//	P( LB(D) + Σ_{i unseen} S_i  >  Θ ) < ε
+//
+// under a normal approximation of the Irwin–Hall sum (mean Σ UB[i]/2,
+// variance Σ UB[i]²/12). ε = 0 recovers the safe algorithm; the
+// evaluation knob is Config.ProbEpsilon, exercised by the
+// Sparta-prob benchmarks and tests.
+package core
+
+import (
+	"math"
+
+	"sparta/internal/cmap"
+	"sparta/internal/model"
+)
+
+// passProbability estimates P(LB + Σ unseen > theta) for a candidate
+// with the given known lower bound and the current bounds of its
+// unseen terms.
+func passProbability(lb, theta model.Score, unseen []model.Score) float64 {
+	if lb > theta {
+		return 1
+	}
+	var mean, variance float64
+	for _, ub := range unseen {
+		u := float64(ub)
+		mean += u / 2
+		variance += u * u / 12
+	}
+	need := float64(theta-lb) - mean
+	if variance == 0 {
+		// No unseen randomness: deterministic comparison (beating Θ
+		// requires a strictly greater score).
+		if need < 0 {
+			return 1
+		}
+		return 0
+	}
+	// P(X > theta-lb) for X ~ N(mean, variance).
+	z := need / math.Sqrt(variance)
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// probRelevant reports whether candidate d must be retained given the
+// current Θ, per-term bounds and pruning aggressiveness epsilon.
+// epsilon <= 0 is the deterministic rule UB(D) > Θ.
+func probRelevant(d *cmap.DocState, theta model.Score, ub []model.Score, epsilon float64, scratch []model.Score) bool {
+	if epsilon <= 0 {
+		return d.UB(ub) > theta
+	}
+	lb := model.Score(0)
+	unseen := scratch[:0]
+	for i := 0; i < d.NumTerms(); i++ {
+		if s := d.ScoreAt(i); s > 0 {
+			lb += s
+		} else if ub[i] > 0 {
+			unseen = append(unseen, ub[i])
+		}
+	}
+	if lb > theta {
+		return true
+	}
+	return passProbability(lb, theta, unseen) >= epsilon
+}

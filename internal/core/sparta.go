@@ -1,0 +1,484 @@
+// Package core implements Sparta — the Scalable PARallel Threshold
+// Algorithm, the paper's contribution (§4). Sparta parallelizes the
+// NRA variant of the Threshold Algorithm with three locality /
+// synchronization optimizations that the evaluation shows are each
+// essential (§5.3, pNRA vs Sparta):
+//
+//   - Deferred upper-bound publication: a worker updates its term's
+//     UB entry once per traversed segment, not per posting, so other
+//     workers' cached copies are invalidated rarely (§4.3).
+//   - Background cleaning: once no new candidate can enter the top-k
+//     (Equation 1 holds), a cleaner task repeatedly rebuilds the shared
+//     docMap without dead candidates and installs it with a single
+//     pointer swing, keeping the map read-mostly and shrinking (§4.2).
+//   - Per-term local replicas: when the shrinking docMap drops below
+//     Φ entries, each posting list gets a termMap — a local copy of
+//     just the candidates still missing that term's score — and its
+//     worker stops touching shared memory altogether (§4.3).
+//
+// The structure follows Algorithm 1: posting lists are traversed in
+// score order, split into segments scheduled through a shared job
+// queue; docHeap (guarded by one lock, with lazy lower-bound refresh
+// on insert) holds the current top-k; the cleaner also detects
+// termination — safely when |docMap| = |docHeap|, or after the heap
+// has been idle for Δ in the approximate configuration.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/cmap"
+	"sparta/internal/heap"
+	"sparta/internal/jobqueue"
+	"sparta/internal/membudget"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+	"sparta/internal/topk"
+)
+
+// Config toggles Sparta's individual optimizations for ablation
+// studies (DESIGN.md §4). The zero value is the paper's configuration.
+type Config struct {
+	// UBEveryPosting publishes the term upper bound after every
+	// posting instead of once per segment — undoing the deferred-UB
+	// optimization of §4.3 (this is the naive pNRA behaviour).
+	UBEveryPosting bool
+	// NoCleanerShrink keeps the cleaner's stopping detection but
+	// disables the docMap rebuild — undoing the background-cleaning
+	// optimization of §4.2 (the map then only grows, and the safe
+	// |docMap| = |docHeap| condition can fire only on exhaustion).
+	NoCleanerShrink bool
+	// SingleLockMap replaces the bucket-granular docMap locking of
+	// §4.3 with one global lock.
+	SingleLockMap bool
+	// ProbEpsilon enables the probabilistic pruning extension (§6
+	// future work, see prob.go): candidates whose probability of
+	// reaching Θ falls below it are pruned, and the growing phase ends
+	// once an unseen document's pass probability falls below it. Zero
+	// keeps the safe deterministic bounds.
+	ProbEpsilon float64
+}
+
+// mapShards returns the docMap stripe count for cfg.
+func (c Config) mapShards() int {
+	if c.SingleLockMap {
+		return 1
+	}
+	return cmap.DefaultShards
+}
+
+// Sparta is the algorithm bound to an index view.
+type Sparta struct {
+	view postings.View
+	cfg  Config
+}
+
+// New creates Sparta over view.
+func New(view postings.View) *Sparta { return &Sparta{view: view} }
+
+// NewWithConfig creates Sparta with some optimizations disabled, for
+// the ablation benchmarks.
+func NewWithConfig(view postings.View, cfg Config) *Sparta {
+	return &Sparta{view: view, cfg: cfg}
+}
+
+// Name implements topk.Algorithm.
+func (s *Sparta) Name() string { return "Sparta" }
+
+// Search implements topk.Algorithm. The exact configuration
+// (opts.Exact) corresponds to Δ = ∞ and is safe: it returns the true
+// top-k (§4.4).
+func (s *Sparta) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	opts = opts.WithDefaults()
+	r := newRun(s.view, q, opts, s.cfg)
+	return r.run()
+}
+
+// run holds one query evaluation's shared state (Table 1).
+type run struct {
+	view postings.View
+	q    model.Query
+	opts topk.Options
+	cfg  Config
+	m    int
+
+	cursors   []postings.ScoreCursor
+	ubs       *topk.UpperBounds
+	theta     atomic.Int64
+	ubStop    atomic.Bool
+	phase1    chan struct{} // closed when Eq. 1 holds or all lists end
+	phase1On  sync.Once
+	cleanerOn sync.Once
+
+	docMap   atomic.Pointer[cmap.Map]
+	termMaps []map[model.DocID]*cmap.DocState // nil => use global docMap
+
+	heapMu      sync.Mutex
+	docHeap     *heap.DocHeap
+	heapUpdTime atomic.Int64 // UnixNano of last heap insert
+
+	done   atomic.Bool
+	doneCh chan struct{}
+	doneOn sync.Once
+
+	errMu  sync.Mutex
+	runErr error
+
+	remaining atomic.Int64 // posting lists not yet exhausted
+	pool      *jobqueue.Pool
+
+	// statistics
+	nPostings   atomic.Int64
+	nInserts    atomic.Int64
+	nCleanings  atomic.Int64
+	peakDocs    atomic.Int64
+	mapBytes    atomic.Int64
+	stopReason  atomic.Value // string
+	ubBuf       []model.Score
+	cleanerBusy sync.Mutex // cleaner state is single-task; mutex documents it
+}
+
+func newRun(view postings.View, q model.Query, opts topk.Options, cfg Config) *run {
+	m := len(q)
+	r := &run{
+		view:     view,
+		q:        q,
+		opts:     opts,
+		cfg:      cfg,
+		m:        m,
+		cursors:  make([]postings.ScoreCursor, m),
+		termMaps: make([]map[model.DocID]*cmap.DocState, m),
+		docHeap:  heap.NewDoc(opts.K),
+		phase1:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	for i, t := range q {
+		r.cursors[i] = view.ScoreCursor(t)
+	}
+	r.ubs = topk.NewUpperBounds(topk.TermMaxima(view, q))
+	r.docMap.Store(cmap.NewWithShards(cfg.mapShards(), 4*opts.K))
+	r.heapUpdTime.Store(time.Now().UnixNano())
+	r.remaining.Store(int64(m))
+	return r
+}
+
+func (r *run) run() (model.TopK, topk.Stats, error) {
+	start := time.Now()
+	if r.opts.Probe != nil {
+		r.opts.Probe.Start()
+	}
+	if r.m == 0 {
+		return model.TopK{}, topk.Stats{StopReason: "empty", Duration: time.Since(start)}, nil
+	}
+
+	// Algorithm 1 lines 1–3: one PROCESSTERM job per term, up to m
+	// worker threads (fewer if the pool is smaller).
+	workers := r.opts.Threads
+	if workers > r.m {
+		workers = r.m
+	}
+	r.pool = jobqueue.New(workers)
+	for i := 0; i < r.m; i++ {
+		i := i
+		r.pool.Submit(func() { r.processTerm(i) })
+	}
+
+	// Lines 4–5 of Algorithm 1 have the main thread wait for UBStop and
+	// then enqueue the cleaner. Here the worker that latches UBStop (or
+	// exhausts the last list) enqueues it directly — semantically
+	// identical, but it keeps the cleaner's start off the main
+	// goroutine's wakeup latency, which matters when workers are
+	// CPU-bound on an oversubscribed machine.
+	<-r.phase1
+
+	// Line 6: wait until done.
+	<-r.doneCh
+	r.pool.Close()
+
+	r.opts.Budget.Release(r.mapBytes.Load())
+
+	var st topk.Stats
+	st.Postings = r.nPostings.Load()
+	st.HeapInserts = r.nInserts.Load()
+	st.Cleanings = r.nCleanings.Load()
+	st.CandidatesPeak = r.peakDocs.Load()
+	if v := r.stopReason.Load(); v != nil {
+		st.StopReason = v.(string)
+	}
+	st.Duration = time.Since(start)
+
+	r.errMu.Lock()
+	err := r.runErr
+	r.errMu.Unlock()
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Line 7: return the heap contents.
+	r.heapMu.Lock()
+	res := r.docHeap.Results()
+	r.heapMu.Unlock()
+	if r.opts.Probe != nil {
+		r.opts.Probe.Final(res)
+	}
+	return res, st, nil
+}
+
+// signalPhase1 unblocks the main thread's line-4 wait and starts the
+// cleaner task (line 5).
+func (r *run) signalPhase1() {
+	r.phase1On.Do(func() { close(r.phase1) })
+	if !r.done.Load() {
+		r.cleanerOn.Do(func() {
+			r.pool.Submit(func() { r.cleaner() })
+		})
+	}
+}
+
+// finish sets done and wakes everyone. The first caller's reason wins.
+func (r *run) finish(reason string) {
+	if r.done.CompareAndSwap(false, true) {
+		r.stopReason.Store(reason)
+		r.signalPhase1()
+		r.doneOn.Do(func() { close(r.doneCh) })
+	}
+}
+
+// fail aborts the query with err.
+func (r *run) fail(err error) {
+	r.errMu.Lock()
+	if r.runErr == nil {
+		r.runErr = err
+	}
+	r.errMu.Unlock()
+	r.finish("oom")
+}
+
+// checkUBStop evaluates Equation 1 (Σ UB[i] <= Θ) and, once it holds,
+// latches ubStop and unblocks phase 2. Called after UB segment updates
+// and after Θ increases.
+func (r *run) checkUBStop() {
+	if r.ubStop.Load() {
+		return
+	}
+	theta := model.Score(r.theta.Load())
+	if theta <= 0 {
+		// Θ = 0 means the heap is not full yet; with strictly positive
+		// scores Eq. 1 can only hold once every list is exhausted,
+		// which signalPhase1 handles via the remaining counter.
+		return
+	}
+	stop := r.ubs.Sum() <= theta
+	if !stop && r.cfg.ProbEpsilon > 0 {
+		// Probabilistic variant: end the growing phase once a brand-new
+		// document (no known scores) is unlikely to reach Θ.
+		buf := r.ubs.Snapshot(nil)
+		stop = passProbability(0, theta, buf) < r.cfg.ProbEpsilon
+	}
+	if stop {
+		if r.ubStop.CompareAndSwap(false, true) {
+			r.signalPhase1()
+		}
+	}
+}
+
+// processTerm is Algorithm 1's PROCESSTERM(i): traverse the next
+// segment of term i's posting list, then re-enqueue itself (line 25).
+func (r *run) processTerm(i int) {
+	if r.done.Load() {
+		return
+	}
+	// Lines 9–12: once the map is shrinking and small, clone the
+	// entries still missing this term's score into a local replica and
+	// stop touching shared memory.
+	if r.termMaps[i] == nil && r.ubStop.Load() {
+		if dm := r.docMap.Load(); dm.Len() < r.opts.Phi {
+			tm := make(map[model.DocID]*cmap.DocState, dm.Len())
+			dm.Range(func(d *cmap.DocState) bool {
+				if d.ScoreAt(i) == 0 {
+					tm[d.ID] = d
+				}
+				return true
+			})
+			r.termMaps[i] = tm
+		}
+	}
+
+	c := r.cursors[i]
+	var last model.Score
+	for j := 0; j < r.opts.SegSize; j++ {
+		if r.done.Load() {
+			return // line 14
+		}
+		if !c.Next() {
+			// List exhausted: no unseen postings remain, so this
+			// term's bound drops to zero.
+			r.ubs.Set(i, 0)
+			r.checkUBStop()
+			if r.remaining.Add(-1) == 0 {
+				r.signalPhase1()
+			}
+			return
+		}
+		r.nPostings.Add(1)
+		doc, score := c.Doc(), c.Score() // line 15
+		last = score
+		if r.cfg.UBEveryPosting {
+			r.ubs.Set(i, score) // ablation: per-posting publication
+		}
+
+		// Line 16: resolve the candidate through the term's map.
+		var d *cmap.DocState
+		if tm := r.termMaps[i]; tm != nil {
+			d = tm[doc]
+			if d == nil {
+				// Either already scored for this term or no longer a
+				// candidate; both mean skip.
+				continue
+			}
+		} else {
+			dm := r.docMap.Load()
+			d = dm.Get(doc)
+			if d == nil {
+				if r.ubStop.Load() {
+					continue // line 21: hash complete, doc irrelevant
+				}
+				created := false
+				d, created = dm.GetOrCreate(doc, func() *cmap.DocState {
+					if err := r.opts.Budget.Charge(cmap.DocStateBytes); err != nil {
+						return nil
+					}
+					return cmap.NewDocState(doc, r.m)
+				})
+				if d == nil {
+					r.fail(membudget.ErrMemoryBudget)
+					return
+				}
+				if created {
+					r.mapBytes.Add(cmap.DocStateBytes)
+					if n := int64(dm.Len()); n > r.peakDocs.Load() {
+						r.peakDocs.Store(n)
+					}
+				}
+			}
+		}
+
+		d.SetScore(i, score) // line 22
+		if d.LB() > model.Score(r.theta.Load()) {
+			r.updateHeap(d) // line 23
+		}
+	}
+
+	// Line 24: deferred UB publication — once per segment, not per
+	// posting, so readers' cache lines are invalidated rarely.
+	r.ubs.Set(i, last)
+	r.checkUBStop()
+
+	// Line 25: schedule the next segment of the same list.
+	r.pool.Submit(func() { r.processTerm(i) })
+}
+
+// updateHeap is Algorithm 1's UPDATE_HEAP: all heap and Θ updates are
+// serialized under one lock (§4.3), with the lazy lower-bound refresh
+// inside DocHeap.UpdateInsert.
+func (r *run) updateHeap(d *cmap.DocState) {
+	r.heapMu.Lock()
+	if !r.docHeap.Contains(d) {
+		_, theta := r.docHeap.UpdateInsert(d)
+		r.theta.Store(int64(theta))
+		r.heapUpdTime.Store(time.Now().UnixNano())
+		r.nInserts.Add(1)
+		if r.opts.Probe != nil && r.opts.Probe.ShouldObserve() {
+			r.opts.Probe.Observe(r.docHeap.Results())
+		}
+		r.heapMu.Unlock()
+		r.checkUBStop()
+		return
+	}
+	r.heapMu.Unlock()
+}
+
+// cleaner is Algorithm 1's CLEANER task. Each invocation rebuilds the
+// docMap without entries that can no longer reach the top-k, installs
+// the copy with a single pointer swing, evaluates the stopping
+// conditions, and re-enqueues itself.
+func (r *run) cleaner() {
+	if r.done.Load() {
+		return
+	}
+	r.cleanerBusy.Lock()
+	defer r.cleanerBusy.Unlock()
+	r.nCleanings.Add(1)
+
+	old := r.docMap.Load()
+	theta := model.Score(r.theta.Load())
+	r.ubBuf = r.ubs.Snapshot(r.ubBuf)
+
+	// Heap membership must be read under the heap lock; snapshot it.
+	r.heapMu.Lock()
+	inHeap := make(map[*cmap.DocState]bool, r.docHeap.Len())
+	for _, d := range r.docHeap.Items() {
+		inHeap[d] = true
+	}
+	heapLen := r.docHeap.Len()
+	r.heapMu.Unlock()
+
+	// Lines 41–45. The paper guards the rebuild with |docMap| > Φ; we
+	// rebuild on every pass — below Φ the pass is cheap, and continuing
+	// to clean is what lets the safe stopping condition
+	// |docMap| = |docHeap| eventually hold.
+	tmp := old
+	if !r.cfg.NoCleanerShrink {
+		tmp = cmap.NewWithShards(r.cfg.mapShards(), heapLen*2)
+		scratch := make([]model.Score, r.m)
+		old.Range(func(d *cmap.DocState) bool {
+			if inHeap[d] || probRelevant(d, theta, r.ubBuf, r.cfg.ProbEpsilon, scratch) {
+				tmp.Put(d) // line 44: still relevant
+			}
+			return true
+		})
+		if dropped := old.Len() - tmp.Len(); dropped > 0 {
+			bytes := int64(dropped) * cmap.DocStateBytes
+			r.opts.Budget.Release(bytes)
+			r.mapBytes.Add(-bytes)
+		}
+		r.docMap.Store(tmp) // line 45: single pointer swing
+	}
+
+	// Lines 46–47: stopping conditions.
+	if tmp.Len() == heapLen {
+		if r.cfg.ProbEpsilon > 0 {
+			r.finish("prob") // pruned probabilistically: not safe
+		} else {
+			r.finish("safe")
+		}
+		return
+	}
+	if r.remaining.Load() == 0 {
+		// Every posting list is exhausted: all bounds are final and the
+		// heap already holds the exact top-k. (Reached when the data
+		// offers no early stop, and always under the NoCleanerShrink
+		// ablation, whose docMap cannot shrink to heap size.)
+		r.finish("exhausted")
+		return
+	}
+	if !r.opts.Exact && r.opts.Delta > 0 {
+		idle := time.Since(time.Unix(0, r.heapUpdTime.Load()))
+		if idle >= r.opts.Delta {
+			r.finish("delta")
+			return
+		}
+	}
+	// Line 48: go around again. On the paper's 12-core box the cleaner
+	// occupies a spare hardware thread; on an oversubscribed pool an
+	// immediate requeue would spin through the queue and starve the
+	// workers, so passes that made no progress yield briefly first.
+	if tmp.Len() == old.Len() {
+		time.Sleep(50 * time.Microsecond)
+	}
+	r.pool.Submit(func() { r.cleaner() })
+}
+
+var _ topk.Algorithm = (*Sparta)(nil)

@@ -1,0 +1,192 @@
+// Package corpus synthesizes web-scale document collections with the
+// statistical properties that drive top-k retrieval performance:
+// Zipfian term popularity and realistic document lengths.
+//
+// The paper evaluates on ClueWeb09B (50M documents) and on ClueWebX10,
+// a 10x synthetic scale-up "generated as follows: each document is a
+// bag of words drawn from the original ClueWeb dictionary (the order is
+// immaterial for our document scoring function) so that the number of
+// occurrences of a term t_i with an original global frequency rate of
+// F(t_i) is drawn from a geometric distribution with a stopping
+// probability of 1 - F(t_i)" (§5.1). Neither ClueWeb nor the AOL query
+// log is redistributable here, so this package generates the *base*
+// corpus with the same recipe the paper uses for the scale-up: a
+// Zipfian dictionary plays the role of the ClueWeb dictionary, and
+// documents are bags of words drawn from it. Scaling by 10x is then a
+// matter of generating 10x more documents from the same dictionary,
+// exactly preserving the term-frequency distribution — the property the
+// paper's own construction preserves.
+//
+// Documents are represented directly as (term, count) bags; document
+// text never materializes, which is what lets a 500K-document corpus
+// generate in seconds. Generation is deterministic given a Spec.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sparta/internal/model"
+	"sparta/internal/xrand"
+)
+
+// Spec describes a synthetic corpus. The zero value is not usable; use
+// DefaultSpec or ScaledSpec.
+type Spec struct {
+	// Name labels the corpus in reports ("CW", "CWX10").
+	Name string
+	// Docs is the number of documents.
+	Docs int
+	// Vocab is the dictionary size.
+	Vocab int
+	// ZipfS is the Zipf exponent of term popularity (~1.0 for web text).
+	ZipfS float64
+	// MeanDocLen is the mean document length in tokens. Individual
+	// lengths are geometric around the mean, reflecting the heavy right
+	// tail of web document lengths.
+	MeanDocLen int
+	// MinDocLen floors document lengths so no document is empty.
+	MinDocLen int
+	// QualitySigma is the log-normal spread of the per-document static
+	// quality prior that multiplies all of a document's term scores at
+	// indexing time. Web rankers combine query-dependent scores with
+	// such document priors (PageRank, URL depth, spam scores …), and
+	// the resulting cross-term score skew — the same documents scoring
+	// high in every list they appear in — is precisely what gives
+	// score-order algorithms their early-stopping power on real
+	// corpora. Zero disables the prior (flat quality).
+	QualitySigma float64
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// DefaultSpec returns the reproduction's base-scale corpus ("CW"): the
+// stand-in for ClueWeb09B at 1/1000 of its document count.
+func DefaultSpec() Spec {
+	return Spec{
+		Name:         "CW",
+		Docs:         50_000,
+		Vocab:        20_000,
+		ZipfS:        1.0,
+		MeanDocLen:   120,
+		MinDocLen:    8,
+		QualitySigma: 1.0,
+		Seed:         20_200_222, // PPoPP '20 opening day
+	}
+}
+
+// ScaledSpec returns spec scaled by factor in document count, with the
+// same dictionary and term-frequency distribution — the paper's
+// ClueWebX10 construction. The name gains an "X<factor>" suffix.
+func ScaledSpec(base Spec, factor int) Spec {
+	s := base
+	s.Docs = base.Docs * factor
+	s.Name = fmt.Sprintf("%sX%d", base.Name, factor)
+	return s
+}
+
+// TermCount is one entry of a document's bag of words.
+type TermCount struct {
+	Term  model.TermID
+	Count uint32
+}
+
+// Corpus generates documents on demand. It is safe for concurrent use:
+// each document's token stream is an independent fork of the root RNG.
+type Corpus struct {
+	Spec Spec
+
+	zipf     *xrand.Zipf
+	termProb []float64 // probability mass per term rank
+	docSeeds *xrand.RNG
+	seeds    []uint64 // per-document RNG seeds, precomputed for random access
+}
+
+// New builds the generator for spec. Construction is O(Vocab + Docs);
+// document materialization happens lazily in Doc.
+func New(spec Spec) *Corpus {
+	if spec.Docs <= 0 || spec.Vocab <= 0 {
+		panic("corpus: spec must have positive Docs and Vocab")
+	}
+	root := xrand.New(spec.Seed)
+	z := xrand.NewZipf(xrand.New(spec.Seed+1), spec.ZipfS, spec.Vocab)
+	probs := make([]float64, spec.Vocab)
+	for i := range probs {
+		probs[i] = z.Prob(i)
+	}
+	seeds := make([]uint64, spec.Docs)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	return &Corpus{Spec: spec, zipf: z, termProb: probs, seeds: seeds}
+}
+
+// NumDocs returns the corpus size.
+func (c *Corpus) NumDocs() int { return c.Spec.Docs }
+
+// Vocab returns the dictionary size.
+func (c *Corpus) Vocab() int { return c.Spec.Vocab }
+
+// TermProb returns the global frequency rate F(t) of a term — its
+// probability mass in the token distribution. Query generation biases
+// term selection by this rate.
+func (c *Corpus) TermProb(t model.TermID) float64 { return c.termProb[t] }
+
+// Doc materializes document id as a sorted (term, count) bag. The same
+// id always yields the same bag. Safe to call concurrently.
+func (c *Corpus) Doc(id model.DocID) []TermCount {
+	if int(id) >= c.Spec.Docs {
+		panic(fmt.Sprintf("corpus: doc %d out of range (%d docs)", id, c.Spec.Docs))
+	}
+	rng := xrand.New(c.seeds[id])
+	length := c.Spec.MinDocLen + rng.Geometric(geomP(c.Spec.MeanDocLen-c.Spec.MinDocLen))
+	// Draw tokens i.i.d. from the Zipfian term distribution. For the
+	// tiny per-term rates of a web dictionary, the resulting per-term
+	// occurrence counts are indistinguishable from the paper's per-term
+	// geometric draws (a geometric with success probability F(t) ≈ a
+	// Poisson with rate F(t) for F(t) << 1), while being O(length)
+	// instead of O(vocab) per document.
+	z := xrand.NewZipfShared(c.zipf, rng)
+	counts := make(map[int]uint32, length)
+	for i := 0; i < length; i++ {
+		counts[z.Next()]++
+	}
+	out := make([]TermCount, 0, len(counts))
+	for t, n := range counts {
+		out = append(out, TermCount{Term: model.TermID(t), Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}
+
+// DocQuality returns document id's static quality prior: a log-normal
+// multiplier exp(QualitySigma · N(0,1)), deterministic per document and
+// independent of the document's bag. 1.0 when QualitySigma is zero.
+func (c *Corpus) DocQuality(id model.DocID) float64 {
+	if c.Spec.QualitySigma == 0 {
+		return 1
+	}
+	rng := xrand.New(c.seeds[id] ^ 0x9a117e5_0c0ffee)
+	return math.Exp(c.Spec.QualitySigma * rng.Norm())
+}
+
+// DocLen returns the token length of document id (sum of counts),
+// without allocating the bag. Used by the index builder for scoring.
+func (c *Corpus) DocLen(id model.DocID) int {
+	n := 0
+	for _, tc := range c.Doc(id) {
+		n += int(tc.Count)
+	}
+	return n
+}
+
+// geomP converts a target mean of a geometric(success p, counting
+// successes before failure) to p: mean = p/(1-p) => p = mean/(mean+1).
+func geomP(mean int) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	m := float64(mean)
+	return m / (m + 1)
+}

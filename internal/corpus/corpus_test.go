@@ -1,0 +1,147 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"sparta/internal/model"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name:       "test",
+		Docs:       500,
+		Vocab:      200,
+		ZipfS:      1.0,
+		MeanDocLen: 40,
+		MinDocLen:  4,
+		Seed:       1,
+	}
+}
+
+func TestDocDeterminism(t *testing.T) {
+	c1 := New(smallSpec())
+	c2 := New(smallSpec())
+	for d := 0; d < 20; d++ {
+		a := c1.Doc(model.DocID(d))
+		b := c2.Doc(model.DocID(d))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("doc %d differs across identical corpora", d)
+		}
+	}
+	// Re-materializing from the same corpus is also stable.
+	if !reflect.DeepEqual(c1.Doc(7), c1.Doc(7)) {
+		t.Fatal("doc 7 not stable on repeated materialization")
+	}
+}
+
+func TestDocSortedUniqueTerms(t *testing.T) {
+	c := New(smallSpec())
+	for d := 0; d < 50; d++ {
+		bag := c.Doc(model.DocID(d))
+		for i := 1; i < len(bag); i++ {
+			if bag[i].Term <= bag[i-1].Term {
+				t.Fatalf("doc %d bag not strictly sorted at %d", d, i)
+			}
+		}
+		for _, tc := range bag {
+			if tc.Count == 0 {
+				t.Fatalf("doc %d has zero-count term %d", d, tc.Term)
+			}
+			if int(tc.Term) >= c.Vocab() {
+				t.Fatalf("doc %d term %d outside vocab", d, tc.Term)
+			}
+		}
+	}
+}
+
+func TestDocLenDistribution(t *testing.T) {
+	spec := smallSpec()
+	spec.Docs = 2000
+	c := New(spec)
+	sum := 0
+	for d := 0; d < c.NumDocs(); d++ {
+		l := c.DocLen(model.DocID(d))
+		if l < spec.MinDocLen {
+			t.Fatalf("doc %d length %d below MinDocLen %d", d, l, spec.MinDocLen)
+		}
+		sum += l
+	}
+	mean := float64(sum) / float64(c.NumDocs())
+	if mean < float64(spec.MeanDocLen)*0.85 || mean > float64(spec.MeanDocLen)*1.15 {
+		t.Errorf("mean doc length %v, want ~%d", mean, spec.MeanDocLen)
+	}
+}
+
+func TestTermPopularityZipfian(t *testing.T) {
+	spec := smallSpec()
+	spec.Docs = 3000
+	c := New(spec)
+	counts := make([]int, c.Vocab())
+	for d := 0; d < c.NumDocs(); d++ {
+		for _, tc := range c.Doc(model.DocID(d)) {
+			counts[tc.Term] += int(tc.Count)
+		}
+	}
+	// Term 0 must dominate; top term much more frequent than rank 20.
+	if counts[0] <= counts[20] {
+		t.Errorf("term 0 count %d not > term 20 count %d", counts[0], counts[20])
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("term0/term1 frequency ratio %v, want ~2 for Zipf s=1", ratio)
+	}
+}
+
+func TestTermProbSumsToOne(t *testing.T) {
+	c := New(smallSpec())
+	sum := 0.0
+	for i := 0; i < c.Vocab(); i++ {
+		sum += c.TermProb(model.TermID(i))
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("term probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestScaledSpecPreservesDistribution(t *testing.T) {
+	base := smallSpec()
+	scaled := ScaledSpec(base, 10)
+	if scaled.Docs != base.Docs*10 {
+		t.Errorf("scaled Docs = %d, want %d", scaled.Docs, base.Docs*10)
+	}
+	if scaled.Vocab != base.Vocab || scaled.ZipfS != base.ZipfS {
+		t.Error("scaling must not change the dictionary or exponent")
+	}
+	if scaled.Name != "testX10" {
+		t.Errorf("scaled Name = %q, want testX10", scaled.Name)
+	}
+	// Term probabilities are identical: same dictionary.
+	c1, c2 := New(base), New(scaled)
+	for i := 0; i < base.Vocab; i += 17 {
+		if c1.TermProb(model.TermID(i)) != c2.TermProb(model.TermID(i)) {
+			t.Fatalf("term %d probability differs after scaling", i)
+		}
+	}
+}
+
+func TestDocOutOfRangePanics(t *testing.T) {
+	c := New(smallSpec())
+	defer func() {
+		if recover() == nil {
+			t.Error("Doc out of range did not panic")
+		}
+	}()
+	c.Doc(model.DocID(c.NumDocs()))
+}
+
+func TestDefaultSpecScales(t *testing.T) {
+	d := DefaultSpec()
+	if d.Docs != 50_000 || d.Name != "CW" {
+		t.Errorf("DefaultSpec = %+v, want 50k-doc CW", d)
+	}
+	x10 := ScaledSpec(d, 10)
+	if x10.Docs != 500_000 || x10.Name != "CWX10" {
+		t.Errorf("ScaledSpec = %+v", x10)
+	}
+}

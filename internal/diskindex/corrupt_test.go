@@ -1,0 +1,91 @@
+package diskindex
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Failure-injection tests: a damaged index directory must produce
+// errors, never panics or silent misreads.
+
+func writeValidDir(t *testing.T) string {
+	t.Helper()
+	mem := testCorpusIndex(t, 100)
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := WriteDir(mem, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOpenDirBadManifestJSON(t *testing.T) {
+	dir := writeValidDir(t)
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir, testCfg()); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+}
+
+func TestOpenDirWrongVersion(t *testing.T) {
+	dir := writeValidDir(t)
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m.Version = 99
+	out, _ := json.Marshal(m)
+	os.WriteFile(filepath.Join(dir, ManifestFile), out, 0o644)
+	if _, err := OpenDir(dir, testCfg()); err == nil {
+		t.Error("future format version accepted")
+	}
+}
+
+func TestOpenDirTruncatedDict(t *testing.T) {
+	dir := writeValidDir(t)
+	raw, err := os.ReadFile(filepath.Join(dir, DictFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, DictFile), raw[:len(raw)-7], 0o644)
+	if _, err := OpenDir(dir, testCfg()); err == nil {
+		t.Error("truncated dictionary accepted")
+	}
+}
+
+func TestOpenDirMissingPostings(t *testing.T) {
+	dir := writeValidDir(t)
+	os.Remove(filepath.Join(dir, PostingsFile))
+	if _, err := OpenDir(dir, testCfg()); err == nil {
+		t.Error("missing postings file accepted")
+	}
+}
+
+func TestReaderBeyondFilePanics(t *testing.T) {
+	// Reading past the postings region is a programming error and must
+	// fail loudly rather than return garbage.
+	mem := testCorpusIndex(t, 50)
+	disk, err := FromIndex(mem, 2, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := disk.Store()
+	h, err := st.Lookup(PostingsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := st.NewReader(h)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range read did not panic")
+		}
+	}()
+	rd.View(st.FileSize(h)-4, 8)
+}

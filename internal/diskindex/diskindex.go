@@ -1,0 +1,384 @@
+package diskindex
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+)
+
+// File names inside an index directory.
+const (
+	ManifestFile = "manifest.json"
+	DictFile     = "dict.bin"
+	PostingsFile = "postings.bin"
+)
+
+// Index is an opened on-disk index whose posting reads are charged
+// through an iomodel.Store. It implements postings.View and is safe for
+// concurrent use (each cursor owns its reader).
+type Index struct {
+	manifest Manifest
+	store    *iomodel.Store
+	postFile int
+
+	dict      []dictEntry
+	blocks    [][]postings.BlockMeta // resident, like skip data
+	shardLens [][]uint32             // per term, per shard
+}
+
+var _ postings.View = (*Index)(nil)
+
+// WriteDir serializes x into directory dir (created if needed).
+func WriteDir(x *index.Index, shards int, dir string) error {
+	manifest, dict, post, err := Encode(x, shards)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("diskindex: creating %s: %w", dir, err)
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{{ManifestFile, manifest}, {DictFile, dict}, {PostingsFile, post}} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			return fmt.Errorf("diskindex: writing %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+// OpenDir loads an index directory into a fresh simulated store
+// configured by cfg. The file bytes live in memory but every posting
+// access is charged as if the index were disk-resident.
+func OpenDir(dir string, cfg iomodel.Config) (*Index, error) {
+	manifest, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("diskindex: %w", err)
+	}
+	dict, err := os.ReadFile(filepath.Join(dir, DictFile))
+	if err != nil {
+		return nil, fmt.Errorf("diskindex: %w", err)
+	}
+	post, err := os.ReadFile(filepath.Join(dir, PostingsFile))
+	if err != nil {
+		return nil, fmt.Errorf("diskindex: %w", err)
+	}
+	return open(manifest, dict, post, cfg)
+}
+
+// FromIndex converts an in-memory index directly into an opened
+// disk-modeled index, skipping the filesystem round trip. This is what
+// tests and single-process experiments use.
+func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
+	manifest, dict, post, err := Encode(x, shards)
+	if err != nil {
+		return nil, err
+	}
+	return open(manifest, dict, post, cfg)
+}
+
+func open(manifestBytes, dictBytes, postBytes []byte, cfg iomodel.Config) (*Index, error) {
+	var m Manifest
+	if err := json.Unmarshal(manifestBytes, &m); err != nil {
+		return nil, fmt.Errorf("diskindex: parsing manifest: %w", err)
+	}
+	if m.Version != FormatVersion {
+		return nil, fmt.Errorf("diskindex: format version %d, want %d", m.Version, FormatVersion)
+	}
+	if len(dictBytes) != m.NumTerms*dictRecSize {
+		return nil, fmt.Errorf("diskindex: dict is %d bytes, want %d terms x %d",
+			len(dictBytes), m.NumTerms, dictRecSize)
+	}
+	store := iomodel.NewStore(cfg)
+	postFile := store.AddFile(PostingsFile, postBytes)
+
+	x := &Index{
+		manifest:  m,
+		store:     store,
+		postFile:  postFile,
+		dict:      make([]dictEntry, m.NumTerms),
+		blocks:    make([][]postings.BlockMeta, m.NumTerms),
+		shardLens: make([][]uint32, m.NumTerms),
+	}
+	// Decode the dictionary and the resident metadata regions. This is
+	// open-time setup (uncharged), like a search engine loading its
+	// term dictionary and skip data into the heap.
+	for t := 0; t < m.NumTerms; t++ {
+		rec := dictBytes[t*dictRecSize:]
+		e := dictEntry{
+			df:        binary.LittleEndian.Uint32(rec[0:]),
+			max:       binary.LittleEndian.Uint32(rec[4:]),
+			docOff:    binary.LittleEndian.Uint64(rec[8:]),
+			impactOff: binary.LittleEndian.Uint64(rec[16:]),
+			blockOff:  binary.LittleEndian.Uint64(rec[24:]),
+			shardOff:  binary.LittleEndian.Uint64(rec[32:]),
+		}
+		x.dict[t] = e
+		nBlocks := (int(e.df) + postings.BlockSize - 1) / postings.BlockSize
+		blocks := make([]postings.BlockMeta, nBlocks)
+		for b := 0; b < nBlocks; b++ {
+			raw := postBytes[int(e.blockOff)+b*8:]
+			blocks[b] = postings.BlockMeta{
+				Last: model.DocID(binary.LittleEndian.Uint32(raw)),
+				Max:  model.Score(binary.LittleEndian.Uint32(raw[4:])),
+			}
+		}
+		x.blocks[t] = blocks
+		lens := make([]uint32, m.Shards)
+		for s := 0; s < m.Shards; s++ {
+			lens[s] = binary.LittleEndian.Uint32(postBytes[int(e.shardOff)+s*4:])
+		}
+		x.shardLens[t] = lens
+	}
+	return x, nil
+}
+
+// Store exposes the simulated storage for flushing and statistics.
+func (x *Index) Store() *iomodel.Store { return x.store }
+
+// Manifest returns the index metadata.
+func (x *Index) Manifest() Manifest { return x.manifest }
+
+// Shards returns the pre-built shard count.
+func (x *Index) Shards() int { return x.manifest.Shards }
+
+// NumDocs implements postings.View.
+func (x *Index) NumDocs() int { return x.manifest.NumDocs }
+
+// NumTerms implements postings.View.
+func (x *Index) NumTerms() int { return x.manifest.NumTerms }
+
+// DF implements postings.View.
+func (x *Index) DF(t model.TermID) int { return int(x.dict[t].df) }
+
+// MaxScore implements postings.View.
+func (x *Index) MaxScore(t model.TermID) model.Score { return model.Score(x.dict[t].max) }
+
+// DocCursor implements postings.View.
+func (x *Index) DocCursor(t model.TermID) postings.DocCursor {
+	e := x.dict[t]
+	return &diskDocCursor{
+		rd:     x.store.NewReader(x.postFile),
+		base:   int64(e.docOff),
+		n:      int(e.df),
+		pos:    -1,
+		max:    model.Score(e.max),
+		blocks: x.blocks[t],
+	}
+}
+
+// ScoreCursor implements postings.View.
+func (x *Index) ScoreCursor(t model.TermID) postings.ScoreCursor {
+	e := x.dict[t]
+	return &diskScoreCursor{
+		rd:   x.store.NewReader(x.postFile),
+		base: int64(e.impactOff),
+		n:    int(e.df),
+		pos:  -1,
+		max:  model.Score(e.max),
+	}
+}
+
+// ScoreCursorShard implements postings.View using the pre-partitioned
+// shard section. nShards must equal the build-time shard count (or 1
+// for the unsharded list).
+func (x *Index) ScoreCursorShard(t model.TermID, shard, nShards int) postings.ScoreCursor {
+	if nShards <= 1 {
+		return x.ScoreCursor(t)
+	}
+	if nShards != x.manifest.Shards {
+		panic(fmt.Sprintf("diskindex: index pre-built with %d shards, requested %d",
+			x.manifest.Shards, nShards))
+	}
+	e := x.dict[t]
+	off := align8(int64(e.shardOff) + int64(nShards)*4)
+	for s := 0; s < shard; s++ {
+		off += int64(x.shardLens[t][s]) * postingSize
+	}
+	max := model.Score(e.max) // bound only; sublist max is <= term max
+	return &diskScoreCursor{
+		rd:   x.store.NewReader(x.postFile),
+		base: off,
+		n:    int(x.shardLens[t][shard]),
+		pos:  -1,
+		max:  max,
+	}
+}
+
+// RandomAccess implements postings.View. The RA family's secondary
+// by-document index (§3.2 — the structure that "doubles the
+// footprint") is the doc-ordered fixed-width array itself; a lookup is
+// an interpolation search over it. Document ids are uniformly spread
+// within a posting list, so interpolation converges in O(log log n)
+// probes — each probe touching a (usually non-sequential) block, which
+// is precisely the random-access I/O cost the paper charges to pRA.
+func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) {
+	e := x.dict[t]
+	rd := x.store.NewReader(x.postFile)
+	defer rd.Settle()
+	base := int64(e.docOff)
+	probe := func(i int) model.Posting {
+		return decodePosting(rd.View(base+int64(i)*postingSize, postingSize))
+	}
+	lo, hi := 0, int(e.df)-1
+	if hi < 0 {
+		return 0, false
+	}
+	pLo, pHi := probe(lo), probe(hi)
+	for lo <= hi {
+		if d < pLo.Doc || d > pHi.Doc {
+			return 0, false
+		}
+		var mid int
+		if pHi.Doc == pLo.Doc {
+			mid = lo
+		} else {
+			mid = lo + int(int64(hi-lo)*int64(d-pLo.Doc)/int64(pHi.Doc-pLo.Doc))
+		}
+		p := probe(mid)
+		switch {
+		case p.Doc == d:
+			return p.Score, true
+		case p.Doc < d:
+			lo = mid + 1
+			if lo > hi {
+				return 0, false
+			}
+			pLo = probe(lo)
+		default:
+			hi = mid - 1
+			if hi < lo {
+				return 0, false
+			}
+			pHi = probe(hi)
+		}
+	}
+	return 0, false
+}
+
+// diskDocCursor is the charged document-order cursor.
+type diskDocCursor struct {
+	rd     *iomodel.Reader
+	base   int64
+	n      int
+	pos    int
+	max    model.Score
+	cur    model.Posting
+	blocks []postings.BlockMeta
+}
+
+func (c *diskDocCursor) load() {
+	c.cur = decodePosting(c.rd.View(c.base+int64(c.pos)*postingSize, postingSize))
+}
+
+func (c *diskDocCursor) Next() bool {
+	c.pos++
+	if c.pos >= c.n {
+		c.rd.Settle()
+		return false
+	}
+	c.load()
+	return true
+}
+
+func (c *diskDocCursor) SkipTo(d model.DocID) bool {
+	if c.pos >= c.n || c.n == 0 {
+		return false
+	}
+	i := c.pos
+	if i < 0 {
+		i = 0
+	}
+	probe := func(j int) model.DocID {
+		return decodePosting(c.rd.View(c.base+int64(j)*postingSize, postingSize)).Doc
+	}
+	if cur := probe(i); cur >= d {
+		c.pos = i
+		c.load()
+		return true
+	}
+	step := 1
+	hi := i
+	for hi < c.n && probe(hi) < d {
+		i = hi
+		hi += step
+		step *= 2
+	}
+	if hi > c.n {
+		hi = c.n
+	}
+	lo := i
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if probe(mid) < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.pos = lo
+	if c.pos >= c.n {
+		c.rd.Settle()
+		return false
+	}
+	c.load()
+	return true
+}
+
+func (c *diskDocCursor) Doc() model.DocID       { return c.cur.Doc }
+func (c *diskDocCursor) Score() model.Score     { return c.cur.Score }
+func (c *diskDocCursor) MaxScore() model.Score  { return c.max }
+func (c *diskDocCursor) BlockMax() model.Score  { return c.blocks[c.pos/postings.BlockSize].Max }
+func (c *diskDocCursor) BlockLast() model.DocID { return c.blocks[c.pos/postings.BlockSize].Last }
+func (c *diskDocCursor) Len() int               { return c.n }
+
+func (c *diskDocCursor) BlockMaxAt(d model.DocID) model.Score {
+	return postings.BlockMaxAtMeta(c.blocks, d)
+}
+
+func (c *diskDocCursor) BlockLastAt(d model.DocID) model.DocID {
+	return postings.BlockLastAtMeta(c.blocks, d)
+}
+
+// diskScoreCursor is the charged score-order cursor.
+type diskScoreCursor struct {
+	rd   *iomodel.Reader
+	base int64
+	n    int
+	pos  int
+	max  model.Score
+	cur  model.Posting
+}
+
+func (c *diskScoreCursor) Next() bool {
+	c.pos++
+	if c.pos >= c.n {
+		c.rd.Settle()
+		return false
+	}
+	c.cur = decodePosting(c.rd.View(c.base+int64(c.pos)*postingSize, postingSize))
+	return true
+}
+
+func (c *diskScoreCursor) Doc() model.DocID   { return c.cur.Doc }
+func (c *diskScoreCursor) Score() model.Score { return c.cur.Score }
+
+func (c *diskScoreCursor) Bound() model.Score {
+	if c.pos < 0 {
+		return c.max
+	}
+	if c.pos >= c.n {
+		return 0
+	}
+	return c.cur.Score
+}
+
+func (c *diskScoreCursor) Len() int { return c.n }

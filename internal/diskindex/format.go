@@ -1,0 +1,169 @@
+// Package diskindex implements the paper's on-disk index layout and its
+// charged readers. Per §5.1, "the appropriate index (either in document
+// order or in score order) is pre-built offline and stored on disk
+// uncompressed as a collection of binary files"; per §5.2, "posting
+// lists are stored as contiguous uncompressed arrays" with integer
+// scores, and pRA additionally stores a secondary by-document index.
+//
+// Layout. An index is three regions:
+//
+//	manifest.json — corpus-level metadata (sizes, shard count, version)
+//	dict.bin      — fixed 40-byte records per term: df, max score, and
+//	                offsets of the term's regions in postings.bin
+//	postings.bin  — per term, 8-byte-aligned and contiguous:
+//	                  doc-ordered postings   (df × 8 bytes: doc u32, score u32)
+//	                  impact-ordered postings (df × 8 bytes)
+//	                  block-max metadata     (ceil(df/64) × 8 bytes)
+//	                  shard section          (S × u32 lengths, padded,
+//	                                          then S impact sublists)
+//
+// The doc-ordered array doubles as the RA secondary index: it is sorted
+// by document id, so a binary search over it is exactly the random
+// access pattern (and cost) the paper attributes to pRA. The shard
+// section pre-partitions each impact list into S document-id ranges for
+// the shared-nothing sNRA baseline.
+//
+// Dictionary, block-max metadata and shard lengths are loaded into RAM
+// when the index is opened (they are the small, always-hot structures a
+// search engine keeps resident); posting reads go through the
+// iomodel page cache and are charged.
+package diskindex
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"sparta/internal/index"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+)
+
+// FormatVersion identifies the binary layout.
+const FormatVersion = 1
+
+// DefaultShards is the number of document-id shards pre-built for the
+// shared-nothing baseline; the paper partitions into 12 (§5.2.2).
+const DefaultShards = 12
+
+const (
+	dictRecSize = 40
+	postingSize = 8
+)
+
+// Manifest is the JSON-encoded corpus-level metadata.
+type Manifest struct {
+	Version  int
+	NumDocs  int
+	NumTerms int
+	Shards   int
+	// TotalPostings is informational (sizing reports).
+	TotalPostings int64
+}
+
+// dictEntry mirrors one dict.bin record, decoded.
+type dictEntry struct {
+	df        uint32
+	max       uint32
+	docOff    uint64
+	impactOff uint64
+	blockOff  uint64
+	shardOff  uint64
+}
+
+// Encode serializes an in-memory index into the three regions. shards
+// is the sNRA pre-partition count (0 means DefaultShards).
+func Encode(x *index.Index, shards int) (manifest []byte, dict []byte, post []byte, err error) {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	nTerms := x.NumTerms()
+
+	// Pre-size postings.bin.
+	var total int64
+	for t := 0; t < nTerms; t++ {
+		df := int64(x.DF(model.TermID(t)))
+		nBlocks := (df + postings.BlockSize - 1) / postings.BlockSize
+		total += df*postingSize*2 + nBlocks*8 + align8(int64(shards)*4) + df*postingSize
+	}
+	post = make([]byte, 0, total)
+	dict = make([]byte, 0, nTerms*dictRecSize)
+
+	var rec [dictRecSize]byte
+	for t := 0; t < nTerms; t++ {
+		tid := model.TermID(t)
+		docList := x.Postings(tid)
+		impList := x.Impact(tid)
+		blocks := x.Blocks(tid)
+
+		docOff := int64(len(post))
+		post = appendPostings(post, docList)
+		impactOff := int64(len(post))
+		post = appendPostings(post, impList)
+		blockOff := int64(len(post))
+		for _, b := range blocks {
+			post = binary.LittleEndian.AppendUint32(post, uint32(b.Last))
+			post = binary.LittleEndian.AppendUint32(post, uint32(b.Max))
+		}
+		shardOff := int64(len(post))
+		// Shard lengths, then concatenated shard impact sublists.
+		// Single pass: a posting's shard follows from its document id.
+		sharded := make([][]model.Posting, shards)
+		numDocs := int64(x.NumDocs())
+		for _, p := range impList {
+			s := int(int64(p.Doc) * int64(shards) / numDocs)
+			sharded[s] = append(sharded[s], p)
+		}
+		for s := 0; s < shards; s++ {
+			post = binary.LittleEndian.AppendUint32(post, uint32(len(sharded[s])))
+		}
+		for int64(len(post))%8 != 0 {
+			post = append(post, 0)
+		}
+		for s := 0; s < shards; s++ {
+			post = appendPostings(post, sharded[s])
+		}
+
+		max := x.MaxScore(tid)
+		if max > 0xffffffff {
+			return nil, nil, nil, fmt.Errorf("diskindex: term %d max score %d overflows u32", t, max)
+		}
+		binary.LittleEndian.PutUint32(rec[0:], uint32(len(docList)))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(max))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(docOff))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(impactOff))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(blockOff))
+		binary.LittleEndian.PutUint64(rec[32:], uint64(shardOff))
+		dict = append(dict, rec[:]...)
+	}
+
+	m := Manifest{
+		Version:       FormatVersion,
+		NumDocs:       x.NumDocs(),
+		NumTerms:      nTerms,
+		Shards:        shards,
+		TotalPostings: x.TotalPostings(),
+	}
+	manifest, err = json.Marshal(m)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("diskindex: encoding manifest: %w", err)
+	}
+	return manifest, dict, post, nil
+}
+
+func appendPostings(buf []byte, list []model.Posting) []byte {
+	for _, p := range list {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Doc))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Score))
+	}
+	return buf
+}
+
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+func decodePosting(b []byte) model.Posting {
+	return model.Posting{
+		Doc:   model.DocID(binary.LittleEndian.Uint32(b)),
+		Score: model.Score(binary.LittleEndian.Uint32(b[4:])),
+	}
+}

@@ -1,0 +1,58 @@
+package heap
+
+import (
+	"testing"
+
+	"sparta/internal/cmap"
+	"sparta/internal/model"
+)
+
+// Micro-benchmarks for the heap disciplines: the score heap's push path
+// (hot in every document-order algorithm) and the NRA doc heap's
+// insert-with-lazy-refresh (Algorithm 1 lines 30-32, O(k) per insert).
+
+func BenchmarkScoreHeapPush(b *testing.B) {
+	h := NewScore(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Push(model.DocID(i), model.Score(i%100_000))
+	}
+}
+
+func BenchmarkScoreHeapPushMostlyRejected(b *testing.B) {
+	// After warmup the threshold rejects nearly everything — the
+	// fast path of a converged query.
+	h := NewScore(100)
+	for i := 0; i < 10_000; i++ {
+		h.Push(model.DocID(i), model.Score(1_000_000+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(model.DocID(i), model.Score(i%1000))
+	}
+}
+
+func BenchmarkDocHeapUpdateInsert(b *testing.B) {
+	for _, k := range []int{100, 1000} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			h := NewDoc(k)
+			docs := make([]*cmap.DocState, b.N)
+			for i := range docs {
+				d := cmap.NewDocState(model.DocID(i), 4)
+				d.SetScore(0, model.Score(i%50_000+1))
+				docs[i] = d
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.UpdateInsert(docs[i])
+			}
+		})
+	}
+}
+
+func sizeName(k int) string {
+	if k == 100 {
+		return "k=100"
+	}
+	return "k=1000"
+}

@@ -1,0 +1,255 @@
+// Package heap implements the two top-k heap disciplines of the paper's
+// algorithms (§3): ScoreHeap, a bounded min-heap ordered by full
+// document score (the RA / document-order discipline), and DocHeap, the
+// NRA/Sparta heap ordered by document *lower bounds* with the lazy
+// lower-bound refresh of Algorithm 1 lines 30–32.
+//
+// Both heaps are single-threaded data structures; the parallel
+// algorithms guard them with their own locks (Sparta serializes heap
+// updates under a shared lock, §4.3). The package also provides Merge
+// for combining per-thread local heaps, which pBMW and sNRA need.
+package heap
+
+import (
+	"sparta/internal/cmap"
+	"sparta/internal/model"
+)
+
+// ScoreHeap is a bounded min-heap of (doc, score) keeping the k highest
+// scores seen. The threshold Θ is the k-th (lowest retained) score once
+// k documents are held, and 0 before that — exactly the Θ of §3.1.
+type ScoreHeap struct {
+	k     int
+	items []model.Result
+}
+
+// NewScore creates a heap keeping the top k scores.
+func NewScore(k int) *ScoreHeap {
+	if k <= 0 {
+		panic("heap: k must be positive")
+	}
+	return &ScoreHeap{k: k, items: make([]model.Result, 0, k)}
+}
+
+// Len returns the number of held documents.
+func (h *ScoreHeap) Len() int { return len(h.items) }
+
+// K returns the heap's capacity.
+func (h *ScoreHeap) K() int { return h.k }
+
+// Threshold returns Θ: the lowest retained score when full, else 0.
+func (h *ScoreHeap) Threshold() model.Score {
+	if len(h.items) < h.k {
+		return 0
+	}
+	return h.items[0].Score
+}
+
+// Push offers a scored document, returning true if it entered the heap
+// (evicting the previous minimum when full). Scores equal to the
+// threshold are rejected: they cannot improve the top-k.
+func (h *ScoreHeap) Push(doc model.DocID, score model.Score) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, model.Result{Doc: doc, Score: score})
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	if score <= h.items[0].Score {
+		return false
+	}
+	h.items[0] = model.Result{Doc: doc, Score: score}
+	h.siftDown(0)
+	return true
+}
+
+// Results returns the held documents, canonically sorted.
+func (h *ScoreHeap) Results() model.TopK {
+	out := make(model.TopK, len(h.items))
+	copy(out, h.items)
+	out.Sort()
+	return out
+}
+
+func (h *ScoreHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Score <= h.items[i].Score {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *ScoreHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.items[l].Score < h.items[min].Score {
+			min = l
+		}
+		if r < n && h.items[r].Score < h.items[min].Score {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}
+
+// Merge combines per-thread local heaps into the global top-k — the
+// final step of the shared-nothing parallelizations (pBMW, sNRA,
+// §5.2). Duplicate documents (possible when shards overlap work) keep
+// their highest score.
+func Merge(k int, heaps ...*ScoreHeap) model.TopK {
+	best := make(map[model.DocID]model.Score)
+	for _, h := range heaps {
+		for _, r := range h.items {
+			if s, ok := best[r.Doc]; !ok || r.Score > s {
+				best[r.Doc] = r.Score
+			}
+		}
+	}
+	all := make(model.TopK, 0, len(best))
+	for d, s := range best {
+		all = append(all, model.Result{Doc: d, Score: s})
+	}
+	all.Sort()
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// DocHeap is the NRA/Sparta document heap: a bounded min-heap of
+// candidate DocStates ordered by their (cached) lower bounds. Callers
+// serialize access externally (Sparta's shared heap lock).
+type DocHeap struct {
+	k     int
+	items []*cmap.DocState
+}
+
+// NewDoc creates a document heap of capacity k.
+func NewDoc(k int) *DocHeap {
+	if k <= 0 {
+		panic("heap: k must be positive")
+	}
+	return &DocHeap{k: k, items: make([]*cmap.DocState, 0, k)}
+}
+
+// Len returns the number of held candidates.
+func (h *DocHeap) Len() int { return len(h.items) }
+
+// K returns the heap's capacity.
+func (h *DocHeap) K() int { return h.k }
+
+// Contains reports whether d is currently in the heap.
+func (h *DocHeap) Contains(d *cmap.DocState) bool { return d.HeapIdx >= 0 }
+
+// Threshold returns Θ: the k-th lowest cached lower bound when full,
+// else 0 (§3.1: "as long as the heap contains fewer than k documents,
+// Θ remains zero").
+func (h *DocHeap) Threshold() model.Score {
+	if len(h.items) < h.k {
+		return 0
+	}
+	return h.items[0].CachedLB
+}
+
+// UpdateInsert performs Algorithm 1's UPDATE_HEAP body (minus the
+// lock, which the caller holds). If d is already in the heap nothing
+// happens — its improved lower bound is picked up lazily at the next
+// insert, as in the paper. Otherwise d is inserted, every held
+// candidate's lower bound is refreshed from its score vector, the heap
+// order re-established, and excess candidates evicted. It returns the
+// evicted candidate (nil if none) and the new Θ.
+func (h *DocHeap) UpdateInsert(d *cmap.DocState) (evicted *cmap.DocState, theta model.Score) {
+	if d.HeapIdx >= 0 {
+		return nil, h.Threshold()
+	}
+	d.HeapIdx = len(h.items)
+	h.items = append(h.items, d)
+	// Lazy LB refresh of all heap documents (lines 30-32): candidates'
+	// score vectors advance concurrently, so cached bounds go stale;
+	// refreshing here keeps Θ as tight as the paper's.
+	for _, it := range h.items {
+		it.CachedLB = it.LB()
+	}
+	h.init()
+	if len(h.items) > h.k {
+		evicted = h.pop()
+	}
+	return evicted, h.Threshold()
+}
+
+// Refresh re-reads every held candidate's lower bound and restores heap
+// order, returning the new Θ. The cleaner uses it to tighten Θ without
+// inserting.
+func (h *DocHeap) Refresh() model.Score {
+	for _, it := range h.items {
+		it.CachedLB = it.LB()
+	}
+	h.init()
+	return h.Threshold()
+}
+
+// Items returns the held candidates in heap order (not rank order).
+// The caller must not modify the slice.
+func (h *DocHeap) Items() []*cmap.DocState { return h.items }
+
+// Results returns the held candidates ranked by lower bound.
+func (h *DocHeap) Results() model.TopK {
+	out := make(model.TopK, 0, len(h.items))
+	for _, d := range h.items {
+		out = append(out, model.Result{Doc: d.ID, Score: d.LB()})
+	}
+	out.Sort()
+	return out
+}
+
+func (h *DocHeap) init() {
+	n := len(h.items)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	for i, it := range h.items {
+		it.HeapIdx = i
+	}
+}
+
+func (h *DocHeap) pop() *cmap.DocState {
+	n := len(h.items)
+	min := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.siftDown(0)
+	}
+	for i, it := range h.items {
+		it.HeapIdx = i
+	}
+	min.HeapIdx = -1
+	return min
+}
+
+func (h *DocHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.items[l].CachedLB < h.items[min].CachedLB {
+			min = l
+		}
+		if r < n && h.items[r].CachedLB < h.items[min].CachedLB {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}

@@ -1,0 +1,257 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sparta/internal/cmap"
+	"sparta/internal/model"
+)
+
+func TestScoreHeapKeepsTopK(t *testing.T) {
+	h := NewScore(3)
+	for i := 1; i <= 10; i++ {
+		h.Push(model.DocID(i), model.Score(i*10))
+	}
+	res := h.Results()
+	want := []model.Score{100, 90, 80}
+	if len(res) != 3 {
+		t.Fatalf("len = %d", len(res))
+	}
+	for i, w := range want {
+		if res[i].Score != w {
+			t.Errorf("rank %d score %d, want %d", i, res[i].Score, w)
+		}
+	}
+}
+
+func TestScoreHeapThresholdZeroUntilFull(t *testing.T) {
+	h := NewScore(3)
+	h.Push(1, 100)
+	h.Push(2, 200)
+	if h.Threshold() != 0 {
+		t.Errorf("Θ = %d before full, want 0", h.Threshold())
+	}
+	h.Push(3, 300)
+	if h.Threshold() != 100 {
+		t.Errorf("Θ = %d, want 100", h.Threshold())
+	}
+}
+
+func TestScoreHeapRejectsAtThreshold(t *testing.T) {
+	h := NewScore(2)
+	h.Push(1, 10)
+	h.Push(2, 20)
+	if h.Push(3, 10) {
+		t.Error("score == Θ must be rejected")
+	}
+	if !h.Push(4, 15) {
+		t.Error("score > Θ must be accepted")
+	}
+	if h.Threshold() != 15 {
+		t.Errorf("Θ = %d, want 15", h.Threshold())
+	}
+}
+
+func TestScoreHeapMatchesSortProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8, n uint8) bool {
+		k := int(kRaw)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		h := NewScore(k)
+		var all []model.Score
+		for i := 0; i < int(n); i++ {
+			s := model.Score(rng.Intn(1000))
+			all = append(all, s)
+			h.Push(model.DocID(i), s)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+		res := h.Results()
+		want := len(all)
+		if want > k {
+			want = k
+		}
+		if len(res) != want {
+			return false
+		}
+		for i := range res {
+			if res[i].Score != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewScorePanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewScore(0) did not panic")
+		}
+	}()
+	NewScore(0)
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewScore(3), NewScore(3)
+	a.Push(1, 100)
+	a.Push(2, 90)
+	a.Push(3, 80)
+	b.Push(4, 95)
+	b.Push(5, 85)
+	b.Push(1, 100) // duplicate doc
+	merged := Merge(4, a, b)
+	if len(merged) != 4 {
+		t.Fatalf("merged len = %d, want 4", len(merged))
+	}
+	wantDocs := []model.DocID{1, 4, 2, 5}
+	for i, w := range wantDocs {
+		if merged[i].Doc != w {
+			t.Errorf("rank %d doc %d, want %d", i, merged[i].Doc, w)
+		}
+	}
+}
+
+func TestMergeDuplicateKeepsHighest(t *testing.T) {
+	a, b := NewScore(2), NewScore(2)
+	a.Push(7, 50)
+	b.Push(7, 70)
+	merged := Merge(2, a, b)
+	if len(merged) != 1 || merged[0].Score != 70 {
+		t.Errorf("merged = %v, want doc 7 @ 70", merged)
+	}
+}
+
+func newDoc(id model.DocID, m int, scores ...model.Score) *cmap.DocState {
+	d := cmap.NewDocState(id, m)
+	for i, s := range scores {
+		if s > 0 {
+			d.SetScore(i, s)
+		}
+	}
+	return d
+}
+
+func TestDocHeapInsertAndTheta(t *testing.T) {
+	h := NewDoc(2)
+	d1 := newDoc(1, 2, 50, 0)
+	d2 := newDoc(2, 2, 30, 20)
+	_, theta := h.UpdateInsert(d1)
+	if theta != 0 {
+		t.Errorf("Θ = %d before full, want 0", theta)
+	}
+	_, theta = h.UpdateInsert(d2)
+	if theta != 50 {
+		t.Errorf("Θ = %d, want 50 (both LBs are 50, min is 50)", theta)
+	}
+}
+
+func TestDocHeapEviction(t *testing.T) {
+	h := NewDoc(2)
+	d1 := newDoc(1, 1, 10)
+	d2 := newDoc(2, 1, 30)
+	d3 := newDoc(3, 1, 20)
+	h.UpdateInsert(d1)
+	h.UpdateInsert(d2)
+	ev, theta := h.UpdateInsert(d3)
+	if ev != d1 {
+		t.Errorf("evicted %v, want d1", ev)
+	}
+	if d1.HeapIdx != -1 {
+		t.Error("evicted doc still has heap index")
+	}
+	if theta != 20 {
+		t.Errorf("Θ = %d, want 20", theta)
+	}
+	if !h.Contains(d2) || !h.Contains(d3) || h.Contains(d1) {
+		t.Error("Contains inconsistent after eviction")
+	}
+}
+
+func TestDocHeapLazyLBRefreshOnInsert(t *testing.T) {
+	h := NewDoc(2)
+	d1 := newDoc(1, 2, 10, 0)
+	d2 := newDoc(2, 2, 40, 0)
+	h.UpdateInsert(d1)
+	h.UpdateInsert(d2)
+	// d1's score improves concurrently; heap still has stale CachedLB.
+	d1.SetScore(1, 100)
+	// Re-inserting an in-heap doc is a no-op (paper semantics).
+	_, theta := h.UpdateInsert(d1)
+	if theta != 10 {
+		t.Errorf("Θ after no-op insert = %d, want stale 10", theta)
+	}
+	// A new insert triggers the lazy refresh of line 30-32.
+	d3 := newDoc(3, 2, 5, 0)
+	ev, theta := h.UpdateInsert(d3)
+	if ev != d3 {
+		t.Errorf("evicted %v, want the new weakest d3", ev)
+	}
+	if theta != 40 {
+		t.Errorf("Θ = %d, want 40 after refresh (d1 now 110, d2 40)", theta)
+	}
+}
+
+func TestDocHeapRefresh(t *testing.T) {
+	h := NewDoc(2)
+	d1 := newDoc(1, 2, 10, 0)
+	d2 := newDoc(2, 2, 20, 0)
+	h.UpdateInsert(d1)
+	h.UpdateInsert(d2)
+	d1.SetScore(1, 100)
+	if theta := h.Refresh(); theta != 20 {
+		t.Errorf("Θ after Refresh = %d, want 20", theta)
+	}
+}
+
+func TestDocHeapResults(t *testing.T) {
+	h := NewDoc(3)
+	h.UpdateInsert(newDoc(1, 1, 30))
+	h.UpdateInsert(newDoc(2, 1, 10))
+	h.UpdateInsert(newDoc(3, 1, 20))
+	res := h.Results()
+	if len(res) != 3 || res[0].Doc != 1 || res[1].Doc != 3 || res[2].Doc != 2 {
+		t.Errorf("Results = %v", res)
+	}
+}
+
+func TestDocHeapHeapIdxConsistencyProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewDoc(5)
+		var docs []*cmap.DocState
+		for i := 0; i <= int(n); i++ {
+			d := newDoc(model.DocID(i), 1, model.Score(rng.Intn(100)+1))
+			docs = append(docs, d)
+			h.UpdateInsert(d)
+			// Invariant: items' HeapIdx match their positions.
+			for idx, it := range h.Items() {
+				if it.HeapIdx != idx {
+					return false
+				}
+			}
+			// Invariant: min-heap ordering on CachedLB.
+			items := h.Items()
+			for j := 1; j < len(items); j++ {
+				if items[j].CachedLB < items[(j-1)/2].CachedLB {
+					return false
+				}
+			}
+		}
+		// Every doc is either in the heap with valid idx or marked out.
+		in := 0
+		for _, d := range docs {
+			if d.HeapIdx >= 0 {
+				in++
+			}
+		}
+		return in == h.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

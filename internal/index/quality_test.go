@@ -1,0 +1,105 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"sparta/internal/corpus"
+	"sparta/internal/model"
+)
+
+func TestQualityMultipliesScores(t *testing.T) {
+	// Two identical documents, one with 4x quality: every posting of
+	// the boosted document must score ~4x its twin.
+	bag := []corpus.TermCount{{Term: 0, Count: 2}, {Term: 1, Count: 1}}
+	b := NewBuilder()
+	plain := b.AddBagQuality(bag, 1)
+	boosted := b.AddBagQuality(bag, 4)
+	x := b.Build()
+	for tid := 0; tid < 2; tid++ {
+		term := model.TermID(tid)
+		sPlain, ok1 := x.RandomAccess(term, plain)
+		sBoost, ok2 := x.RandomAccess(term, boosted)
+		if !ok1 || !ok2 {
+			t.Fatal("postings missing")
+		}
+		ratio := float64(sBoost) / float64(sPlain)
+		if math.Abs(ratio-4) > 0.01 {
+			t.Errorf("term %d: boosted/plain = %v, want 4", tid, ratio)
+		}
+	}
+}
+
+func TestQualityFloorsAtOne(t *testing.T) {
+	// A vanishing quality must not produce zero or negative scores —
+	// the retrieval algorithms rely on strictly positive postings.
+	b := NewBuilder()
+	doc := b.AddBagQuality([]corpus.TermCount{{Term: 0, Count: 1}}, 1e-12)
+	x := b.Build()
+	s, ok := x.RandomAccess(0, doc)
+	if !ok || s < 1 {
+		t.Errorf("score %d, want >= 1", s)
+	}
+}
+
+func TestTextPathNeutralQuality(t *testing.T) {
+	// Add/AddTokens must behave exactly like quality 1.
+	b1 := NewBuilder()
+	b1.Add("alpha beta alpha")
+	x1 := b1.Build()
+	b2 := NewBuilder()
+	b2.AddTokens([]string{"alpha", "beta", "alpha"})
+	x2 := b2.Build()
+	for _, name := range []string{"alpha", "beta"} {
+		t1, _ := x1.Lookup(name)
+		t2, _ := x2.Lookup(name)
+		p1, p2 := x1.Postings(t1), x2.Postings(t2)
+		if len(p1) != 1 || len(p2) != 1 || p1[0].Score != p2[0].Score {
+			t.Errorf("%s: %v vs %v", name, p1, p2)
+		}
+	}
+}
+
+func TestCorpusQualityDeterministicAndSpread(t *testing.T) {
+	spec := corpus.Spec{
+		Name: "q", Docs: 3000, Vocab: 100, ZipfS: 1.0,
+		MeanDocLen: 20, MinDocLen: 4, QualitySigma: 1.0, Seed: 5,
+	}
+	c1, c2 := corpus.New(spec), corpus.New(spec)
+	var logSum, logSq float64
+	for d := 0; d < spec.Docs; d++ {
+		q1 := c1.DocQuality(model.DocID(d))
+		q2 := c2.DocQuality(model.DocID(d))
+		if q1 != q2 {
+			t.Fatalf("doc %d quality not deterministic", d)
+		}
+		if q1 <= 0 {
+			t.Fatalf("doc %d quality %v not positive", d, q1)
+		}
+		l := math.Log(q1)
+		logSum += l
+		logSq += l * l
+	}
+	n := float64(spec.Docs)
+	mean := logSum / n
+	sd := math.Sqrt(logSq/n - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("log-quality mean %v, want ~0", mean)
+	}
+	if math.Abs(sd-1) > 0.1 {
+		t.Errorf("log-quality sd %v, want ~QualitySigma=1", sd)
+	}
+}
+
+func TestZeroSigmaIsNeutral(t *testing.T) {
+	spec := corpus.Spec{
+		Name: "q0", Docs: 50, Vocab: 50, ZipfS: 1.0,
+		MeanDocLen: 10, MinDocLen: 4, Seed: 9,
+	}
+	c := corpus.New(spec)
+	for d := 0; d < spec.Docs; d++ {
+		if q := c.DocQuality(model.DocID(d)); q != 1 {
+			t.Fatalf("doc %d quality %v, want 1 with sigma 0", d, q)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package iomodel simulates the storage stack of the paper's testbed:
+// disk-resident index files read through an OS page cache, with the
+// cache flushed before each experiment so pages are physically read
+// from disk (§5.1), on an SSD whose random reads are markedly more
+// expensive than sequential ones.
+//
+// Why simulate: this reproduction runs in a container without a
+// dedicated SSD, without the ability to flush the host page cache, and
+// on a single core. The paper's workloads are disk-bound, so what makes
+// its parallel algorithms scale is the overlap of I/O waits across
+// threads — and goroutines overlap *simulated* waits (sleeps) exactly
+// the same way, even on one core. The model therefore preserves the
+// phenomena the evaluation hinges on: sequential posting-list scans are
+// cheap and cache-friendly, random accesses (pRA's secondary index) are
+// expensive, and a bigger-than-cache index forces physical reads.
+//
+// Mechanics: a Store holds named immutable byte regions ("files") and a
+// shared LRU block cache standing in for the page cache. Readers view
+// byte ranges; every distinct block touched while it is absent from the
+// cache charges a latency — sequential (block follows the reader's
+// previous block) or random. Charges accumulate per reader and are paid
+// as batched time.Sleep calls so the scheduler sees realistic I/O waits
+// without micro-sleep overhead. All activity is counted, so experiments
+// can also report machine-independent work metrics.
+package iomodel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes the storage model.
+type Config struct {
+	// BlockSize is the cache-block ("page") size in bytes.
+	BlockSize int
+	// CacheBlocks is the page-cache capacity, in blocks.
+	CacheBlocks int
+	// SeqLatency is charged per block read from disk when the reader's
+	// previous block immediately precedes it (readahead-friendly).
+	SeqLatency time.Duration
+	// RandLatency is charged per block read from disk otherwise.
+	RandLatency time.Duration
+	// SleepBatch is the threshold at which accumulated charges are paid
+	// with a real sleep. Larger batches have less scheduler overhead
+	// but coarser interleaving.
+	SleepBatch time.Duration
+	// NoSleep counts charges without sleeping. Unit tests use it;
+	// experiments must not.
+	NoSleep bool
+	// CacheStripes segments the cache to reduce lock contention
+	// (default 16). 1 gives a single exact global LRU.
+	CacheStripes int
+}
+
+// DefaultConfig mimics a mid-range SSD behind a deliberately small page
+// cache (32 MB), so the reproduction's scaled-down indexes remain
+// disk-resident the way the paper's full-size indexes are.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:   8192,
+		CacheBlocks: 4096, // 32 MB
+		SeqLatency:  25 * time.Microsecond,
+		RandLatency: 120 * time.Microsecond,
+		SleepBatch:  250 * time.Microsecond,
+	}
+}
+
+// RAMConfig returns a model with no I/O cost at all: the RAM-resident
+// index configuration the paper also examined (§5).
+func RAMConfig() Config {
+	return Config{BlockSize: 8192, CacheBlocks: 1, NoSleep: true}
+}
+
+// Stats is a snapshot of storage activity.
+type Stats struct {
+	BlocksRead  int64 // physical block reads (cache misses)
+	CacheHits   int64
+	SeqReads    int64         // of BlocksRead, sequential
+	RandReads   int64         // of BlocksRead, random
+	SimulatedIO time.Duration // total latency charged
+}
+
+// defaultCacheStripes segments the page cache so concurrent workers do
+// not serialize on one lock; each stripe runs its own LRU over an equal
+// share of the capacity (segmented LRU, as OS page caches do).
+const defaultCacheStripes = 16
+
+// Store is a simulated disk with a shared page cache.
+type Store struct {
+	cfg    Config
+	files  []fileRegion
+	stripe []cacheStripe
+
+	blocksRead atomic.Int64
+	cacheHits  atomic.Int64
+	seqReads   atomic.Int64
+	randReads  atomic.Int64
+	simIO      atomic.Int64 // nanoseconds
+}
+
+type cacheStripe struct {
+	mu    sync.Mutex
+	cap   int
+	cache map[blockID]*lruEntry
+	head  *lruEntry // most recent
+	tail  *lruEntry // least recent
+}
+
+type fileRegion struct {
+	name string
+	data []byte
+}
+
+type blockID struct {
+	file  int
+	block int64
+}
+
+type lruEntry struct {
+	id         blockID
+	prev, next *lruEntry
+}
+
+// NewStore creates an empty store with cfg (zero-value fields take
+// defaults from DefaultConfig).
+func NewStore(cfg Config) *Store {
+	def := DefaultConfig()
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = def.BlockSize
+	}
+	if cfg.CacheBlocks <= 0 {
+		cfg.CacheBlocks = def.CacheBlocks
+	}
+	if cfg.SleepBatch <= 0 {
+		cfg.SleepBatch = def.SleepBatch
+	}
+	if cfg.CacheStripes <= 0 {
+		cfg.CacheStripes = defaultCacheStripes
+	}
+	s := &Store{cfg: cfg, stripe: make([]cacheStripe, cfg.CacheStripes)}
+	per := cfg.CacheBlocks / cfg.CacheStripes
+	if per < 1 {
+		per = 1
+	}
+	for i := range s.stripe {
+		s.stripe[i].cap = per
+		s.stripe[i].cache = make(map[blockID]*lruEntry)
+	}
+	return s
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// AddFile registers an immutable byte region under name and returns its
+// handle. The bytes are aliased, not copied.
+func (s *Store) AddFile(name string, data []byte) int {
+	s.files = append(s.files, fileRegion{name: name, data: data})
+	return len(s.files) - 1
+}
+
+// FileSize returns the byte length of file h.
+func (s *Store) FileSize(h int) int64 { return int64(len(s.files[h].data)) }
+
+// RawBytesOf returns file h's backing bytes without any charge — for
+// serialization tooling only, never for query-time reads. The caller
+// must not modify the slice.
+func (s *Store) RawBytesOf(h int) []byte { return s.files[h].data }
+
+// Lookup returns the handle of the named file.
+func (s *Store) Lookup(name string) (int, error) {
+	for h, f := range s.files {
+		if f.name == name {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("iomodel: no file %q in store", name)
+}
+
+// Flush empties the page cache — the pre-experiment step of §5.1 that
+// forces all pages to be physically read from disk.
+func (s *Store) Flush() {
+	for i := range s.stripe {
+		st := &s.stripe[i]
+		st.mu.Lock()
+		st.cache = make(map[blockID]*lruEntry)
+		st.head, st.tail = nil, nil
+		st.mu.Unlock()
+	}
+}
+
+// ResetStats zeroes the activity counters.
+func (s *Store) ResetStats() {
+	s.blocksRead.Store(0)
+	s.cacheHits.Store(0)
+	s.seqReads.Store(0)
+	s.randReads.Store(0)
+	s.simIO.Store(0)
+}
+
+// Snapshot returns current activity counters.
+func (s *Store) Snapshot() Stats {
+	return Stats{
+		BlocksRead:  s.blocksRead.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		SeqReads:    s.seqReads.Load(),
+		RandReads:   s.randReads.Load(),
+		SimulatedIO: time.Duration(s.simIO.Load()),
+	}
+}
+
+// stripeFor maps a block to its cache stripe.
+func (s *Store) stripeFor(id blockID) *cacheStripe {
+	if len(s.stripe) == 1 {
+		return &s.stripe[0]
+	}
+	h := uint64(id.block)*0x9e3779b97f4a7c15 ^ uint64(id.file)*0x85ebca6b
+	return &s.stripe[h%uint64(len(s.stripe))]
+}
+
+// touch records an access to block id, returning whether it missed the
+// cache. Caller charges latency on a miss.
+func (s *Store) touch(id blockID) (miss bool) {
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.cache[id]; ok {
+		st.moveToFront(e)
+		return false
+	}
+	e := &lruEntry{id: id}
+	st.cache[id] = e
+	st.pushFront(e)
+	if len(st.cache) > st.cap {
+		evict := st.tail
+		st.unlink(evict)
+		delete(st.cache, evict.id)
+	}
+	return true
+}
+
+func (st *cacheStripe) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = st.head
+	if st.head != nil {
+		st.head.prev = e
+	}
+	st.head = e
+	if st.tail == nil {
+		st.tail = e
+	}
+}
+
+func (st *cacheStripe) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		st.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		st.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (st *cacheStripe) moveToFront(e *lruEntry) {
+	if st.head == e {
+		return
+	}
+	st.unlink(e)
+	st.pushFront(e)
+}
+
+// CacheLen returns the number of cached blocks (for tests).
+func (s *Store) CacheLen() int {
+	n := 0
+	for i := range s.stripe {
+		st := &s.stripe[i]
+		st.mu.Lock()
+		n += len(st.cache)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Reader provides charged access to one file. A Reader must be used by
+// one goroutine at a time (cursors hand readers between workers, never
+// share them concurrently). Sequentiality is tracked per reader, like
+// per-file-descriptor readahead state.
+type Reader struct {
+	store     *Store
+	file      int
+	lastBlock int64
+	owed      time.Duration
+}
+
+// NewReader opens file h for charged reads.
+func (s *Store) NewReader(h int) *Reader {
+	return &Reader{store: s, file: h, lastBlock: -2}
+}
+
+// Size returns the file length in bytes.
+func (r *Reader) Size() int64 { return r.store.FileSize(r.file) }
+
+// View returns the file bytes [off, off+n), charging for every block
+// touched that is not in the page cache. The returned slice aliases the
+// store's immutable data; callers must not modify it.
+func (r *Reader) View(off, n int64) []byte {
+	data := r.store.files[r.file].data
+	if off < 0 || off+n > int64(len(data)) {
+		panic(fmt.Sprintf("iomodel: read [%d,%d) beyond file %q size %d",
+			off, off+n, r.store.files[r.file].name, len(data)))
+	}
+	if n > 0 {
+		bs := int64(r.store.cfg.BlockSize)
+		first := off / bs
+		last := (off + n - 1) / bs
+		for b := first; b <= last; b++ {
+			r.touchBlock(b)
+		}
+	}
+	return data[off : off+n]
+}
+
+func (r *Reader) touchBlock(b int64) {
+	s := r.store
+	if s.cfg.SeqLatency == 0 && s.cfg.RandLatency == 0 && s.cfg.NoSleep {
+		// RAM-resident model: reads cost nothing; skip the cache
+		// machinery entirely (no counters either).
+		return
+	}
+	if b == r.lastBlock {
+		return // same block as the previous touch: free, no counter
+	}
+	seq := b == r.lastBlock+1
+	r.lastBlock = b
+	if !s.touch(blockID{file: r.file, block: b}) {
+		s.cacheHits.Add(1)
+		return
+	}
+	s.blocksRead.Add(1)
+	var lat time.Duration
+	if seq {
+		s.seqReads.Add(1)
+		lat = s.cfg.SeqLatency
+	} else {
+		s.randReads.Add(1)
+		lat = s.cfg.RandLatency
+	}
+	if lat == 0 {
+		return
+	}
+	s.simIO.Add(int64(lat))
+	if s.cfg.NoSleep {
+		return
+	}
+	r.owed += lat
+	if r.owed >= s.cfg.SleepBatch {
+		time.Sleep(r.owed)
+		r.owed = 0
+	}
+}
+
+// Settle pays any accumulated-but-unpaid latency. Cursors call it when
+// a traversal ends so short reads are not silently free.
+func (r *Reader) Settle() {
+	if r.owed > 0 && !r.store.cfg.NoSleep {
+		time.Sleep(r.owed)
+	}
+	r.owed = 0
+}

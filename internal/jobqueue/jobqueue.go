@@ -1,0 +1,110 @@
+// Package jobqueue provides the shared work queue the parallel
+// algorithms schedule on. Sparta "divide[s] posting list traversals to
+// segments ... and use[s] a job queue to allocate posting list segments
+// to threads"; a worker finishing a segment "inserts into the queue a
+// new task for scanning the next segment" (§4.2), and pBMW's threads
+// "obtain jobs from a common job queue" of document-id ranges (§5.2.1).
+//
+// The queue is unbounded (a mutex-guarded slice with a condition
+// variable), so self-perpetuating jobs can always re-enqueue without
+// deadlock, and FIFO, so posting lists advance at the same rate modulo
+// the segment size, as the paper's round-robin scheduling requires.
+package jobqueue
+
+import "sync"
+
+// Pool runs submitted jobs on a fixed set of worker goroutines.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+
+	active int // jobs currently executing
+	idle   *sync.Cond
+
+	wg sync.WaitGroup
+}
+
+// New starts a pool with the given number of workers (at least 1).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.idle = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.active++
+		p.mu.Unlock()
+
+		job()
+
+		p.mu.Lock()
+		p.active--
+		if p.active == 0 && len(p.queue) == 0 {
+			p.idle.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Submit enqueues a job. Jobs may Submit follow-on jobs. Submitting to
+// a closed pool is a no-op (late self-re-enqueues during shutdown are
+// dropped harmlessly).
+func (p *Pool) Submit(job func()) {
+	p.mu.Lock()
+	if !p.closed {
+		p.queue = append(p.queue, job)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// Drain blocks until the queue is empty and no job is executing. A job
+// submitted after Drain observes quiescence may still run later; Drain
+// is for the "all posting lists exhausted" termination of a query whose
+// jobs have stopped re-enqueueing.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	for p.active > 0 || len(p.queue) > 0 {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops accepting jobs, discards queued-but-unstarted work, and
+// waits for running jobs to finish.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// CloseAfterDrain waits for all work to finish, then shuts down.
+func (p *Pool) CloseAfterDrain() {
+	p.Drain()
+	p.Close()
+}

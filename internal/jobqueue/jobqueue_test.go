@@ -1,0 +1,148 @@
+package jobqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunsAllJobs(t *testing.T) {
+	p := New(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	p.CloseAfterDrain()
+	if n.Load() != 100 {
+		t.Errorf("ran %d jobs, want 100", n.Load())
+	}
+}
+
+func TestSelfPerpetuatingJobs(t *testing.T) {
+	// Sparta's PROCESSTERM pattern: each job re-enqueues its successor.
+	p := New(3)
+	var n atomic.Int64
+	var resubmit func()
+	resubmit = func() {
+		if n.Add(1) < 500 {
+			p.Submit(resubmit)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p.Submit(resubmit)
+	}
+	p.Drain()
+	p.Close()
+	if got := n.Load(); got < 500 {
+		t.Errorf("ran %d jobs, want >= 500", got)
+	}
+}
+
+func TestDrainWaitsForRunningJobs(t *testing.T) {
+	p := New(2)
+	var done atomic.Bool
+	release := make(chan struct{})
+	p.Submit(func() {
+		<-release
+		done.Store(true)
+	})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	p.Drain()
+	if !done.Load() {
+		t.Error("Drain returned before running job finished")
+	}
+	p.Close()
+}
+
+func TestDrainOnIdlePool(t *testing.T) {
+	p := New(2)
+	doneCh := make(chan struct{})
+	go func() {
+		p.Drain()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(time.Second):
+		t.Fatal("Drain on idle pool blocked")
+	}
+	p.Close()
+}
+
+func TestCloseDiscardsQueued(t *testing.T) {
+	p := New(1)
+	block := make(chan struct{})
+	var ran atomic.Int64
+	p.Submit(func() { <-block })
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(block)
+	}()
+	p.Close()
+	if ran.Load() != 0 {
+		t.Errorf("%d queued jobs ran after Close", ran.Load())
+	}
+}
+
+func TestSubmitAfterCloseIsNoOp(t *testing.T) {
+	p := New(1)
+	p.Close()
+	p.Submit(func() { t.Error("job ran after Close") })
+	time.Sleep(5 * time.Millisecond)
+}
+
+func TestWorkerCountFloor(t *testing.T) {
+	p := New(0) // floors to 1
+	var n atomic.Int64
+	p.Submit(func() { n.Add(1) })
+	p.CloseAfterDrain()
+	if n.Load() != 1 {
+		t.Error("zero-worker pool did not run job")
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(4)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Submit(func() { n.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	p.CloseAfterDrain()
+	if n.Load() != 1600 {
+		t.Errorf("ran %d, want 1600", n.Load())
+	}
+}
+
+func TestFIFOOrderSingleWorker(t *testing.T) {
+	p := New(1)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 20; i++ {
+		p.Submit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	p.CloseAfterDrain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; queue is not FIFO", i, v)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package model defines the elementary types shared by every layer of
+// the Sparta reproduction: document and term identifiers, integer term
+// scores, postings, and top-k result sets.
+//
+// Following the paper (§5.2), term scores are tf-idf values scaled by
+// 10^6 and rounded to integers; integer arithmetic significantly speeds
+// up document evaluation and makes results exactly reproducible across
+// runs and machines. A full document score for an m-term query is the
+// sum of m term scores, which comfortably fits in an int64.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DocID identifies a document in a corpus. IDs are dense: a corpus with
+// N documents uses IDs 0..N-1.
+type DocID uint32
+
+// TermID identifies a dictionary term. IDs are dense per index.
+type TermID uint32
+
+// Score is an integer term or document score. Term scores are tf-idf
+// values scaled by ScoreScale and rounded; document scores are sums of
+// term scores.
+type Score int64
+
+// ScoreScale is the fixed-point scaling factor applied to floating
+// point tf-idf values when they are converted to integer Scores.
+const ScoreScale = 1_000_000
+
+// FromFloat converts a floating-point score (e.g. raw tf-idf) into a
+// fixed-point integer Score.
+func FromFloat(f float64) Score {
+	return Score(f*ScoreScale + 0.5)
+}
+
+// Float converts a Score back to its floating-point value.
+func (s Score) Float() float64 { return float64(s) / ScoreScale }
+
+// Posting is a single entry of a posting list: a document and the score
+// of the posting's term for that document.
+type Posting struct {
+	Doc   DocID
+	Score Score
+}
+
+// Result is one entry of a top-k result set.
+type Result struct {
+	Doc   DocID
+	Score Score
+}
+
+// TopK is a ranked query result: documents ordered by decreasing score,
+// ties broken by increasing DocID so that exact algorithms are
+// comparable result-for-result.
+type TopK []Result
+
+// Sort orders the result set canonically (descending score, ascending
+// DocID on ties).
+func (t TopK) Sort() {
+	sort.Slice(t, func(i, j int) bool {
+		if t[i].Score != t[j].Score {
+			return t[i].Score > t[j].Score
+		}
+		return t[i].Doc < t[j].Doc
+	})
+}
+
+// Docs returns the set of document IDs in the result list.
+func (t TopK) Docs() map[DocID]bool {
+	m := make(map[DocID]bool, len(t))
+	for _, r := range t {
+		m[r.Doc] = true
+	}
+	return m
+}
+
+// MinScore returns the lowest score in the result set, or 0 if empty.
+func (t TopK) MinScore() Score {
+	if len(t) == 0 {
+		return 0
+	}
+	min := t[0].Score
+	for _, r := range t[1:] {
+		if r.Score < min {
+			min = r.Score
+		}
+	}
+	return min
+}
+
+// Recall measures the quality of an approximate result set against the
+// exact one (§2 of the paper): the fraction of the exact top-k that the
+// approximation contains. It is the metric every accuracy table in the
+// paper reports.
+//
+// Documents whose score ties the exact k-th score are interchangeable:
+// an approximate result that returns a different-but-equally-scored
+// document is not penalized. This matches how recall is computed in IR
+// evaluation when ties straddle the cutoff.
+func Recall(exact, approx TopK) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	cut := exact.MinScore()
+	exactDocs := exact.Docs()
+	hit := 0
+	for _, r := range approx {
+		if exactDocs[r.Doc] || r.Score >= cut {
+			hit++
+		}
+	}
+	if hit > len(exact) {
+		hit = len(exact)
+	}
+	return float64(hit) / float64(len(exact))
+}
+
+// Query is a bag of terms, given after textual analysis (the paper
+// ignores query pre-processing and treats the query as a bag of words,
+// §6). Terms are index TermIDs; duplicates are allowed and contribute
+// independently to the score, as in the paper's additive model.
+type Query []TermID
+
+// String renders the query as a compact id list, for logs and errors.
+func (q Query) String() string {
+	return fmt.Sprintf("query%v", []TermID(q))
+}

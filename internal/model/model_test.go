@@ -1,0 +1,144 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Score
+	}{
+		{0, 0},
+		{1, 1_000_000},
+		{1.5, 1_500_000},
+		{0.0000005, 1}, // rounds up at half
+		{12.345678, 12_345_678},
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.f); got != c.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestScoreFloat(t *testing.T) {
+	if got := Score(2_500_000).Float(); got != 2.5 {
+		t.Errorf("Float() = %v, want 2.5", got)
+	}
+}
+
+func TestTopKSortOrdering(t *testing.T) {
+	tk := TopK{
+		{Doc: 3, Score: 10},
+		{Doc: 1, Score: 30},
+		{Doc: 2, Score: 10},
+		{Doc: 4, Score: 20},
+	}
+	tk.Sort()
+	want := TopK{
+		{Doc: 1, Score: 30},
+		{Doc: 4, Score: 20},
+		{Doc: 2, Score: 10}, // ties break by ascending doc
+		{Doc: 3, Score: 10},
+	}
+	for i := range want {
+		if tk[i] != want[i] {
+			t.Fatalf("Sort()[%d] = %+v, want %+v", i, tk[i], want[i])
+		}
+	}
+}
+
+func TestTopKMinScore(t *testing.T) {
+	if got := (TopK{}).MinScore(); got != 0 {
+		t.Errorf("empty MinScore = %d, want 0", got)
+	}
+	tk := TopK{{Doc: 1, Score: 5}, {Doc: 2, Score: 3}, {Doc: 3, Score: 9}}
+	if got := tk.MinScore(); got != 3 {
+		t.Errorf("MinScore = %d, want 3", got)
+	}
+}
+
+func TestRecallExactIsOne(t *testing.T) {
+	exact := TopK{{Doc: 1, Score: 30}, {Doc: 2, Score: 20}, {Doc: 3, Score: 10}}
+	if got := Recall(exact, exact); got != 1 {
+		t.Errorf("Recall(exact, exact) = %v, want 1", got)
+	}
+}
+
+func TestRecallMissingHalf(t *testing.T) {
+	exact := TopK{{Doc: 1, Score: 30}, {Doc: 2, Score: 20}}
+	approx := TopK{{Doc: 1, Score: 30}, {Doc: 9, Score: 1}}
+	if got := Recall(exact, approx); got != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", got)
+	}
+}
+
+func TestRecallEmptyExact(t *testing.T) {
+	if got := Recall(TopK{}, TopK{{Doc: 1, Score: 1}}); got != 1 {
+		t.Errorf("Recall with empty exact = %v, want 1", got)
+	}
+}
+
+func TestRecallTieAtCutoffNotPenalized(t *testing.T) {
+	// Docs 2 and 3 both score 10; the exact list kept doc 2, the
+	// approximation kept doc 3. They are interchangeable.
+	exact := TopK{{Doc: 1, Score: 30}, {Doc: 2, Score: 10}}
+	approx := TopK{{Doc: 1, Score: 30}, {Doc: 3, Score: 10}}
+	if got := Recall(exact, approx); got != 1 {
+		t.Errorf("Recall with tie at cutoff = %v, want 1", got)
+	}
+}
+
+func TestRecallCappedAtOne(t *testing.T) {
+	exact := TopK{{Doc: 1, Score: 10}}
+	approx := TopK{{Doc: 1, Score: 10}, {Doc: 2, Score: 10}, {Doc: 3, Score: 10}}
+	if got := Recall(exact, approx); got != 1 {
+		t.Errorf("Recall = %v, want capped at 1", got)
+	}
+}
+
+func TestRecallPropertyBounds(t *testing.T) {
+	// Property: recall is always within [0,1] for arbitrary result sets.
+	f := func(exactDocs, approxDocs []uint16) bool {
+		var exact, approx TopK
+		for i, d := range exactDocs {
+			exact = append(exact, Result{Doc: DocID(d), Score: Score(100 - i)})
+		}
+		for i, d := range approxDocs {
+			approx = append(approx, Result{Doc: DocID(d), Score: Score(100 - i)})
+		}
+		r := Recall(exact, approx)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKSortIsCanonicalProperty(t *testing.T) {
+	// Property: sorting twice equals sorting once, and order is total.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tk := make(TopK, int(n))
+		for i := range tk {
+			tk[i] = Result{Doc: DocID(rng.Intn(10)), Score: Score(rng.Intn(5))}
+		}
+		tk.Sort()
+		for i := 1; i < len(tk); i++ {
+			a, b := tk[i-1], tk[i]
+			if a.Score < b.Score {
+				return false
+			}
+			if a.Score == b.Score && a.Doc > b.Doc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

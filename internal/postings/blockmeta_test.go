@@ -1,0 +1,107 @@
+package postings
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sparta/internal/model"
+)
+
+// Property tests for the block-metadata lookups BMW's shallow moves
+// depend on: BlockMaxAt must upper-bound the score of any posting with
+// doc >= d within the block containing the first such posting, and
+// BlockLastAt must return that block's last doc.
+
+func randomDocList(seed int64, n int) []model.Posting {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make(map[uint32]bool)
+	for len(ids) < n {
+		ids[rng.Uint32()%100_000] = true
+	}
+	out := make([]model.Posting, 0, n)
+	for id := range ids {
+		out = append(out, model.Posting{
+			Doc:   model.DocID(id),
+			Score: model.Score(rng.Intn(1_000_000) + 1),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+func TestBlockMaxAtBoundsScores(t *testing.T) {
+	f := func(seed int64, nRaw uint16, dRaw uint32) bool {
+		n := int(nRaw)%500 + 1
+		list := randomDocList(seed, n)
+		blocks := BuildBlocks(list)
+		d := model.DocID(dRaw % 110_000)
+
+		// Reference: the first posting with Doc >= d and its block.
+		i := sort.Search(len(list), func(i int) bool { return list[i].Doc >= d })
+		if i == len(list) {
+			return BlockMaxAtMeta(blocks, d) == 0 &&
+				BlockLastAtMeta(blocks, d) == model.DocID(^uint32(0))
+		}
+		blk := i / BlockSize
+		start, end := blk*BlockSize, (blk+1)*BlockSize
+		if end > len(list) {
+			end = len(list)
+		}
+		var wantMax model.Score
+		for _, p := range list[start:end] {
+			if p.Score > wantMax {
+				wantMax = p.Score
+			}
+		}
+		if BlockMaxAtMeta(blocks, d) != wantMax {
+			return false
+		}
+		if BlockLastAtMeta(blocks, d) != list[end-1].Doc {
+			return false
+		}
+		// The essential BMW safety property: the score of the posting
+		// at d (if present) never exceeds BlockMaxAt(d).
+		if list[i].Doc == d && list[i].Score > BlockMaxAtMeta(blocks, d) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockMetadataConsistency(t *testing.T) {
+	list := randomDocList(42, 300)
+	blocks := BuildBlocks(list)
+	c := NewSliceDocCursor(list, blocks, 0)
+	for c.Next() {
+		d := c.Doc()
+		if c.BlockMax() != c.BlockMaxAt(d) {
+			t.Fatalf("doc %d: BlockMax %d != BlockMaxAt %d", d, c.BlockMax(), c.BlockMaxAt(d))
+		}
+		if c.BlockLast() != c.BlockLastAt(d) {
+			t.Fatalf("doc %d: BlockLast %d != BlockLastAt %d", d, c.BlockLast(), c.BlockLastAt(d))
+		}
+		if c.Score() > c.BlockMax() {
+			t.Fatalf("doc %d score %d exceeds its block max %d", d, c.Score(), c.BlockMax())
+		}
+	}
+}
+
+func TestBlockLastAtMonotone(t *testing.T) {
+	list := randomDocList(7, 400)
+	blocks := BuildBlocks(list)
+	prev := model.DocID(0)
+	for d := model.DocID(0); d < 100_000; d += 997 {
+		bl := BlockLastAtMeta(blocks, d)
+		if bl < prev && bl != model.DocID(^uint32(0)) {
+			t.Fatalf("BlockLastAt not monotone at %d: %d < %d", d, bl, prev)
+		}
+		if bl != model.DocID(^uint32(0)) {
+			prev = bl
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package postings
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sparta/internal/model"
+)
+
+func docList(docs ...int) []model.Posting {
+	out := make([]model.Posting, len(docs))
+	for i, d := range docs {
+		out[i] = model.Posting{Doc: model.DocID(d), Score: model.Score(d%7 + 1)}
+	}
+	return out
+}
+
+func TestDocCursorNextWalksAll(t *testing.T) {
+	list := docList(1, 5, 9, 12, 40)
+	c := NewSliceDocCursor(list, nil, 0)
+	var got []model.DocID
+	for c.Next() {
+		got = append(got, c.Doc())
+	}
+	if len(got) != 5 || got[0] != 1 || got[4] != 40 {
+		t.Errorf("walked %v", got)
+	}
+	if c.Next() {
+		t.Error("Next after end should stay false")
+	}
+}
+
+func TestDocCursorSkipTo(t *testing.T) {
+	list := docList(2, 4, 8, 16, 32, 64, 128)
+	c := NewSliceDocCursor(list, nil, 0)
+	if !c.SkipTo(8) || c.Doc() != 8 {
+		t.Fatalf("SkipTo(8) landed on %v", c.Doc())
+	}
+	if !c.SkipTo(9) || c.Doc() != 16 {
+		t.Fatalf("SkipTo(9) landed on %v", c.Doc())
+	}
+	// SkipTo to current or earlier doc must not move.
+	if !c.SkipTo(3) || c.Doc() != 16 {
+		t.Fatalf("SkipTo(3) moved to %v, want stay at 16", c.Doc())
+	}
+	if c.SkipTo(129) {
+		t.Error("SkipTo beyond end should return false")
+	}
+}
+
+func TestDocCursorSkipToFirst(t *testing.T) {
+	list := docList(10, 20)
+	c := NewSliceDocCursor(list, nil, 0)
+	if !c.SkipTo(0) || c.Doc() != 10 {
+		t.Errorf("SkipTo(0) on fresh cursor: doc %v", c.Doc())
+	}
+}
+
+func TestDocCursorEmpty(t *testing.T) {
+	c := NewSliceDocCursor(nil, nil, 0)
+	if c.Next() {
+		t.Error("Next on empty list")
+	}
+	c2 := NewSliceDocCursor(nil, nil, 0)
+	if c2.SkipTo(5) {
+		t.Error("SkipTo on empty list")
+	}
+}
+
+func TestBuildBlocks(t *testing.T) {
+	var list []model.Posting
+	for i := 0; i < 130; i++ {
+		list = append(list, model.Posting{Doc: model.DocID(i * 2), Score: model.Score(i + 1)})
+	}
+	blocks := BuildBlocks(list)
+	if len(blocks) != 3 {
+		t.Fatalf("130 postings => %d blocks, want 3", len(blocks))
+	}
+	if blocks[0].Last != 126 { // doc of index 63
+		t.Errorf("block 0 last = %d, want 126", blocks[0].Last)
+	}
+	if blocks[0].Max != 64 {
+		t.Errorf("block 0 max = %d, want 64", blocks[0].Max)
+	}
+	if blocks[2].Last != 258 || blocks[2].Max != 130 {
+		t.Errorf("block 2 = %+v", blocks[2])
+	}
+}
+
+func TestDocCursorBlockMetadata(t *testing.T) {
+	var list []model.Posting
+	for i := 0; i < 200; i++ {
+		list = append(list, model.Posting{Doc: model.DocID(i), Score: model.Score(200 - i)})
+	}
+	c := NewSliceDocCursor(list, nil, 0)
+	if c.MaxScore() != 200 {
+		t.Errorf("MaxScore = %d, want 200", c.MaxScore())
+	}
+	c.Next()
+	if c.BlockMax() != 200 || c.BlockLast() != 63 {
+		t.Errorf("block 0: max=%d last=%d", c.BlockMax(), c.BlockLast())
+	}
+	c.SkipTo(64)
+	if c.BlockMax() != 200-64 || c.BlockLast() != 127 {
+		t.Errorf("block 1: max=%d last=%d", c.BlockMax(), c.BlockLast())
+	}
+}
+
+func TestDocCursorSkipToEquivalentToLinearProperty(t *testing.T) {
+	f := func(seed int64, targetsRaw []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		docs := make(map[int]bool)
+		for len(docs) < n {
+			docs[rng.Intn(2000)] = true
+		}
+		sorted := make([]int, 0, n)
+		for d := range docs {
+			sorted = append(sorted, d)
+		}
+		sort.Ints(sorted)
+		list := docList(sorted...)
+
+		targets := make([]model.DocID, len(targetsRaw))
+		for i, v := range targetsRaw {
+			targets[i] = model.DocID(v % 2100)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+		c := NewSliceDocCursor(list, nil, 0)
+		for _, d := range targets {
+			// Reference: linear scan on the slice from current pos.
+			want := -1
+			for i := range list {
+				if list[i].Doc >= d {
+					want = i
+					break
+				}
+			}
+			ok := c.SkipTo(d)
+			if want == -1 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			// Cursor may already be past d (never moves back): its doc
+			// must be >= max(d, previous position's doc).
+			if !ok || c.Doc() < d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreCursorOrderAndBound(t *testing.T) {
+	list := []model.Posting{
+		{Doc: 5, Score: 90},
+		{Doc: 2, Score: 70},
+		{Doc: 9, Score: 70},
+		{Doc: 1, Score: 10},
+	}
+	c := NewSliceScoreCursor(list, 0)
+	if c.Bound() != 90 {
+		t.Errorf("initial Bound = %d, want 90 (term max)", c.Bound())
+	}
+	prev := model.Score(1 << 60)
+	for c.Next() {
+		if c.Score() > prev {
+			t.Fatal("score order violated")
+		}
+		if c.Bound() != c.Score() {
+			t.Errorf("Bound %d != current score %d", c.Bound(), c.Score())
+		}
+		prev = c.Score()
+	}
+	if c.Bound() != 0 {
+		t.Errorf("exhausted Bound = %d, want 0", c.Bound())
+	}
+}
+
+func TestScoreCursorEmpty(t *testing.T) {
+	c := NewSliceScoreCursor(nil, 0)
+	if c.Next() {
+		t.Error("Next on empty score cursor")
+	}
+	if c.Bound() != 0 {
+		t.Errorf("empty cursor Bound = %d", c.Bound())
+	}
+}
+
+func TestShardRangePartition(t *testing.T) {
+	const docs, shards = 103, 12
+	covered := 0
+	var prevHi model.DocID
+	for s := 0; s < shards; s++ {
+		lo, hi := ShardRange(docs, s, shards)
+		if lo != prevHi {
+			t.Fatalf("shard %d starts at %d, want %d", s, lo, prevHi)
+		}
+		covered += int(hi - lo)
+		prevHi = hi
+	}
+	if covered != docs || prevHi != docs {
+		t.Errorf("shards cover %d docs ending at %d, want %d", covered, prevHi, docs)
+	}
+}

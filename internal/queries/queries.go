@@ -1,0 +1,88 @@
+// Package queries generates the evaluation workloads of §5.1 and §5.3.
+//
+// The paper draws, for each length 1..12, 100 queries uniformly at
+// random from the AOL search log, and builds a production throughput
+// mix from the voice-query length distribution of Guy (SIGIR'16): mean
+// 4.2 terms, standard deviation 2.96, more than 5% of queries with 10+
+// terms. The AOL log is not redistributable, so this package samples
+// query terms from the indexed dictionary with popularity bias — query
+// words in real logs are drawn from the head of the vocabulary far more
+// often than uniformly — which reproduces the property the evaluation
+// depends on: the mix of long (head-term) and short (tail-term) posting
+// lists per query.
+package queries
+
+import (
+	"sparta/internal/model"
+	"sparta/internal/postings"
+	"sparta/internal/xrand"
+)
+
+// VoiceMean and VoiceSD are the voice-query length moments from Guy
+// (SIGIR'16) used in §5.3's throughput experiment.
+const (
+	VoiceMean = 4.2
+	VoiceSD   = 2.96
+	// MaxLen is the paper's maximum evaluated query length.
+	MaxLen = 12
+	// PerLength is the paper's per-length sample size.
+	PerLength = 100
+)
+
+// Sets is the per-length query pool: Sets[l-1] holds the queries of
+// length l.
+type Sets [][]model.Query
+
+// Generate builds per-length pools over view's dictionary: count
+// queries for each length 1..maxLen, with term selection biased by a
+// Zipf over term ids (term ids are frequency ranks in the synthetic
+// corpora). Terms with empty posting lists are skipped, and a query
+// never repeats a term — like deduplicated bag-of-words queries.
+func Generate(view postings.View, maxLen, count int, seed uint64) Sets {
+	rng := xrand.New(seed)
+	// Exponent below 1: query-log term distributions are flatter than
+	// document-frequency distributions (users combine head and torso
+	// terms).
+	z := xrand.NewZipf(rng, 0.85, view.NumTerms())
+	sets := make(Sets, maxLen)
+	for l := 1; l <= maxLen; l++ {
+		pool := make([]model.Query, 0, count)
+		for len(pool) < count {
+			q := make(model.Query, 0, l)
+			used := make(map[int]bool, l)
+			for len(q) < l {
+				t := z.Next()
+				if used[t] || view.DF(model.TermID(t)) == 0 {
+					continue
+				}
+				used[t] = true
+				q = append(q, model.TermID(t))
+			}
+			pool = append(pool, q)
+		}
+		sets[l-1] = pool
+	}
+	return sets
+}
+
+// Length returns the pool for queries of length l (1-based).
+func (s Sets) Length(l int) []model.Query { return s[l-1] }
+
+// MaxLen returns the largest generated length.
+func (s Sets) MaxLen() int { return len(s) }
+
+// VoiceMix draws n queries following the production voice-query
+// workload of §5.3: sample a length from the truncated normal
+// (VoiceMean, VoiceSD) over [1, MaxLen], then pick uniformly among the
+// pool's queries of that length — exactly the paper's two-stage
+// procedure over its 1200 AOL queries.
+func (s Sets) VoiceMix(n int, seed uint64) []model.Query {
+	rng := xrand.New(seed)
+	out := make([]model.Query, n)
+	for i := range out {
+		l := rng.TruncNormInt(VoiceMean, VoiceSD, 1, len(s))
+		pool := s.Length(l)
+		out[i] = pool[rng.Intn(len(pool))]
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package queries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sparta/internal/corpus"
+	"sparta/internal/index"
+)
+
+func testIndex(t *testing.T) *index.Index {
+	t.Helper()
+	c := corpus.New(corpus.Spec{
+		Name: "t", Docs: 500, Vocab: 300, ZipfS: 1.0,
+		MeanDocLen: 40, MinDocLen: 5, Seed: 3,
+	})
+	return index.FromCorpus(c)
+}
+
+func TestGenerateShape(t *testing.T) {
+	x := testIndex(t)
+	s := Generate(x, 12, 25, 7)
+	if s.MaxLen() != 12 {
+		t.Fatalf("MaxLen = %d", s.MaxLen())
+	}
+	for l := 1; l <= 12; l++ {
+		pool := s.Length(l)
+		if len(pool) != 25 {
+			t.Fatalf("length %d pool = %d queries", l, len(pool))
+		}
+		for _, q := range pool {
+			if len(q) != l {
+				t.Fatalf("query %v has %d terms, want %d", q, len(q), l)
+			}
+			seen := make(map[uint32]bool)
+			for _, term := range q {
+				if seen[uint32(term)] {
+					t.Fatalf("query %v repeats term %d", q, term)
+				}
+				seen[uint32(term)] = true
+				if x.DF(term) == 0 {
+					t.Fatalf("query term %d has empty posting list", term)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	x := testIndex(t)
+	a := Generate(x, 5, 10, 42)
+	b := Generate(x, 5, 10, 42)
+	for l := 1; l <= 5; l++ {
+		for i := range a.Length(l) {
+			qa, qb := a.Length(l)[i], b.Length(l)[i]
+			for j := range qa {
+				if qa[j] != qb[j] {
+					t.Fatal("generation not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratePopularityBias(t *testing.T) {
+	x := testIndex(t)
+	s := Generate(x, 12, 50, 11)
+	// Head terms (low ids = high frequency ranks) must dominate.
+	low, high := 0, 0
+	for l := 1; l <= 12; l++ {
+		for _, q := range s.Length(l) {
+			for _, term := range q {
+				if int(term) < x.NumTerms()/10 {
+					low++
+				} else {
+					high++
+				}
+			}
+		}
+	}
+	if low <= high/2 {
+		t.Errorf("head-term selections %d vs tail %d; want popularity bias", low, high)
+	}
+}
+
+func TestVoiceMixDistribution(t *testing.T) {
+	x := testIndex(t)
+	s := Generate(x, 12, 30, 13)
+	mix := s.VoiceMix(20000, 17)
+	if len(mix) != 20000 {
+		t.Fatalf("mix size %d", len(mix))
+	}
+	sum, long := 0, 0
+	for _, q := range mix {
+		l := len(q)
+		if l < 1 || l > 12 {
+			t.Fatalf("query length %d out of range", l)
+		}
+		sum += l
+		if l >= 10 {
+			long++
+		}
+	}
+	mean := float64(sum) / float64(len(mix))
+	// Truncation to [1,12] shifts the raw 4.2 mean up slightly.
+	if mean < 3.9 || mean > 5.0 {
+		t.Errorf("voice mix mean length %v, want ~4.2-4.7", mean)
+	}
+	if frac := float64(long) / float64(len(mix)); frac < 0.03 {
+		t.Errorf("10+ term fraction %v; paper reports >5%%", frac)
+	}
+}
+
+func TestVoiceMixDeterministic(t *testing.T) {
+	x := testIndex(t)
+	s := Generate(x, 12, 10, 19)
+	a := s.VoiceMix(100, 23)
+	b := s.VoiceMix(100, 23)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("voice mix not deterministic")
+		}
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	x := testIndex(t)
+	orig := Generate(x, 6, 7, 31)
+	var buf bytes.Buffer
+	if err := orig.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxLen() != orig.MaxLen() {
+		t.Fatalf("MaxLen %d, want %d", got.MaxLen(), orig.MaxLen())
+	}
+	for l := 1; l <= orig.MaxLen(); l++ {
+		a, b := orig.Length(l), got.Length(l)
+		if len(a) != len(b) {
+			t.Fatalf("length %d: %d vs %d queries", l, len(a), len(b))
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("length %d query %d differs", l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"1\t0",                     // two fields
+		"x\t0\t5",                  // bad length
+		"2\t0\t5",                  // declared 2, one term
+		"1\t0\tfive",               // bad term
+		"2\t0\t1 2\n4\t0\t1 2 3 4", // gap: no length-1/3 pools
+	}
+	for i, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# comment\n\n1\t0\t7\n"
+	if _, err := ReadTSV(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}

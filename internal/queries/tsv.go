@@ -1,0 +1,88 @@
+package queries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sparta/internal/model"
+)
+
+// TSV persistence for query pools: the format cmd/corpusgen writes and
+// cmd/queryrun / cmd/experiments can replay, so a workload is fixed
+// once and reused across runs (the paper samples its AOL queries once
+// per experiment series).
+//
+// Each line is:  <length>\t<index>\t<term term term ...>
+
+// WriteTSV serializes the pools.
+func (s Sets) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for l := 1; l <= s.MaxLen(); l++ {
+		for i, q := range s.Length(l) {
+			fmt.Fprintf(bw, "%d\t%d\t", l, i)
+			for j, term := range q {
+				if j > 0 {
+					bw.WriteByte(' ')
+				}
+				fmt.Fprintf(bw, "%d", term)
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses pools written by WriteTSV. Lines must arrive grouped
+// by length with lengths contiguous from 1 (as WriteTSV emits); the
+// declared length must match the term count.
+func ReadTSV(r io.Reader) (Sets, error) {
+	var sets Sets
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("queries: line %d: want 3 tab-separated fields", lineNo)
+		}
+		l, err := strconv.Atoi(parts[0])
+		if err != nil || l < 1 {
+			return nil, fmt.Errorf("queries: line %d: bad length %q", lineNo, parts[0])
+		}
+		var q model.Query
+		for _, f := range strings.Fields(parts[2]) {
+			id, err := strconv.Atoi(f)
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("queries: line %d: bad term %q", lineNo, f)
+			}
+			q = append(q, model.TermID(id))
+		}
+		if len(q) != l {
+			return nil, fmt.Errorf("queries: line %d: declared length %d, got %d terms", lineNo, l, len(q))
+		}
+		for len(sets) < l {
+			sets = append(sets, nil)
+		}
+		sets[l-1] = append(sets[l-1], q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("queries: reading tsv: %w", err)
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("queries: empty query file")
+	}
+	for l := 1; l <= len(sets); l++ {
+		if len(sets[l-1]) == 0 {
+			return nil, fmt.Errorf("queries: no queries of length %d (lengths must be contiguous)", l)
+		}
+	}
+	return sets, nil
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/core"
+	"sparta/internal/model"
+	"sparta/internal/queries"
+	"sparta/internal/topk"
+)
+
+// recordingAlg captures the thread counts it was given.
+type recordingAlg struct {
+	mu      sync.Mutex
+	threads map[int][]int // query length -> thread grants
+}
+
+func (r *recordingAlg) Name() string { return "rec" }
+
+func (r *recordingAlg) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	r.mu.Lock()
+	if r.threads == nil {
+		r.threads = make(map[int][]int)
+	}
+	r.threads[len(q)] = append(r.threads[len(q)], opts.Threads)
+	r.mu.Unlock()
+	return model.TopK{}, topk.Stats{}, nil
+}
+
+func TestDFPredictor(t *testing.T) {
+	x := algotest.SmallIndex(t, 1)
+	pred := DFPredictor(x)
+	short := model.Query{0}
+	long := model.Query{0, 1, 2, 3, 4}
+	if pred(long) <= pred(short) {
+		t.Error("longer query must predict higher cost")
+	}
+	if pred(short) != int64(x.DF(0)) {
+		t.Errorf("single-term prediction %d, want df %d", pred(short), x.DF(0))
+	}
+}
+
+func TestRunAdaptiveThreadChoice(t *testing.T) {
+	rec := &recordingAlg{}
+	// Predictor: queries of length >= 4 are "long".
+	pred := func(q model.Query) int64 { return int64(len(q)) }
+	var stream []model.Query
+	for i := 0; i < 30; i++ {
+		stream = append(stream, make(model.Query, 1+i%6))
+	}
+	res := RunAdaptive(rec, stream, 12, topk.Options{K: 5}, pred, 4)
+	if res.Queries != 30 || res.Errors != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for l, grants := range rec.threads {
+		for _, th := range grants {
+			if l < 4 && th != 1 {
+				t.Errorf("short query (m=%d) got %d threads, want 1", l, th)
+			}
+			if l >= 4 && th < 2 {
+				// May be capped by pool availability, but with a pool of
+				// 12 and sequential shorts, most long grants exceed 1.
+				t.Logf("long query (m=%d) got %d threads (pool pressure)", l, th)
+			}
+		}
+	}
+}
+
+func TestRunAdaptiveRealAlgorithm(t *testing.T) {
+	x := algotest.SmallIndex(t, 2)
+	sets := queries.Generate(x, 8, 5, 3)
+	stream := sets.VoiceMix(25, 9)
+	// Clamp lengths beyond generated max.
+	for i, q := range stream {
+		if len(q) > 8 {
+			stream[i] = q[:8]
+		}
+	}
+	res := RunAdaptive(core.New(x), stream, 6,
+		topk.Options{K: 10, Exact: true, SegSize: 64}, DFPredictor(x), 500)
+	if res.Errors != 0 {
+		t.Errorf("%d errors", res.Errors)
+	}
+	if res.QPS <= 0 || res.Latency.N() != 25 {
+		t.Errorf("res = %+v", res)
+	}
+}

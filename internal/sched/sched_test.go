@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/core"
+	"sparta/internal/model"
+	"sparta/internal/queries"
+	"sparta/internal/topk"
+)
+
+// fakeAlg records the parallelism it was given and sleeps briefly.
+type fakeAlg struct {
+	running atomic.Int64
+	maxSeen atomic.Int64
+	threads []int64
+	mu      chan struct{} // 1-token channel guarding threads
+}
+
+func newFake() *fakeAlg {
+	f := &fakeAlg{mu: make(chan struct{}, 1)}
+	f.mu <- struct{}{}
+	return f
+}
+
+func (f *fakeAlg) Name() string { return "fake" }
+
+func (f *fakeAlg) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	cur := f.running.Add(int64(opts.Threads))
+	for {
+		max := f.maxSeen.Load()
+		if cur <= max || f.maxSeen.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	<-f.mu
+	f.threads = append(f.threads, int64(opts.Threads))
+	f.mu <- struct{}{}
+	time.Sleep(2 * time.Millisecond)
+	f.running.Add(-int64(opts.Threads))
+	return model.TopK{}, topk.Stats{}, nil
+}
+
+func TestRunNeverOversubscribes(t *testing.T) {
+	f := newFake()
+	stream := make([]model.Query, 40)
+	for i := range stream {
+		stream[i] = make(model.Query, 1+i%6)
+	}
+	const pool = 8
+	res := Run(f, stream, pool, topk.Options{K: 10})
+	if res.Queries != 40 {
+		t.Errorf("completed %d", res.Queries)
+	}
+	if f.maxSeen.Load() > pool {
+		t.Errorf("concurrent thread tokens peaked at %d > pool %d", f.maxSeen.Load(), pool)
+	}
+	for _, th := range f.threads {
+		if th < 1 || th > pool {
+			t.Errorf("query ran with %d threads", th)
+		}
+	}
+	if res.QPS <= 0 {
+		t.Error("QPS not computed")
+	}
+	if res.Latency.N() != 40 {
+		t.Errorf("latency samples %d", res.Latency.N())
+	}
+}
+
+func TestRunRealAlgorithmThroughput(t *testing.T) {
+	x := algotest.SmallIndex(t, 1)
+	sets := queries.Generate(x, 6, 5, 3)
+	stream := sets.VoiceMix(30, 7)
+	// Clamp to the generated max length.
+	res := Run(core.New(x), stream, 4, topk.Options{K: 20, Exact: true, SegSize: 64})
+	if res.Errors != 0 {
+		t.Errorf("%d queries failed", res.Errors)
+	}
+	if res.Queries != 30 || res.QPS <= 0 {
+		t.Errorf("res = %+v", res)
+	}
+	if res.Latency.Percentile(95) < res.Latency.Percentile(50) {
+		t.Error("percentiles inverted")
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	f := newFake()
+	res := Run(f, nil, 4, topk.Options{})
+	if res.Queries != 0 || res.Errors != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}

@@ -1,0 +1,62 @@
+// Package scoring implements the paper's document scoring model: "a
+// standard tf-idf score function with document length normalization"
+// (§5.1, citing Baeza-Yates & Ribeiro-Neto), with term scores "stored
+// in the posting lists as integers, scaled by 10^6 and rounded" (§5.2).
+//
+// The concrete formula is the classic normalized tf-idf used by Lucene
+// and the IR textbook:
+//
+//	ts(D, t) = (1 + ln tf(D,t)) / sqrt(|D|) * ln(1 + N/df(t))
+//
+// where tf is the term's occurrence count in D, |D| the document length
+// in tokens, N the corpus size and df the term's document frequency.
+// The score of a document for a query is the sum of its term scores
+// (§2). Scores are strictly positive for any indexed posting, which the
+// retrieval algorithms rely on (a zero score slot means "not seen yet").
+package scoring
+
+import (
+	"math"
+
+	"sparta/internal/model"
+)
+
+// Scorer computes integer term scores for one corpus.
+type Scorer struct {
+	numDocs float64
+}
+
+// New creates a scorer for a corpus of numDocs documents.
+func New(numDocs int) *Scorer {
+	return &Scorer{numDocs: float64(numDocs)}
+}
+
+// TermScore returns the fixed-point tf-idf score of a term occurring tf
+// times in a document of docLen tokens, where the term appears in df
+// documents corpus-wide. The result is strictly positive for tf >= 1.
+func (s *Scorer) TermScore(tf uint32, docLen int, df int) model.Score {
+	if tf == 0 {
+		return 0
+	}
+	if docLen < 1 {
+		docLen = 1
+	}
+	if df < 1 {
+		df = 1
+	}
+	w := (1 + math.Log(float64(tf))) / math.Sqrt(float64(docLen)) * math.Log(1+s.numDocs/float64(df))
+	sc := model.FromFloat(w)
+	if sc <= 0 {
+		sc = 1 // postings always carry a positive score
+	}
+	return sc
+}
+
+// IDF returns the (unscaled) inverse document frequency component, for
+// diagnostics and tests.
+func (s *Scorer) IDF(df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	return math.Log(1 + s.numDocs/float64(df))
+}

@@ -1,0 +1,69 @@
+// Package text implements the tokenization / analysis pipeline that the
+// paper delegates to Lucene (§5.1: "text tokenization, posting list
+// maintenance, and term statistics retrieval"). The pipeline is the
+// standard web-search chain: unicode-ish word tokenization, lowercasing,
+// a stopword filter, and a token-length filter.
+//
+// The synthetic corpus generator emits pre-tokenized documents, so this
+// package mostly serves the real-text paths: the quickstart example,
+// index construction from raw strings, and the analytics example.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// DefaultStopwords is the classic English stopword list used by
+// Lucene's StandardAnalyzer.
+var DefaultStopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true,
+	"at": true, "be": true, "but": true, "by": true, "for": true,
+	"if": true, "in": true, "into": true, "is": true, "it": true,
+	"no": true, "not": true, "of": true, "on": true, "or": true,
+	"such": true, "that": true, "the": true, "their": true,
+	"then": true, "there": true, "these": true, "they": true,
+	"this": true, "to": true, "was": true, "will": true, "with": true,
+}
+
+// Analyzer converts raw text into index tokens.
+type Analyzer struct {
+	// Stopwords are dropped after lowercasing. Nil disables the filter.
+	Stopwords map[string]bool
+	// MinLen and MaxLen bound token length; tokens outside are dropped.
+	// Zero values mean 1 and 64 respectively.
+	MinLen, MaxLen int
+}
+
+// NewAnalyzer returns an analyzer with the default stopword list and
+// length bounds [2, 64], mirroring common Lucene configurations.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{Stopwords: DefaultStopwords, MinLen: 2, MaxLen: 64}
+}
+
+// Tokenize splits text on non-letter/digit boundaries, lowercases, and
+// applies the configured filters. It never returns nil.
+func (a *Analyzer) Tokenize(text string) []string {
+	minLen, maxLen := a.MinLen, a.MaxLen
+	if minLen == 0 {
+		minLen = 1
+	}
+	if maxLen == 0 {
+		maxLen = 64
+	}
+	raw := strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := make([]string, 0, len(raw))
+	for _, tok := range raw {
+		tok = strings.ToLower(tok)
+		if len(tok) < minLen || len(tok) > maxLen {
+			continue
+		}
+		if a.Stopwords != nil && a.Stopwords[tok] {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}

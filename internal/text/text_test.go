@@ -1,0 +1,73 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	a := NewAnalyzer()
+	got := a.Tokenize("The Quick Brown Fox, jumps over the lazy dog!")
+	want := []string{"quick", "brown", "fox", "jumps", "over", "lazy", "dog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeStopwords(t *testing.T) {
+	a := NewAnalyzer()
+	got := a.Tokenize("this is a test of the stopword filter")
+	want := []string{"test", "stopword", "filter"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeLengthFilter(t *testing.T) {
+	a := &Analyzer{MinLen: 3, MaxLen: 5}
+	got := a.Tokenize("go gopher golang ab abcdef")
+	want := []string{"abcde"} // none except... check below
+	_ = want
+	// "go"(2) dropped, "gopher"(6) dropped, "golang"(6) dropped,
+	// "ab"(2) dropped, "abcdef"(6) dropped => nothing survives
+	if len(got) != 0 {
+		t.Errorf("Tokenize = %v, want empty", got)
+	}
+}
+
+func TestTokenizeDigitsAndMixed(t *testing.T) {
+	a := &Analyzer{} // no stopwords, default lengths
+	got := a.Tokenize("web2.0 search-engine 42")
+	want := []string{"web2", "0", "search", "engine", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	a := NewAnalyzer()
+	if got := a.Tokenize(""); got == nil || len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v, want non-nil empty", got)
+	}
+	if got := a.Tokenize("!!! ... ---"); len(got) != 0 {
+		t.Errorf("Tokenize(punct) = %v, want empty", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	a := &Analyzer{}
+	got := a.Tokenize("Über straße 123")
+	want := []string{"über", "straße", "123"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestNilStopwordsDisablesFilter(t *testing.T) {
+	a := &Analyzer{Stopwords: nil}
+	got := a.Tokenize("the and or")
+	want := []string{"the", "and", "or"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}

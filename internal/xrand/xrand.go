@@ -1,0 +1,169 @@
+// Package xrand provides deterministic random number generation and the
+// samplers the corpus and query generators need: Zipfian term
+// frequencies, geometric term-occurrence counts (the paper's ClueWebX10
+// scale-up procedure, §5.1), and the truncated normal used for the
+// voice-query length distribution (§5.3).
+//
+// Everything is seeded explicitly; given the same seed, every generator
+// in this repository produces byte-identical output, which makes the
+// experiments reproducible without shipping datasets.
+package xrand
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random generator. It is small, fast,
+// stateless to fork (Split), and statistically strong enough for
+// workload synthesis. It intentionally does not depend on math/rand so
+// that the stream is stable across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split forks an independent generator whose stream is a pure function
+// of the parent's current state. Forking is how the corpus generator
+// gives each document its own stream so documents can be generated in
+// any order (or in parallel) with identical results.
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free-enough reduction; the bias
+	// for n << 2^64 is far below anything workload synthesis can see.
+	hi, _ := mul64(r.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal variate (Box–Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Geometric returns the number of Bernoulli(p) successes before the
+// first failure, i.e. a geometric variate with stopping probability
+// 1-p counting successes. This is exactly the paper's ClueWebX10
+// construction: the number of occurrences of a term with global
+// frequency rate F(t) is geometric with stopping probability 1-F(t).
+// The returned count can be zero. p must be in [0, 1).
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		panic("xrand: Geometric with p >= 1")
+	}
+	// Inversion: floor(log(U)/log(p)) occurrences.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / math.Log(p))
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. Term popularity in web corpora is famously Zipfian;
+// the corpus generator uses s≈1 like ClueWeb's observed distribution.
+//
+// Sampling uses the inverse of the precomputed cumulative distribution
+// (binary search), so construction is O(n) and each sample is O(log n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler over n ranks with exponent s using rng.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// NewZipfShared returns a sampler that shares base's precomputed
+// distribution but draws from rng. Sharing the CDF makes per-document
+// samplers cheap to fork, which is what lets documents be generated
+// independently (and concurrently) with deterministic results.
+func NewZipfShared(base *Zipf, rng *RNG) *Zipf {
+	return &Zipf{cdf: base.cdf, rng: rng}
+}
+
+// Next returns the next sampled rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// TruncNormInt samples an integer from a normal distribution with the
+// given mean and standard deviation, truncated (by resampling) to
+// [lo, hi]. The voice-query length distribution (mean 4.2, sd 2.96,
+// clamped to 1..12 terms) is drawn this way.
+func (r *RNG) TruncNormInt(mean, sd float64, lo, hi int) int {
+	for {
+		v := int(math.Round(mean + sd*r.Norm()))
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+}

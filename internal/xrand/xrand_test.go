@@ -1,0 +1,211 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling splits produced identical first output")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d frequency %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(9)
+	// Geometric counting successes with success prob p has mean p/(1-p).
+	p := 0.9
+	const draws = 200000
+	sum := 0
+	for i := 0; i < draws; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / draws
+	want := p / (1 - p) // 9
+	if math.Abs(mean-want) > 0.2 {
+		t.Errorf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricZeroP(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(0) != 0 {
+			t.Fatal("Geometric(0) should always be 0")
+		}
+	}
+}
+
+func TestGeometricNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64, pRaw uint16) bool {
+		p := float64(pRaw) / 65536 // [0,1)
+		return New(seed).Geometric(p) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfDistributionShape(t *testing.T) {
+	rng := New(13)
+	z := NewZipf(rng, 1.0, 1000)
+	const draws = 200000
+	counts := make([]int, 1000)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must be the most frequent and frequencies roughly follow
+	// 1/(r+1): rank 0 should appear close to 2x rank 1.
+	if counts[0] <= counts[1] || counts[1] <= counts[3] {
+		t.Errorf("Zipf counts not decreasing: c0=%d c1=%d c3=%d",
+			counts[0], counts[1], counts[3])
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("rank0/rank1 ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(New(1), 1.2, 500)
+	sum := 0.0
+	for i := 0; i < 500; i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestZipfSharedSameDistribution(t *testing.T) {
+	base := NewZipf(New(1), 1.0, 100)
+	shared := NewZipfShared(base, New(99))
+	for i := 0; i < 100; i++ {
+		if base.Prob(i) != shared.Prob(i) {
+			t.Fatal("shared Zipf has different distribution")
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := shared.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("shared Next() = %d out of range", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	const draws = 100000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestTruncNormIntBoundsAndMean(t *testing.T) {
+	r := New(23)
+	// The voice-query distribution of the paper: mean 4.2, sd 2.96, in [1,12].
+	const draws = 100000
+	sum := 0
+	longFrac := 0
+	for i := 0; i < draws; i++ {
+		v := r.TruncNormInt(4.2, 2.96, 1, 12)
+		if v < 1 || v > 12 {
+			t.Fatalf("TruncNormInt out of bounds: %d", v)
+		}
+		sum += v
+		if v >= 10 {
+			longFrac++
+		}
+	}
+	mean := float64(sum) / draws
+	if mean < 3.9 || mean > 4.9 {
+		t.Errorf("truncated mean = %v, want ~4.2-4.6", mean)
+	}
+	// The paper reports >5% of voice queries have 10+ terms.
+	if frac := float64(longFrac) / draws; frac < 0.03 {
+		t.Errorf("10+ term fraction = %v, want >= 0.03", frac)
+	}
+}

@@ -1,0 +1,83 @@
+// Package sparta implements Sparta — the Scalable PARallel Threshold
+// Algorithm for approximate top-k retrieval on multi-core hardware
+// (Sheffi, Basin, Bortnikov, Carmel, Keidar; PPoPP '20) — together
+// with the full evaluation stack of the paper: an inverted-index
+// engine, simulated disk-resident storage, the competing retrieval
+// algorithms (pBMW, pJASS, pRA, pNRA, sNRA and their sequential
+// ancestors), synthetic web-scale corpora, and query workloads.
+//
+// This root package is the facade: it re-exports the types a typical
+// user needs so the library can be used without reaching into the
+// sub-packages. Power users (custom index views, the experiment
+// harness, individual baselines) import the sub-packages directly —
+// see README.md for the map.
+//
+// # Quick use
+//
+//	b := sparta.NewIndexBuilder()
+//	for _, doc := range docs {
+//		b.Add(doc)
+//	}
+//	idx := b.Build()
+//	alg := sparta.New(idx)
+//	res, stats, err := alg.Search(query, sparta.Options{K: 10, Threads: 4, Exact: true})
+//
+// Approximate retrieval (the paper's headline mode) replaces Exact
+// with a Delta: the query stops once the result heap has been stable
+// for that long, reaching ~97%+ recall at a fraction of the latency.
+package sparta
+
+import (
+	"sparta/internal/core"
+	"sparta/internal/index"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+	"sparta/internal/topk"
+)
+
+// Core retrieval types, re-exported.
+type (
+	// DocID identifies a document.
+	DocID = model.DocID
+	// TermID identifies a dictionary term.
+	TermID = model.TermID
+	// Score is a fixed-point document/term score (tf-idf × 10⁶).
+	Score = model.Score
+	// Query is a bag of term ids.
+	Query = model.Query
+	// Result is one ranked document.
+	Result = model.Result
+	// TopK is a ranked result list.
+	TopK = model.TopK
+
+	// Options parameterizes a search (K, Threads, Exact, Delta, ...).
+	Options = topk.Options
+	// Stats reports what a search did.
+	Stats = topk.Stats
+	// Algorithm is the interface all retrieval strategies implement.
+	Algorithm = topk.Algorithm
+
+	// Index is the in-memory inverted index.
+	Index = index.Index
+	// IndexBuilder accumulates documents into an Index.
+	IndexBuilder = index.Builder
+	// View is the index-read interface an Algorithm runs over; any
+	// type implementing it (including application-specific stores, see
+	// examples/analytics) can be searched.
+	View = postings.View
+)
+
+// New creates a Sparta instance over an index view.
+func New(view View) *core.Sparta { return core.New(view) }
+
+// NewIndexBuilder creates an empty index builder with the default text
+// analyzer.
+func NewIndexBuilder() *IndexBuilder { return index.NewBuilder() }
+
+// Recall measures an approximate result's quality against the exact
+// one: the fraction of the exact top-k it contains (§2 of the paper).
+func Recall(exact, approx TopK) float64 { return model.Recall(exact, approx) }
+
+// Exact computes the exact top-k by brute force — the ground truth for
+// recall measurement.
+func Exact(v View, q Query, k int) TopK { return topk.BruteForce(v, q, k) }
