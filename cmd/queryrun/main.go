@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"sparta"
 	"sparta/internal/bench"
 	"sparta/internal/diskindex"
 	"sparta/internal/iomodel"
@@ -41,6 +43,7 @@ func main() {
 		mode     = flag.String("mode", "exact", "exact | high | low")
 		delta    = flag.Duration("delta", 5*time.Millisecond, "TA-family Δ for approximate modes")
 		ram      = flag.Bool("ram", false, "RAM-resident index (no simulated I/O)")
+		timeout  = flag.Duration("timeout", 0, "query timeout (0 = none); on expiry the partial top-k is printed with stop reason \"deadline\"")
 	)
 	flag.Parse()
 	if *indexDir == "" || (*terms == "" && *qfile == "") {
@@ -113,7 +116,8 @@ func main() {
 
 	idx.Store().Flush()
 	idx.Store().ResetStats()
-	res, st, err := alg.Search(q, opts)
+	searcher := sparta.NewSearcher(alg, sparta.SearcherConfig{Timeout: *timeout})
+	res, st, err := searcher.SearchContext(context.Background(), q, opts)
 	if err != nil {
 		log.Fatalf("%s failed: %v", alg.Name(), err)
 	}

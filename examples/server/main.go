@@ -8,9 +8,11 @@
 //	GET /stats
 //
 // with per-query latency, recall-free stats, and storage counters in
-// the JSON response. Queries run with intra-query parallelism equal to
-// their term count, admission-controlled by a shared worker pool as in
-// the paper's throughput methodology.
+// the JSON response. Each algorithm is served through a sparta.Searcher,
+// which enforces the latency SLA (a 250 ms query timeout — cancelled
+// queries still return their anytime partial top-k), caps concurrent
+// queries, and aggregates serving counters for /stats. A disconnecting
+// client cancels its query through the request context.
 //
 //	go run ./examples/server &
 //	curl 'localhost:8640/search?q=t12,t733,t5021&algo=sparta&mode=high'
@@ -25,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"sparta"
 	"sparta/internal/algos/bmw"
 	"sparta/internal/algos/jass"
 	"sparta/internal/core"
@@ -39,12 +42,16 @@ import (
 const (
 	listenAddr = "localhost:8640"
 	poolSize   = 12
+	// queryTimeout is the serving SLA (§5.3 cites the 250 ms
+	// interactive budget); queries hitting it return partial results
+	// with stop reason "deadline".
+	queryTimeout = 250 * time.Millisecond
 )
 
 type server struct {
-	mem    *index.Index
-	disk   *diskindex.Index
-	tokens chan struct{} // shared worker pool (FCFS admission)
+	mem       *index.Index
+	disk      *diskindex.Index
+	searchers map[string]*sparta.Searcher
 }
 
 func main() {
@@ -58,9 +65,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{mem: mem, disk: disk, tokens: make(chan struct{}, poolSize)}
-	for i := 0; i < poolSize; i++ {
-		s.tokens <- struct{}{}
+	cfg := sparta.SearcherConfig{Timeout: queryTimeout, MaxConcurrent: poolSize}
+	s := &server{
+		mem:  mem,
+		disk: disk,
+		searchers: map[string]*sparta.Searcher{
+			"sparta": sparta.NewSearcher(core.New(disk), cfg),
+			"pbmw":   sparta.NewSearcher(bmw.NewPBMW(disk), cfg),
+			"pjass":  sparta.NewSearcher(jass.NewP(disk), cfg),
+		},
 	}
 
 	mux := http.NewServeMux()
@@ -99,15 +112,12 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	var alg topk.Algorithm
-	switch r.URL.Query().Get("algo") {
-	case "", "sparta":
-		alg = core.New(s.disk)
-	case "pbmw":
-		alg = bmw.NewPBMW(s.disk)
-	case "pjass":
-		alg = jass.NewP(s.disk)
-	default:
+	algoName := r.URL.Query().Get("algo")
+	if algoName == "" {
+		algoName = "sparta"
+	}
+	alg, ok := s.searchers[algoName]
+	if !ok {
 		http.Error(w, "algo must be sparta|pbmw|pjass", http.StatusBadRequest)
 		return
 	}
@@ -129,30 +139,17 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Acquire up to len(q) workers from the shared pool, at least one.
-	want := len(q)
-	if want > poolSize {
-		want = poolSize
+	// Intra-query parallelism equals the term count (the paper's
+	// configuration); the Searcher's MaxConcurrent bounds how many
+	// queries hold workers at once.
+	opts.Threads = len(q)
+	if opts.Threads > poolSize {
+		opts.Threads = poolSize
 	}
-	got := 0
-	<-s.tokens // block FCFS until at least one worker is free
-	got++
-	for got < want {
-		select {
-		case <-s.tokens:
-			got++
-		default:
-			want = got // take what is free, as the paper's driver does
-		}
-	}
-	defer func() {
-		for i := 0; i < got; i++ {
-			s.tokens <- struct{}{}
-		}
-	}()
-	opts.Threads = got
 
-	res, st, err := alg.Search(q, opts)
+	// The request context propagates client disconnects; the Searcher
+	// layers its 250 ms SLA timeout on top.
+	res, st, err := alg.SearchContext(r.Context(), q, opts)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -178,6 +175,20 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	io := s.disk.Store().Snapshot()
+	serving := make(map[string]any, len(s.searchers))
+	for name, sr := range s.searchers {
+		c := sr.Counters()
+		serving[name] = map[string]any{
+			"queries":    c.Queries,
+			"errors":     c.Errors,
+			"cancelled":  c.Cancelled,
+			"deadline":   c.Deadline,
+			"rejected":   c.Rejected,
+			"in_flight":  c.InFlight,
+			"postings":   c.Postings,
+			"latency_ms": float64(c.TotalLatency.Microseconds()) / 1000,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"docs":        s.disk.NumDocs(),
@@ -187,6 +198,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":  io.CacheHits,
 		"rand_reads":  io.RandReads,
 		"sim_io_ms":   float64(io.SimulatedIO.Microseconds()) / 1000,
+		"serving":     serving,
 	})
 }
 

@@ -72,6 +72,30 @@ func AssertExactSet(tb testing.TB, name string, exact, got model.TopK) {
 	}
 }
 
+// AssertPartialTopK verifies the structural invariants an anytime
+// partial result must satisfy regardless of how early it was cut off:
+// at most k entries, scores sorted non-increasing, no duplicate
+// documents, and no zero-score filler entries.
+func AssertPartialTopK(tb testing.TB, name string, got model.TopK, k int) {
+	tb.Helper()
+	if len(got) > k {
+		tb.Errorf("%s: partial result has %d entries, want <= %d", name, len(got), k)
+	}
+	seen := make(map[model.DocID]bool, len(got))
+	for i, r := range got {
+		if i > 0 && got[i-1].Score < r.Score {
+			tb.Errorf("%s: results not sorted at %d: %d < %d", name, i, got[i-1].Score, r.Score)
+		}
+		if seen[r.Doc] {
+			tb.Errorf("%s: duplicate doc %d in partial result", name, r.Doc)
+		}
+		seen[r.Doc] = true
+		if r.Score <= 0 {
+			tb.Errorf("%s: non-positive score %d for doc %d", name, r.Score, r.Doc)
+		}
+	}
+}
+
 // AssertFullScores verifies that every returned score equals the true
 // full document score — for algorithms (RA, WAND, BMW, brute force)
 // that report complete scores rather than lower bounds.

@@ -15,6 +15,7 @@
 package bmw
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -63,29 +64,46 @@ func (a *BMW) Name() string {
 
 // Search implements topk.Algorithm.
 func (a *BMW) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *BMW) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *BMW) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 	var st topk.Stats
-	h := heap.NewScore(opts.K)
+	view := es.BindView(a.view)
+	h := heap.GetScore(opts.K)
 	f := opts.BoostF
 	if opts.Exact {
 		f = 1
 	}
 	cursors := make([]postings.DocCursor, len(q))
 	for i, t := range q {
-		cursors[i] = a.view.DocCursor(t)
+		cursors[i] = view.DocCursor(t)
 	}
 	var nPost, nInserts int64
-	scanRange(cursors, 0, model.DocID(a.view.NumDocs()), a.variant, f,
-		h, nil, nil, &nPost, &nInserts, opts.Probe)
+	scanRange(cursors, 0, model.DocID(view.NumDocs()), a.variant, f,
+		h, nil, es, &nPost, &nInserts, opts.Probe)
 	st.Postings = nPost
 	st.HeapInserts = nInserts
-	st.StopReason = "exhausted"
+	if st.StopReason = es.StopReason(); st.StopReason == "" {
+		st.StopReason = "exhausted"
+	}
 	st.Duration = time.Since(start)
 	res := h.Results()
+	heap.PutScore(h)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}
@@ -118,17 +136,31 @@ func (a *PBMW) Name() string {
 
 // Search implements topk.Algorithm.
 func (a *PBMW) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *PBMW) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *PBMW) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 	var st topk.Stats
+	view := es.BindView(a.view)
 	f := opts.BoostF
 	if opts.Exact {
 		f = 1
 	}
-	numDocs := a.view.NumDocs()
+	numDocs := view.NumDocs()
 	nJobs := 2 * opts.Threads // twice the worker count (§5.2.1)
 	if nJobs < 1 {
 		nJobs = 1
@@ -141,16 +173,21 @@ func (a *PBMW) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 
 	pool := jobqueue.New(opts.Threads)
 	for j := 0; j < nJobs; j++ {
+		j := j
 		lo := model.DocID(j * numDocs / nJobs)
 		hi := model.DocID((j + 1) * numDocs / nJobs)
 		pool.Submit(func() {
+			if es.Stopped() {
+				return // anytime stop: drop unstarted ranges
+			}
+			es.SegmentScheduled(j)
 			cursors := make([]postings.DocCursor, len(q))
 			for i, t := range q {
-				cursors[i] = a.view.DocCursor(t)
+				cursors[i] = view.DocCursor(t)
 			}
-			h := heap.NewScore(opts.K)
+			h := heap.GetScore(opts.K)
 			var p, ins int64
-			scanRange(cursors, lo, hi, a.variant, f, h, &globalTheta, nil, &p, &ins, opts.Probe)
+			scanRange(cursors, lo, hi, a.variant, f, h, &globalTheta, es, &p, &ins, opts.Probe)
 			nPost.Add(p)
 			nInserts.Add(ins)
 			mu.Lock()
@@ -161,9 +198,14 @@ func (a *PBMW) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 	pool.CloseAfterDrain()
 
 	res := heap.Merge(opts.K, heaps...)
+	for _, h := range heaps {
+		heap.PutScore(h)
+	}
 	st.Postings = nPost.Load()
 	st.HeapInserts = nInserts.Load()
-	st.StopReason = "exhausted"
+	if st.StopReason = es.StopReason(); st.StopReason == "" {
+		st.StopReason = "exhausted"
+	}
 	st.Duration = time.Since(start)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
@@ -173,10 +215,11 @@ func (a *PBMW) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 
 // scanRange runs the WAND/BMW document-order loop over document ids
 // [lo, hi). When globalTheta is non-nil the local threshold is
-// periodically exchanged with it (pBMW's Θ promotion). When stop is
-// non-nil the scan aborts once it reads true.
+// periodically exchanged with it (pBMW's Θ promotion). The scan aborts
+// once es is stopped (cancellation/deadline); the heap keeps whatever
+// entered it, matching the family's anytime use.
 func scanRange(cursors []postings.DocCursor, lo, hi model.DocID, variant Variant,
-	f float64, h *heap.ScoreHeap, globalTheta *atomic.Int64, stop *atomic.Bool,
+	f float64, h *heap.ScoreHeap, globalTheta *atomic.Int64, es *topk.ExecState,
 	nPost, nInserts *int64, probe *topk.RecallProbe) {
 
 	// Position every cursor at its first posting >= lo.
@@ -205,7 +248,7 @@ func scanRange(cursors []postings.DocCursor, lo, hi model.DocID, variant Variant
 	}
 
 	for len(active) > 0 {
-		if stop != nil && stop.Load() {
+		if es.Stopped() {
 			return
 		}
 		if globalTheta != nil {
@@ -296,6 +339,7 @@ func scanRange(cursors []postings.DocCursor, lo, hi model.DocID, variant Variant
 			if score > effTheta() {
 				if h.Push(pivotDoc, score) {
 					*nInserts++
+					es.HeapUpdate(pivotDoc, score)
 					if probe != nil {
 						probe.ObserveInsert(pivotDoc, score)
 					}

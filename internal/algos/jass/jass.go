@@ -23,6 +23,7 @@
 package jass
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -52,24 +53,42 @@ func (a *JASS) Name() string { return "JASS" }
 
 // Search implements topk.Algorithm.
 func (a *JASS) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm. JASS is anytime by design
+// (its work budget is exactly an internal stop); cancellation simply
+// ends the accumulation early and the top-k selection runs over
+// whatever accumulated.
+func (a *JASS) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *JASS) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 	var st topk.Stats
 
+	view := es.BindView(a.view)
 	m := len(q)
 	cursors := make([]postings.ScoreCursor, m)
 	var total int64
 	for i, t := range q {
-		cursors[i] = a.view.ScoreCursor(t)
-		total += int64(a.view.DF(t))
+		cursors[i] = view.ScoreCursor(t)
+		total += int64(view.DF(t))
 	}
 	budget := workBudget(total, opts)
 
 	acc := make(map[model.DocID]model.Score)
 	var accBytes int64
+scan:
 	for st.Postings < budget {
 		// Pick the list with the highest remaining impact and drain a
 		// run from it — decreasing term-score order across lists.
@@ -86,8 +105,13 @@ func (a *JASS) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 		if best == -1 {
 			break // every list exhausted
 		}
+		es.SegmentScheduled(best)
 		c := cursors[best]
 		for j := 0; j < segSizeJASS && st.Postings < budget; j++ {
+			if es.Stopped() {
+				st.StopReason = es.StopReason()
+				break scan
+			}
 			if !c.Next() {
 				cursors[best] = nil
 				break
@@ -109,21 +133,24 @@ func (a *JASS) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 			}
 		}
 	}
-	if st.Postings >= budget {
-		st.StopReason = "fraction"
-	} else {
-		st.StopReason = "exhausted"
+	if st.StopReason == "" {
+		if st.Postings >= budget {
+			st.StopReason = "fraction"
+		} else {
+			st.StopReason = "exhausted"
+		}
 	}
 	st.CandidatesPeak = int64(len(acc))
 	opts.Budget.Release(accBytes)
 
-	h := heap.NewScore(opts.K)
+	h := heap.GetScore(opts.K)
 	for d, s := range acc {
 		h.Push(d, s)
 	}
 	st.HeapInserts = int64(h.Len())
 	st.Duration = time.Since(start)
 	res := h.Results()
+	heap.PutScore(h)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}
@@ -143,19 +170,35 @@ func (a *PJASS) Name() string { return "pJASS" }
 
 // Search implements topk.Algorithm.
 func (a *PJASS) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm. A cancelled run still
+// performs the final selection over the scores accumulated so far — the
+// partial result the anytime contract promises.
+func (a *PJASS) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *PJASS) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 	var st topk.Stats
 
+	view := es.BindView(a.view)
 	m := len(q)
 	var total int64
 	cursors := make([]postings.ScoreCursor, m)
 	for i, t := range q {
-		cursors[i] = a.view.ScoreCursor(t)
-		total += int64(a.view.DF(t))
+		cursors[i] = view.ScoreCursor(t)
+		total += int64(view.DF(t))
 	}
 	budget := workBudget(total, opts)
 
@@ -165,6 +208,7 @@ func (a *PJASS) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats
 		docMap:  cmap.New(4 * opts.K),
 		cursors: cursors,
 		m:       m,
+		exec:    es,
 	}
 	r.pool = jobqueue.New(opts.Threads)
 	for i := 0; i < m; i++ {
@@ -181,14 +225,16 @@ func (a *PJASS) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats
 		st.Duration = time.Since(start)
 		return nil, st, membudget.ErrMemoryBudget
 	}
-	if r.nPostings.Load() >= budget {
+	if reason := es.StopReason(); reason != "" {
+		st.StopReason = reason
+	} else if r.nPostings.Load() >= budget {
 		st.StopReason = "fraction"
 	} else {
 		st.StopReason = "exhausted"
 	}
 
 	// Final selection over the accumulated partial scores.
-	h := heap.NewScore(opts.K)
+	h := heap.GetScore(opts.K)
 	r.docMap.Range(func(d *cmap.DocState) bool {
 		h.Push(d.ID, d.LB())
 		return true
@@ -196,6 +242,7 @@ func (a *PJASS) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats
 	st.HeapInserts = int64(h.Len())
 	st.Duration = time.Since(start)
 	res := h.Results()
+	heap.PutScore(h)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}
@@ -209,6 +256,7 @@ type pjassRun struct {
 	cursors []postings.ScoreCursor
 	m       int
 	pool    *jobqueue.Pool
+	exec    *topk.ExecState
 
 	nPostings atomic.Int64
 	mapBytes  atomic.Int64
@@ -219,12 +267,13 @@ type pjassRun struct {
 // shared docMap, then re-enqueues itself — all lists advance in
 // parallel at the same rate modulo the segment size.
 func (r *pjassRun) processTerm(i int) {
-	if r.failed.Load() || r.nPostings.Load() >= r.budget {
+	if r.failed.Load() || r.nPostings.Load() >= r.budget || r.exec.Stopped() {
 		return
 	}
+	r.exec.SegmentScheduled(i)
 	c := r.cursors[i]
 	for j := 0; j < r.opts.SegSize; j++ {
-		if r.failed.Load() || r.nPostings.Load() >= r.budget {
+		if r.failed.Load() || r.nPostings.Load() >= r.budget || r.exec.Stopped() {
 			return
 		}
 		if !c.Next() {

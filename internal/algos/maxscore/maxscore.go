@@ -15,6 +15,7 @@
 package maxscore
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -38,20 +39,34 @@ func (a *MaxScore) Name() string { return "MaxScore" }
 // Search implements topk.Algorithm. MaxScore is exact by construction;
 // the approximation knobs are ignored.
 func (a *MaxScore) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *MaxScore) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *MaxScore) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 	var st topk.Stats
 
+	view := es.BindView(a.view)
 	type list struct {
 		c   postings.DocCursor
 		max model.Score
 	}
 	lists := make([]list, 0, len(q))
 	for _, t := range q {
-		c := a.view.DocCursor(t)
+		c := view.DocCursor(t)
 		st.Postings++
 		if c.Next() {
 			lists = append(lists, list{c: c, max: c.MaxScore()})
@@ -65,10 +80,14 @@ func (a *MaxScore) Search(q model.Query, opts topk.Options) (model.TopK, topk.St
 		suffixMax[i] = suffixMax[i+1] + lists[i].max
 	}
 
-	h := heap.NewScore(opts.K)
+	h := heap.GetScore(opts.K)
 	split := 0 // first essential list
 
 	for split < len(lists) {
+		if es.Stopped() {
+			st.StopReason = es.StopReason()
+			break
+		}
 		theta := h.Threshold()
 		// Grow the non-essential prefix while its total maxima cannot
 		// beat Θ: suffixMax[0]-suffixMax[split] is the prefix sum.
@@ -112,6 +131,7 @@ func (a *MaxScore) Search(q model.Query, opts topk.Options) (model.TopK, topk.St
 		if score > theta {
 			if h.Push(cand, score) {
 				st.HeapInserts++
+				es.HeapUpdate(cand, score)
 				if opts.Probe != nil {
 					opts.Probe.ObserveInsert(cand, score)
 				}
@@ -140,9 +160,12 @@ func (a *MaxScore) Search(q model.Query, opts topk.Options) (model.TopK, topk.St
 		}
 	}
 
-	st.StopReason = "exhausted"
+	if st.StopReason == "" {
+		st.StopReason = "exhausted"
+	}
 	st.Duration = time.Since(start)
 	res := h.Results()
+	heap.PutScore(h)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}

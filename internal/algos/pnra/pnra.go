@@ -17,6 +17,7 @@
 package pnra
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,24 +44,39 @@ func (a *PNRA) Name() string { return "pNRA" }
 
 // Search implements topk.Algorithm.
 func (a *PNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *PNRA) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *PNRA) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 
+	view := es.BindView(a.view)
 	r := &run{
 		opts:    opts,
 		m:       len(q),
+		exec:    es,
 		docMap:  cmap.New(16 * opts.K),
-		docHeap: heap.NewDoc(opts.K),
+		docHeap: heap.GetDoc(opts.K),
 		doneCh:  make(chan struct{}),
 	}
 	r.cursors = make([]postings.ScoreCursor, r.m)
 	for i, t := range q {
-		r.cursors[i] = a.view.ScoreCursor(t)
+		r.cursors[i] = view.ScoreCursor(t)
 	}
-	r.ubs = topk.NewUpperBounds(topk.TermMaxima(a.view, q))
+	r.ubs = topk.NewUpperBounds(topk.TermMaxima(view, q))
 	r.heapUpdTime.Store(start.UnixNano())
 	r.remaining.Store(int64(r.m))
 
@@ -87,11 +103,13 @@ func (a *PNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 	}
 	st.Duration = time.Since(start)
 	if r.failed.Load() {
+		heap.PutDoc(r.docHeap) // pool.Close() returned: no worker holds it
 		return nil, st, membudget.ErrMemoryBudget
 	}
 	r.heapMu.Lock()
 	res := r.docHeap.Results()
 	r.heapMu.Unlock()
+	heap.PutDoc(r.docHeap)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}
@@ -101,6 +119,7 @@ func (a *PNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 type run struct {
 	opts topk.Options
 	m    int
+	exec *topk.ExecState
 
 	cursors []postings.ScoreCursor
 	ubs     *topk.UpperBounds
@@ -137,9 +156,18 @@ func (r *run) processTerm(i int) {
 	if r.done.Load() {
 		return
 	}
+	if r.exec.Stopped() {
+		r.finish(r.exec.StopReason())
+		return
+	}
+	r.exec.SegmentScheduled(i)
 	c := r.cursors[i]
 	for j := 0; j < r.opts.SegSize; j++ {
 		if r.done.Load() {
+			return
+		}
+		if r.exec.Stopped() {
+			r.finish(r.exec.StopReason())
 			return
 		}
 		if !c.Next() {
@@ -183,6 +211,7 @@ func (r *run) updateHeap(d *cmap.DocState) {
 		r.theta.Store(int64(theta))
 		r.heapUpdTime.Store(time.Now().UnixNano())
 		r.nInserts.Add(1)
+		r.exec.HeapUpdate(d.ID, d.CachedLB)
 		if r.opts.Probe != nil && r.opts.Probe.ShouldObserve() {
 			r.opts.Probe.Observe(r.docHeap.Results())
 		}
@@ -195,6 +224,10 @@ func (r *run) updateHeap(d *cmap.DocState) {
 // docMap, plus the Δ idle timeout for the approximate variant.
 func (r *run) stopChecker() {
 	if r.done.Load() {
+		return
+	}
+	if r.exec.Stopped() {
+		r.finish(r.exec.StopReason())
 		return
 	}
 	theta := model.Score(r.theta.Load())

@@ -16,6 +16,7 @@
 package pra
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,25 +45,40 @@ func (a *PRA) Name() string { return "pRA" }
 
 // Search implements topk.Algorithm.
 func (a *PRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *PRA) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *PRA) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 
+	view := es.BindView(a.view)
 	r := &run{
-		view: a.view,
+		view: view,
 		q:    q,
 		opts: opts,
 		m:    len(q),
-		h:    heap.NewScore(opts.K),
+		exec: es,
+		h:    heap.GetScore(opts.K),
 		seen: cmap.New(4 * opts.K),
 	}
 	r.cursors = make([]postings.ScoreCursor, r.m)
 	for i, t := range q {
-		r.cursors[i] = a.view.ScoreCursor(t)
+		r.cursors[i] = view.ScoreCursor(t)
 	}
-	r.ubs = topk.NewUpperBounds(topk.TermMaxima(a.view, q))
+	r.ubs = topk.NewUpperBounds(topk.TermMaxima(view, q))
 	r.lastHeapChange.Store(start.UnixNano())
 	r.remaining.Store(int64(r.m))
 
@@ -91,12 +107,14 @@ func (a *PRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, 
 	st.Duration = time.Since(start)
 	if r.failed.Load() {
 		st.StopReason = "oom"
+		heap.PutScore(r.h) // CloseAfterDrain returned: no worker holds it
 		return nil, st, membudget.ErrMemoryBudget
 	}
 
 	r.heapMu.Lock()
 	res := r.h.Results()
 	r.heapMu.Unlock()
+	heap.PutScore(r.h)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}
@@ -108,6 +126,7 @@ type run struct {
 	q    model.Query
 	opts topk.Options
 	m    int
+	exec *topk.ExecState
 
 	cursors []postings.ScoreCursor
 	ubs     *topk.UpperBounds
@@ -140,9 +159,18 @@ func (r *run) processTerm(i int) {
 	if r.stop.Load() {
 		return
 	}
+	if r.exec.Stopped() {
+		r.halt(r.exec.StopReason())
+		return
+	}
+	r.exec.SegmentScheduled(i)
 	c := r.cursors[i]
 	for j := 0; j < r.opts.SegSize; j++ {
 		if r.stop.Load() {
+			return
+		}
+		if r.exec.Stopped() {
+			r.halt(r.exec.StopReason())
 			return
 		}
 		if !c.Next() {
@@ -203,6 +231,7 @@ func (r *run) offer(doc model.DocID, score model.Score) {
 		r.theta.Store(int64(r.h.Threshold()))
 		r.lastHeapChange.Store(time.Now().UnixNano())
 		r.nInserts.Add(1)
+		r.exec.HeapUpdate(doc, score)
 		if r.opts.Probe != nil && r.opts.Probe.ShouldObserve() {
 			r.opts.Probe.Observe(r.h.Results())
 		}

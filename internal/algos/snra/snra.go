@@ -27,6 +27,7 @@
 package snra
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -53,7 +54,23 @@ func (a *SNRA) Name() string { return "sNRA" }
 // count; zero uses the index's build-time shard count (or the paper's
 // 12 for in-memory views).
 func (a *SNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm. One execution state is
+// shared across all shard-local NRA instances, so a single cancellation
+// stops every shard; the merge then runs over the partial shard
+// results.
+func (a *SNRA) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *SNRA) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	if opts.Probe != nil {
 		opts.Probe.Start()
@@ -67,7 +84,8 @@ func (a *SNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 		}
 	}
 
-	maxima := topk.TermMaxima(a.view, q)
+	view := es.BindView(a.view)
+	maxima := topk.TermMaxima(view, q)
 	var (
 		mu      sync.Mutex
 		results []model.TopK
@@ -78,15 +96,22 @@ func (a *SNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 	for s := 0; s < shards; s++ {
 		s := s
 		pool.Submit(func() {
+			if es.Stopped() {
+				return // drop unstarted shards; started ones stop inside
+			}
+			es.SegmentScheduled(s)
 			cursors := make([]postings.ScoreCursor, len(q))
 			for i, t := range q {
-				cursors[i] = a.view.ScoreCursorShard(t, s, shards)
+				cursors[i] = view.ScoreCursorShard(t, s, shards)
 			}
 			// Thread-local NRA; the probe is shared (it is the only
 			// global view of accrual and is internally synchronized).
+			// The Observer already saw QueryStart once — shard-local runs
+			// share es rather than opening their own query scopes.
 			shardOpts := opts
 			shardOpts.Probe = nil
-			res, st, err := ta.RunNRA(cursors, maxima, shardOpts)
+			shardOpts.Observer = nil
+			res, st, err := ta.RunNRA(es, cursors, maxima, shardOpts)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -124,7 +149,11 @@ func (a *SNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats,
 	if len(all) > opts.K {
 		all = all[:opts.K]
 	}
-	stTotal.StopReason = "merged"
+	if reason := es.StopReason(); reason != "" {
+		stTotal.StopReason = reason
+	} else {
+		stTotal.StopReason = "merged"
+	}
 	stTotal.Duration = time.Since(start)
 	if opts.Probe != nil {
 		opts.Probe.Final(all)

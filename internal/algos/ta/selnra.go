@@ -17,6 +17,7 @@
 package ta
 
 import (
+	"context"
 	"time"
 
 	"sparta/internal/cmap"
@@ -43,20 +44,34 @@ func (a *SelNRA) Name() string { return "SelNRA" }
 
 // Search implements topk.Algorithm.
 func (a *SelNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *SelNRA) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *SelNRA) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	var st topk.Stats
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
+	view := es.BindView(a.view)
 	m := len(q)
 	cursors := make([]postings.ScoreCursor, m)
 	for i, t := range q {
-		cursors[i] = a.view.ScoreCursor(t)
+		cursors[i] = view.ScoreCursor(t)
 	}
-	ubs := topk.NewUpperBounds(topk.TermMaxima(a.view, q))
-	h := heap.NewDoc(opts.K)
-	docMap := make(map[model.DocID]*cmap.DocState)
+	ubs := topk.NewUpperBounds(topk.TermMaxima(view, q))
+	h := heap.GetDoc(opts.K)
+	docMap := cmap.GetLocalMap()
 	var mapBytes int64
 	theta := model.Score(0)
 	lastHeapChange := start
@@ -64,7 +79,18 @@ func (a *SelNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stat
 	checkEvery := opts.SegSize * m
 	sinceCheck := 0
 
+	release := func() {
+		opts.Budget.Release(mapBytes)
+		heap.PutDoc(h)
+		cmap.PutLocalMap(docMap)
+	}
+
+scan:
 	for {
+		if es.Stopped() {
+			st.StopReason = es.StopReason()
+			break
+		}
 		// Selection policy: the list with the largest current bound.
 		best := -1
 		var bestUB model.Score
@@ -80,8 +106,13 @@ func (a *SelNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stat
 			st.StopReason = "exhausted"
 			break
 		}
+		es.SegmentScheduled(best)
 		c := cursors[best]
 		for j := 0; j < selRun; j++ {
+			if es.Stopped() {
+				st.StopReason = es.StopReason()
+				break scan
+			}
 			if !c.Next() {
 				cursors[best] = nil
 				ubs.Set(best, 0)
@@ -97,7 +128,7 @@ func (a *SelNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stat
 					continue
 				}
 				if err := opts.Budget.Charge(cmap.DocStateBytes); err != nil {
-					opts.Budget.Release(mapBytes)
+					release()
 					st.Duration = time.Since(start)
 					st.StopReason = "oom"
 					return nil, st, err
@@ -114,6 +145,7 @@ func (a *SelNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stat
 				_, theta = h.UpdateInsert(d)
 				st.HeapInserts++
 				lastHeapChange = time.Now()
+				es.HeapUpdate(doc, d.CachedLB)
 				if opts.Probe != nil && opts.Probe.ShouldObserve() {
 					opts.Probe.Observe(h.Results())
 				}
@@ -135,9 +167,9 @@ func (a *SelNRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stat
 			break
 		}
 	}
-	opts.Budget.Release(mapBytes)
 	st.Duration = time.Since(start)
 	res := h.Results()
+	release()
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}

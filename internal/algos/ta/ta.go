@@ -12,6 +12,7 @@
 package ta
 
 import (
+	"context"
 	"time"
 
 	"sparta/internal/cmap"
@@ -37,27 +38,46 @@ func (a *RA) Name() string { return "RA" }
 
 // Search implements topk.Algorithm.
 func (a *RA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *RA) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	res, st, err := a.search(es, q, opts)
+	es.Finish(st, err)
+	return res, st, err
+}
+
+func (a *RA) search(es *topk.ExecState, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	var st topk.Stats
 	if opts.Probe != nil {
 		opts.Probe.Start()
 	}
 
+	view := es.BindView(a.view)
 	m := len(q)
 	cursors := make([]postings.ScoreCursor, m)
 	for i, t := range q {
-		cursors[i] = a.view.ScoreCursor(t)
+		cursors[i] = view.ScoreCursor(t)
 	}
-	ubs := topk.NewUpperBounds(topk.TermMaxima(a.view, q))
-	h := heap.NewScore(opts.K)
+	ubs := topk.NewUpperBounds(topk.TermMaxima(view, q))
+	h := heap.GetScore(opts.K)
 	seen := make(map[model.DocID]bool)
 	var seenBytes int64
 	lastHeapChange := start
 	active := m
 
+scan:
 	for active > 0 {
 		for i := 0; i < m; i++ {
+			if es.Stopped() {
+				st.StopReason = es.StopReason()
+				break scan
+			}
 			c := cursors[i]
 			if c == nil {
 				continue
@@ -75,15 +95,17 @@ func (a *RA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, e
 				seen[doc] = true
 				if err := opts.Budget.Charge(seenEntryBytes); err != nil {
 					opts.Budget.Release(seenBytes)
+					heap.PutScore(h)
 					st.Duration = time.Since(start)
 					st.StopReason = "oom"
 					return nil, st, err
 				}
 				seenBytes += seenEntryBytes
-				full := a.fullScore(q, i, doc, score, &st)
+				full := a.fullScore(view, q, i, doc, score, &st)
 				if h.Push(doc, full) {
 					st.HeapInserts++
 					lastHeapChange = time.Now()
+					es.HeapUpdate(doc, full)
 					if opts.Probe != nil && opts.Probe.ShouldObserve() {
 						opts.Probe.Observe(h.Results())
 					}
@@ -107,6 +129,7 @@ func (a *RA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, e
 	st.CandidatesPeak = int64(len(seen))
 	st.Duration = time.Since(start)
 	res := h.Results()
+	heap.PutScore(h)
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}
@@ -115,13 +138,13 @@ func (a *RA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, e
 
 // fullScore computes score(D, q) using random access for every term
 // except fromTerm, whose score is already known.
-func (a *RA) fullScore(q model.Query, fromTerm int, doc model.DocID, known model.Score, st *topk.Stats) model.Score {
+func (a *RA) fullScore(view postings.View, q model.Query, fromTerm int, doc model.DocID, known model.Score, st *topk.Stats) model.Score {
 	total := known
 	for j, t := range q {
 		if j == fromTerm {
 			continue
 		}
-		s, ok := a.view.RandomAccess(t, doc)
+		s, ok := view.RandomAccess(t, doc)
 		st.RandomAccesses++
 		if ok {
 			total += s
@@ -143,24 +166,36 @@ func (a *NRA) Name() string { return "NRA" }
 
 // Search implements topk.Algorithm.
 func (a *NRA) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return a.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm.
+func (a *NRA) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	view := es.BindView(a.view)
 	cursors := make([]postings.ScoreCursor, len(q))
 	for i, t := range q {
-		cursors[i] = a.view.ScoreCursor(t)
+		cursors[i] = view.ScoreCursor(t)
 	}
-	return RunNRA(cursors, topk.TermMaxima(a.view, q), opts)
+	res, st, err := RunNRA(es, cursors, topk.TermMaxima(view, q), opts)
+	es.Finish(st, err)
+	return res, st, err
 }
 
 // RunNRA executes sequential NRA over the given score cursors (one per
 // query term; maxima are the initial upper bounds). It is shared by
-// NRA proper and by sNRA, which runs one instance per index shard.
+// NRA proper and by sNRA, which runs one instance per index shard. es
+// may be nil (run to completion, unobserved); a shared es lets sNRA
+// stop all shards from one context.
 //
 // Stopping (§3.2): the safe variant stops when (1) Σ UB[i] <= Θ and
 // (2) every visited document outside the heap has UB(D) <= Θ.
 // Condition (2) requires an O(|docMap|·m) scan, so it is evaluated
 // periodically rather than per posting. The approximate variant stops
 // when the heap has not changed for Δ.
-func RunNRA(cursors []postings.ScoreCursor, maxima []model.Score, opts topk.Options) (model.TopK, topk.Stats, error) {
+func RunNRA(es *topk.ExecState, cursors []postings.ScoreCursor, maxima []model.Score, opts topk.Options) (model.TopK, topk.Stats, error) {
 	start := time.Now()
 	var st topk.Stats
 	if opts.Probe != nil {
@@ -168,8 +203,8 @@ func RunNRA(cursors []postings.ScoreCursor, maxima []model.Score, opts topk.Opti
 	}
 	m := len(cursors)
 	ubs := topk.NewUpperBounds(maxima)
-	h := heap.NewDoc(opts.K)
-	docMap := make(map[model.DocID]*cmap.DocState)
+	h := heap.GetDoc(opts.K)
+	docMap := cmap.GetLocalMap()
 	var mapBytes int64
 	theta := model.Score(0)
 	lastHeapChange := start
@@ -181,10 +216,17 @@ func RunNRA(cursors []postings.ScoreCursor, maxima []model.Score, opts topk.Opti
 
 	release := func() {
 		opts.Budget.Release(mapBytes)
+		heap.PutDoc(h)
+		cmap.PutLocalMap(docMap)
 	}
 
+scan:
 	for active > 0 {
 		for i := 0; i < m; i++ {
+			if es.Stopped() {
+				st.StopReason = es.StopReason()
+				break scan
+			}
 			c := cursors[i]
 			if c == nil {
 				continue
@@ -209,6 +251,7 @@ func RunNRA(cursors []postings.ScoreCursor, maxima []model.Score, opts topk.Opti
 					continue
 				}
 				if err := opts.Budget.Charge(cmap.DocStateBytes); err != nil {
+					st.CandidatesPeak = int64(len(docMap))
 					release()
 					st.Duration = time.Since(start)
 					st.StopReason = "oom"
@@ -227,6 +270,7 @@ func RunNRA(cursors []postings.ScoreCursor, maxima []model.Score, opts topk.Opti
 				theta = newTheta
 				st.HeapInserts++
 				lastHeapChange = time.Now()
+				es.HeapUpdate(doc, d.CachedLB)
 				if opts.Probe != nil && opts.Probe.ShouldObserve() {
 					opts.Probe.Observe(h.Results())
 				}
@@ -252,9 +296,9 @@ func RunNRA(cursors []postings.ScoreCursor, maxima []model.Score, opts topk.Opti
 		// All lists exhausted: every bound is final, results are exact.
 		st.StopReason = "exhausted"
 	}
-	release()
 	st.Duration = time.Since(start)
 	res := h.Results()
+	release()
 	if opts.Probe != nil {
 		opts.Probe.Final(res)
 	}

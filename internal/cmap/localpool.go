@@ -1,0 +1,30 @@
+package cmap
+
+import (
+	"sync"
+
+	"sparta/internal/model"
+)
+
+// localMapPool reuses the plain (single-goroutine) candidate maps the
+// sequential NRA variants build per query, so a serving process does
+// not allocate a fresh table for every request.
+var localMapPool = sync.Pool{
+	New: func() any { return make(map[model.DocID]*DocState, 256) },
+}
+
+// GetLocalMap returns an empty unsynchronized candidate map for one
+// query evaluation. Release with PutLocalMap.
+func GetLocalMap() map[model.DocID]*DocState {
+	return localMapPool.Get().(map[model.DocID]*DocState)
+}
+
+// PutLocalMap clears m (dropping all candidate pointers) and returns it
+// to the pool. The caller must not use m afterwards.
+func PutLocalMap(m map[model.DocID]*DocState) {
+	if m == nil {
+		return
+	}
+	clear(m)
+	localMapPool.Put(m)
+}

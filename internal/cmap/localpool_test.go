@@ -1,0 +1,19 @@
+package cmap
+
+import "testing"
+
+func TestLocalMapPoolReuse(t *testing.T) {
+	m := GetLocalMap()
+	if len(m) != 0 {
+		t.Fatalf("fresh pooled map has %d entries", len(m))
+	}
+	m[1] = NewDocState(1, 2)
+	m[2] = NewDocState(2, 2)
+	PutLocalMap(m)
+	m2 := GetLocalMap()
+	if len(m2) != 0 {
+		t.Errorf("recycled map not cleared: %d entries", len(m2))
+	}
+	PutLocalMap(m2)
+	PutLocalMap(nil) // no-op
+}

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,9 +92,21 @@ func (s *Sparta) Name() string { return "Sparta" }
 // (opts.Exact) corresponds to Δ = ∞ and is safe: it returns the true
 // top-k (§4.4).
 func (s *Sparta) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return s.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm. Cancellation is an anytime
+// stop: workers notice the flipped execution flag at the next posting
+// (or wake early from a simulated I/O sleep), the run finishes with the
+// context's stop reason, and the current heap contents are returned.
+func (s *Sparta) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	opts = opts.WithDefaults()
-	r := newRun(s.view, q, opts, s.cfg)
-	return r.run()
+	es := topk.NewExecState(ctx, opts.Observer)
+	es.Begin(q, opts)
+	r := newRun(es.BindView(s.view), q, opts, s.cfg, es)
+	res, st, err := r.run()
+	es.Finish(st, err)
+	return res, st, err
 }
 
 // run holds one query evaluation's shared state (Table 1).
@@ -103,6 +116,7 @@ type run struct {
 	opts topk.Options
 	cfg  Config
 	m    int
+	exec *topk.ExecState
 
 	cursors   []postings.ScoreCursor
 	ubs       *topk.UpperBounds
@@ -140,7 +154,7 @@ type run struct {
 	cleanerBusy sync.Mutex // cleaner state is single-task; mutex documents it
 }
 
-func newRun(view postings.View, q model.Query, opts topk.Options, cfg Config) *run {
+func newRun(view postings.View, q model.Query, opts topk.Options, cfg Config, es *topk.ExecState) *run {
 	m := len(q)
 	r := &run{
 		view:     view,
@@ -148,9 +162,10 @@ func newRun(view postings.View, q model.Query, opts topk.Options, cfg Config) *r
 		opts:     opts,
 		cfg:      cfg,
 		m:        m,
+		exec:     es,
 		cursors:  make([]postings.ScoreCursor, m),
 		termMaps: make([]map[model.DocID]*cmap.DocState, m),
-		docHeap:  heap.NewDoc(opts.K),
+		docHeap:  heap.GetDoc(opts.K),
 		phase1:   make(chan struct{}),
 		doneCh:   make(chan struct{}),
 	}
@@ -170,6 +185,7 @@ func (r *run) run() (model.TopK, topk.Stats, error) {
 		r.opts.Probe.Start()
 	}
 	if r.m == 0 {
+		heap.PutDoc(r.docHeap)
 		return model.TopK{}, topk.Stats{StopReason: "empty", Duration: time.Since(start)}, nil
 	}
 
@@ -213,6 +229,7 @@ func (r *run) run() (model.TopK, topk.Stats, error) {
 	err := r.runErr
 	r.errMu.Unlock()
 	if err != nil {
+		heap.PutDoc(r.docHeap) // pool.Close() returned: no worker holds it
 		return nil, st, err
 	}
 
@@ -220,6 +237,7 @@ func (r *run) run() (model.TopK, topk.Stats, error) {
 	r.heapMu.Lock()
 	res := r.docHeap.Results()
 	r.heapMu.Unlock()
+	heap.PutDoc(r.docHeap)
 	if r.opts.Probe != nil {
 		r.opts.Probe.Final(res)
 	}
@@ -290,6 +308,11 @@ func (r *run) processTerm(i int) {
 	if r.done.Load() {
 		return
 	}
+	if r.exec.Stopped() {
+		r.finish(r.exec.StopReason()) // anytime stop: heap keeps best-so-far
+		return
+	}
+	r.exec.SegmentScheduled(i)
 	// Lines 9–12: once the map is shrinking and small, clone the
 	// entries still missing this term's score into a local replica and
 	// stop touching shared memory.
@@ -311,6 +334,10 @@ func (r *run) processTerm(i int) {
 	for j := 0; j < r.opts.SegSize; j++ {
 		if r.done.Load() {
 			return // line 14
+		}
+		if r.exec.Stopped() {
+			r.finish(r.exec.StopReason())
+			return
 		}
 		if !c.Next() {
 			// List exhausted: no unseen postings remain, so this
@@ -390,6 +417,7 @@ func (r *run) updateHeap(d *cmap.DocState) {
 		r.theta.Store(int64(theta))
 		r.heapUpdTime.Store(time.Now().UnixNano())
 		r.nInserts.Add(1)
+		r.exec.HeapUpdate(d.ID, d.CachedLB)
 		if r.opts.Probe != nil && r.opts.Probe.ShouldObserve() {
 			r.opts.Probe.Observe(r.docHeap.Results())
 		}
@@ -406,6 +434,10 @@ func (r *run) updateHeap(d *cmap.DocState) {
 // conditions, and re-enqueues itself.
 func (r *run) cleaner() {
 	if r.done.Load() {
+		return
+	}
+	if r.exec.Stopped() {
+		r.finish(r.exec.StopReason())
 		return
 	}
 	r.cleanerBusy.Lock()
@@ -445,6 +477,7 @@ func (r *run) cleaner() {
 			r.mapBytes.Add(-bytes)
 		}
 		r.docMap.Store(tmp) // line 45: single pointer swing
+		r.exec.CleanerPass(tmp.Len(), old.Len()-tmp.Len())
 	}
 
 	// Lines 46–47: stopping conditions.

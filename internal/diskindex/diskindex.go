@@ -1,11 +1,13 @@
 package diskindex
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
@@ -164,9 +166,13 @@ func (x *Index) MaxScore(t model.TermID) model.Score { return model.Score(x.dict
 
 // DocCursor implements postings.View.
 func (x *Index) DocCursor(t model.TermID) postings.DocCursor {
+	return x.docCursor(t, x.store.NewReader(x.postFile))
+}
+
+func (x *Index) docCursor(t model.TermID, rd *iomodel.Reader) postings.DocCursor {
 	e := x.dict[t]
 	return &diskDocCursor{
-		rd:     x.store.NewReader(x.postFile),
+		rd:     rd,
 		base:   int64(e.docOff),
 		n:      int(e.df),
 		pos:    -1,
@@ -177,9 +183,13 @@ func (x *Index) DocCursor(t model.TermID) postings.DocCursor {
 
 // ScoreCursor implements postings.View.
 func (x *Index) ScoreCursor(t model.TermID) postings.ScoreCursor {
+	return x.scoreCursor(t, x.store.NewReader(x.postFile))
+}
+
+func (x *Index) scoreCursor(t model.TermID, rd *iomodel.Reader) postings.ScoreCursor {
 	e := x.dict[t]
 	return &diskScoreCursor{
-		rd:   x.store.NewReader(x.postFile),
+		rd:   rd,
 		base: int64(e.impactOff),
 		n:    int(e.df),
 		pos:  -1,
@@ -191,8 +201,19 @@ func (x *Index) ScoreCursor(t model.TermID) postings.ScoreCursor {
 // shard section. nShards must equal the build-time shard count (or 1
 // for the unsharded list).
 func (x *Index) ScoreCursorShard(t model.TermID, shard, nShards int) postings.ScoreCursor {
+	return x.scoreCursorShard(t, shard, nShards, x.store.NewReader(x.postFile))
+}
+
+func (x *Index) scoreCursorShard(t model.TermID, shard, nShards int, rd *iomodel.Reader) postings.ScoreCursor {
 	if nShards <= 1 {
-		return x.ScoreCursor(t)
+		e := x.dict[t]
+		return &diskScoreCursor{
+			rd:   rd,
+			base: int64(e.impactOff),
+			n:    int(e.df),
+			pos:  -1,
+			max:  model.Score(e.max),
+		}
 	}
 	if nShards != x.manifest.Shards {
 		panic(fmt.Sprintf("diskindex: index pre-built with %d shards, requested %d",
@@ -205,7 +226,7 @@ func (x *Index) ScoreCursorShard(t model.TermID, shard, nShards int) postings.Sc
 	}
 	max := model.Score(e.max) // bound only; sublist max is <= term max
 	return &diskScoreCursor{
-		rd:   x.store.NewReader(x.postFile),
+		rd:   rd,
 		base: off,
 		n:    int(x.shardLens[t][shard]),
 		pos:  -1,
@@ -221,8 +242,11 @@ func (x *Index) ScoreCursorShard(t model.TermID, shard, nShards int) postings.Sc
 // probes — each probe touching a (usually non-sequential) block, which
 // is precisely the random-access I/O cost the paper charges to pRA.
 func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) {
+	return x.randomAccess(t, d, x.store.NewReader(x.postFile))
+}
+
+func (x *Index) randomAccess(t model.TermID, d model.DocID, rd *iomodel.Reader) (model.Score, bool) {
 	e := x.dict[t]
-	rd := x.store.NewReader(x.postFile)
 	defer rd.Settle()
 	base := int64(e.docOff)
 	probe := func(i int) model.Posting {
@@ -262,6 +286,46 @@ func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) 
 		}
 	}
 	return 0, false
+}
+
+// BindExec implements postings.ExecBinder: the returned view opens
+// cursors whose simulated I/O waits end early once ctx is done and
+// whose physical fetches are reported to onIO. It shares the index and
+// page cache with the receiver.
+func (x *Index) BindExec(ctx context.Context, onIO func(time.Duration), onStop func()) postings.View {
+	return &execView{Index: x, ctx: ctx, onIO: onIO, onStop: onStop}
+}
+
+var _ postings.ExecBinder = (*Index)(nil)
+
+// execView is a per-query binding of an Index to an execution context.
+type execView struct {
+	*Index
+	ctx    context.Context
+	onIO   func(time.Duration)
+	onStop func()
+}
+
+func (v *execView) newReader() *iomodel.Reader {
+	rd := v.store.NewReader(v.postFile)
+	rd.Bind(v.ctx, v.onIO, v.onStop)
+	return rd
+}
+
+func (v *execView) DocCursor(t model.TermID) postings.DocCursor {
+	return v.Index.docCursor(t, v.newReader())
+}
+
+func (v *execView) ScoreCursor(t model.TermID) postings.ScoreCursor {
+	return v.Index.scoreCursor(t, v.newReader())
+}
+
+func (v *execView) ScoreCursorShard(t model.TermID, shard, nShards int) postings.ScoreCursor {
+	return v.Index.scoreCursorShard(t, shard, nShards, v.newReader())
+}
+
+func (v *execView) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) {
+	return v.Index.randomAccess(t, d, v.newReader())
 }
 
 // diskDocCursor is the charged document-order cursor.

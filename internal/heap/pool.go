@@ -1,0 +1,71 @@
+// sync.Pool-backed reuse of the k-sized heap backing arrays. Serving
+// workloads run millions of queries at the paper's k = 1000; without
+// reuse every query allocates (and the GC scans) a fresh k-entry slice
+// per heap, per thread for the shared-nothing parallelizations. Pools
+// are bucketed by capacity so a k=10 request does not pin a k=1000
+// array.
+
+package heap
+
+import "sync"
+
+// scorePools and docPools bucket pooled heaps by exact k. Distinct k
+// values in one process are few (serving fixes k per endpoint), so a
+// small sync.Map of per-k pools suffices.
+var (
+	scorePools sync.Map // int -> *sync.Pool of *ScoreHeap
+	docPools   sync.Map // int -> *sync.Pool of *DocHeap
+)
+
+func poolFor(m *sync.Map, k int, mk func() any) *sync.Pool {
+	if p, ok := m.Load(k); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := m.LoadOrStore(k, &sync.Pool{New: mk})
+	return p.(*sync.Pool)
+}
+
+// GetScore returns an empty ScoreHeap of capacity k, reusing a pooled
+// backing array when one is available. Release with PutScore.
+func GetScore(k int) *ScoreHeap {
+	if k <= 0 {
+		panic("heap: k must be positive")
+	}
+	h := poolFor(&scorePools, k, func() any { return NewScore(k) }).Get().(*ScoreHeap)
+	h.items = h.items[:0]
+	return h
+}
+
+// PutScore returns h to its pool. The caller must not use h afterwards;
+// results must be materialized (Results copies) before releasing.
+func PutScore(h *ScoreHeap) {
+	if h == nil {
+		return
+	}
+	h.items = h.items[:0]
+	poolFor(&scorePools, h.k, func() any { return NewScore(h.k) }).Put(h)
+}
+
+// GetDoc returns an empty DocHeap of capacity k from the pool. Release
+// with PutDoc.
+func GetDoc(k int) *DocHeap {
+	if k <= 0 {
+		panic("heap: k must be positive")
+	}
+	h := poolFor(&docPools, k, func() any { return NewDoc(k) }).Get().(*DocHeap)
+	h.items = h.items[:0]
+	return h
+}
+
+// PutDoc returns h to its pool, clearing every candidate pointer up to
+// the backing array's full capacity so pooled heaps do not pin whole
+// candidate graphs across queries.
+func PutDoc(h *DocHeap) {
+	if h == nil {
+		return
+	}
+	full := h.items[:cap(h.items)]
+	clear(full)
+	h.items = h.items[:0]
+	poolFor(&docPools, h.k, func() any { return NewDoc(h.k) }).Put(h)
+}

@@ -1,0 +1,69 @@
+package heap
+
+import (
+	"testing"
+
+	"sparta/internal/cmap"
+	"sparta/internal/model"
+)
+
+func TestScorePoolReuse(t *testing.T) {
+	h := GetScore(5)
+	if h.Len() != 0 {
+		t.Fatalf("fresh pooled heap has %d items", h.Len())
+	}
+	for i := 0; i < 10; i++ {
+		h.Push(model.DocID(i), model.Score(i+1))
+	}
+	PutScore(h)
+	h2 := GetScore(5)
+	if h2.Len() != 0 {
+		t.Errorf("recycled heap not reset: %d items", h2.Len())
+	}
+	// The recycled heap must still work at its k.
+	for i := 0; i < 20; i++ {
+		h2.Push(model.DocID(i), model.Score(i+1))
+	}
+	if h2.Len() != 5 {
+		t.Errorf("recycled heap len %d, want 5", h2.Len())
+	}
+	PutScore(h2)
+	PutScore(nil) // nil must be a no-op
+}
+
+func TestDocPoolReuseAndClear(t *testing.T) {
+	h := GetDoc(3)
+	if h.Len() != 0 {
+		t.Fatalf("fresh pooled doc heap has %d items", h.Len())
+	}
+	d := cmap.NewDocState(1, 2)
+	d.SetScore(0, 10)
+	h.UpdateInsert(d)
+	PutDoc(h)
+	h2 := GetDoc(3)
+	if h2.Len() != 0 {
+		t.Errorf("recycled doc heap not reset: %d items", h2.Len())
+	}
+	// The cleared backing array must not retain the DocState pointer.
+	backing := h2.items[:cap(h2.items)]
+	for i, p := range backing {
+		if p != nil {
+			t.Errorf("pooled doc heap retains candidate pointer at %d", i)
+		}
+	}
+	PutDoc(h2)
+	PutDoc(nil)
+}
+
+func TestPoolsSegregateByK(t *testing.T) {
+	a := GetScore(4)
+	PutScore(a)
+	b := GetScore(8) // a different k must not hand back the k=4 heap
+	for i := 0; i < 100; i++ {
+		b.Push(model.DocID(i), model.Score(i+1))
+	}
+	if b.Len() != 8 {
+		t.Errorf("k=8 pooled heap holds %d, want 8", b.Len())
+	}
+	PutScore(b)
+}

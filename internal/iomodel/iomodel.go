@@ -25,6 +25,7 @@
 package iomodel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -296,11 +297,64 @@ type Reader struct {
 	file      int
 	lastBlock int64
 	owed      time.Duration
+
+	// Execution binding (see Bind): waits end early once ctx is done,
+	// and every physical fetch's charged latency flows to onFetch.
+	ctx     context.Context
+	onFetch func(time.Duration)
+	onStop  func()
 }
 
 // NewReader opens file h for charged reads.
 func (s *Store) NewReader(h int) *Reader {
 	return &Reader{store: s, file: h, lastBlock: -2}
+}
+
+// Bind attaches a cancellation context and optional callbacks to the
+// reader. Once ctx is done, simulated waits return immediately instead
+// of sleeping out their remaining charge — an I/O wait is the natural
+// cancellation point of a disk-resident query. onFetch receives every
+// physical fetch's charged latency; onStop fires (once) the first time
+// a wait is cut short, so the caller learns about the cancellation
+// synchronously — without it, a query whose sleeps have all become free
+// could race through its remaining postings at memory speed before an
+// asynchronously-set stop flag is visible. Any argument may be nil.
+func (r *Reader) Bind(ctx context.Context, onFetch func(time.Duration), onStop func()) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable: plain sleeps are cheaper
+	}
+	r.ctx = ctx
+	r.onFetch = onFetch
+	r.onStop = onStop
+}
+
+// pay sleeps for d, waking early if the bound context is done. Charges
+// remain counted in the store's statistics either way — the block was
+// already "read"; only the caller's wait is cut short.
+func (r *Reader) pay(d time.Duration) {
+	if r.ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	if r.ctx.Err() != nil {
+		r.noteStop()
+		return
+	}
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+	case <-r.ctx.Done():
+		t.Stop()
+		r.noteStop()
+	}
+}
+
+// noteStop reports a cut-short wait to the binder, once.
+func (r *Reader) noteStop() {
+	if r.onStop != nil {
+		r.onStop()
+		r.onStop = nil
+	}
 }
 
 // Size returns the file length in bytes.
@@ -355,12 +409,15 @@ func (r *Reader) touchBlock(b int64) {
 		return
 	}
 	s.simIO.Add(int64(lat))
+	if r.onFetch != nil {
+		r.onFetch(lat)
+	}
 	if s.cfg.NoSleep {
 		return
 	}
 	r.owed += lat
 	if r.owed >= s.cfg.SleepBatch {
-		time.Sleep(r.owed)
+		r.pay(r.owed)
 		r.owed = 0
 	}
 }
@@ -369,7 +426,7 @@ func (r *Reader) touchBlock(b int64) {
 // a traversal ends so short reads are not silently free.
 func (r *Reader) Settle() {
 	if r.owed > 0 && !r.store.cfg.NoSleep {
-		time.Sleep(r.owed)
+		r.pay(r.owed)
 	}
 	r.owed = 0
 }

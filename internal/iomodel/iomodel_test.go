@@ -1,6 +1,7 @@
 package iomodel
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -242,5 +243,78 @@ func TestDefaultConfigSane(t *testing.T) {
 	r := RAMConfig()
 	if !r.NoSleep {
 		t.Error("RAM config must not sleep")
+	}
+}
+
+func TestBindCancelCutsWaitsShort(t *testing.T) {
+	// Real sleeps on, punishing latency: an unbound reader takes >= 50ms
+	// to scan; a reader bound to a cancelled context returns promptly.
+	cfg := Config{
+		BlockSize:    64,
+		CacheBlocks:  2,
+		SeqLatency:   5 * time.Millisecond,
+		RandLatency:  5 * time.Millisecond,
+		SleepBatch:   time.Microsecond,
+		CacheStripes: 1,
+	}
+	s, h := newStoreWithFile(cfg, 64*20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := s.NewReader(h)
+	r.Bind(ctx, nil, nil)
+	start := time.Now()
+	for off := int64(0); off < 64*20; off += 64 {
+		r.View(off, 64)
+	}
+	r.Settle()
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("cancelled reader took %v, want near-immediate return", elapsed)
+	}
+	// Charges are still counted: the blocks were "read".
+	if st := s.Snapshot(); st.BlocksRead != 20 || st.SimulatedIO == 0 {
+		t.Errorf("stats = %+v, want 20 charged reads", st)
+	}
+}
+
+func TestBindUncancellableContextIsFree(t *testing.T) {
+	s, h := newStoreWithFile(testConfig(8), 1000)
+	r := s.NewReader(h)
+	r.Bind(context.Background(), nil, nil)
+	if r.ctx != nil {
+		t.Error("binding an uncancellable context must not retain it")
+	}
+}
+
+func TestBindOnFetchObservesCharges(t *testing.T) {
+	s, h := newStoreWithFile(testConfig(8), 64*10)
+	var fetches int
+	var total time.Duration
+	r := s.NewReader(h)
+	r.Bind(nil, func(d time.Duration) { fetches++; total += d }, nil)
+	for off := int64(0); off < 64*10; off += 64 {
+		r.View(off, 64)
+	}
+	if fetches != 10 {
+		t.Errorf("onFetch called %d times, want 10", fetches)
+	}
+	if want := s.Snapshot().SimulatedIO; total != want {
+		t.Errorf("onFetch total %v, store charged %v", total, want)
+	}
+}
+
+func TestBindOnStopFiresOnceWhenCutShort(t *testing.T) {
+	st := NewStore(Config{BlockSize: 64, CacheBlocks: 1, SeqLatency: time.Millisecond,
+		RandLatency: time.Millisecond, SleepBatch: time.Microsecond})
+	h := st.AddFile("f", make([]byte, 64*16))
+	r := st.NewReader(h)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stops := 0
+	r.Bind(ctx, nil, func() { stops++ })
+	for i := int64(0); i < 8; i++ {
+		r.View(i*64, 64)
+	}
+	if stops != 1 {
+		t.Errorf("onStop fired %d times, want exactly once", stops)
 	}
 }

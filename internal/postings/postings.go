@@ -18,7 +18,12 @@
 //     not-yet-returned postings — the UB[i] of the Threshold Algorithm.
 package postings
 
-import "sparta/internal/model"
+import (
+	"context"
+	"time"
+
+	"sparta/internal/model"
+)
 
 // BlockSize is the number of postings per block-max block. The paper
 // experimented with multiple sizes and selected 64 (§5.2.1).
@@ -133,6 +138,20 @@ type View interface {
 	// secondary by-document index that the RA family requires (§3.2).
 	// The bool reports whether d appears in t's posting list.
 	RandomAccess(t model.TermID, d model.DocID) (model.Score, bool)
+}
+
+// ExecBinder is implemented by views whose traversal charges simulated
+// I/O (package diskindex). BindExec returns a View whose cursors end
+// their I/O waits early once ctx is done — making an I/O fetch the
+// natural cancellation point for disk-resident queries — and report
+// every physical block fetch's charged latency to onIO. onStop is
+// invoked the first time a cursor's wait is cut short, giving the
+// execution layer a synchronous cancellation signal on the goroutine
+// that observed it. Either callback may be nil. The returned view
+// shares the underlying index and page cache; in-memory views simply
+// don't implement this interface.
+type ExecBinder interface {
+	BindExec(ctx context.Context, onIO func(time.Duration), onStop func()) View
 }
 
 // ShardRange returns the half-open document-id range [lo, hi) of shard

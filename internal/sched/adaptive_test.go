@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -18,6 +19,10 @@ type recordingAlg struct {
 }
 
 func (r *recordingAlg) Name() string { return "rec" }
+
+func (r *recordingAlg) SearchContext(_ context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return r.Search(q, opts)
+}
 
 func (r *recordingAlg) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	r.mu.Lock()

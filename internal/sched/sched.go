@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -90,20 +91,39 @@ func (p *tokenPool) release(n int) {
 // bounded by what is free at admission. baseOpts carries K and the
 // approximation knobs; Threads is overridden per query.
 func Run(alg topk.Algorithm, queryStream []model.Query, poolSize int, baseOpts topk.Options) Result {
+	return RunContext(context.Background(), alg, queryStream, poolSize, baseOpts)
+}
+
+// RunContext is Run with a run-wide context: cancelling ctx stops
+// admitting new queries and cancels the ones in flight (each query
+// inherits ctx through SearchContext, so in-flight queries return
+// their anytime partial results and release their threads). Result
+// counts only the queries actually admitted.
+func RunContext(ctx context.Context, alg topk.Algorithm, queryStream []model.Query, poolSize int, baseOpts topk.Options) Result {
 	pool := newTokenPool(poolSize)
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		latency stats.Sample
-		errs    int
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		latency  stats.Sample
+		errs     int
+		admitted int
 	)
 	start := time.Now()
 	for _, q := range queryStream {
 		q := q
-		wg.Add(1)
+		if ctx.Err() != nil {
+			break
+		}
 		// FCFS admission: acquire on the submitting goroutine in
 		// stream order, then evaluate concurrently.
 		got := pool.acquire(len(q))
+		if ctx.Err() != nil {
+			// Cancelled while waiting for threads; the query never ran.
+			pool.release(got)
+			break
+		}
+		admitted++
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer pool.release(got)
@@ -116,7 +136,7 @@ func Run(alg topk.Algorithm, queryStream []model.Query, poolSize int, baseOpts t
 			if baseOpts.Budget != nil {
 				opts.Budget = freshBudget(baseOpts.Budget)
 			}
-			_, _, err := alg.Search(q, opts)
+			_, _, err := alg.SearchContext(ctx, q, opts)
 			mu.Lock()
 			latency.AddDuration(time.Since(qStart))
 			if err != nil {
@@ -129,10 +149,10 @@ func Run(alg topk.Algorithm, queryStream []model.Query, poolSize int, baseOpts t
 	wall := time.Since(start)
 	qps := 0.0
 	if wall > 0 {
-		qps = float64(len(queryStream)) / wall.Seconds()
+		qps = float64(admitted) / wall.Seconds()
 	}
 	return Result{
-		Queries: len(queryStream),
+		Queries: admitted,
 		Wall:    wall,
 		QPS:     qps,
 		Latency: &latency,

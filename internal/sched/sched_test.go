@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -27,6 +28,10 @@ func newFake() *fakeAlg {
 }
 
 func (f *fakeAlg) Name() string { return "fake" }
+
+func (f *fakeAlg) SearchContext(_ context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return f.Search(q, opts)
+}
 
 func (f *fakeAlg) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
 	cur := f.running.Add(int64(opts.Threads))

@@ -1,0 +1,300 @@
+// Query-execution layer: the per-query cancellation / deadline state
+// every algorithm threads through its posting loops, and the Observer
+// hook interface that exposes a query's lifecycle to serving
+// infrastructure (tracing, metrics, admission control).
+//
+// All of the paper's algorithms are anytime at heart — Sparta's own
+// stopping rule is a heap-idle timeout (§4) — so cancellation here is
+// not an error path: an interrupted query returns its best-so-far
+// partial top-k with Stats.StopReason set to StopCancelled or
+// StopDeadline, exactly like a Δ stop, just triggered from outside.
+
+package topk
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/model"
+	"sparta/internal/postings"
+)
+
+// Stop reasons reported by externally-interrupted queries.
+const (
+	// StopCancelled: the query's context was cancelled mid-evaluation.
+	StopCancelled = "cancelled"
+	// StopDeadline: the query's context deadline expired.
+	StopDeadline = "deadline"
+)
+
+// Observer receives one query's execution events. Implementations must
+// be safe for concurrent use: the parallel algorithms emit events from
+// many workers at once. All methods are called synchronously on hot-ish
+// paths — keep them cheap (counters, ring buffers), never blocking.
+type Observer interface {
+	// QueryStart is called once, before evaluation begins.
+	QueryStart(q model.Query, opts Options)
+	// QueryFinish is called once, after evaluation ends (also on error
+	// and cancellation), with the final statistics.
+	QueryFinish(st Stats, err error)
+	// SegmentScheduled is called when a worker begins a posting-list
+	// segment (score-order algorithms: the term index; pBMW: the
+	// document-range job index).
+	SegmentScheduled(term int)
+	// HeapUpdate is called when a document enters the top-k heap.
+	HeapUpdate(doc model.DocID, score model.Score)
+	// CleanerPass is called after each cleaner rebuild (Sparta) with
+	// the kept and dropped candidate counts.
+	CleanerPass(kept, dropped int)
+	// IOFetch is called for every physical block fetch of the simulated
+	// storage layer, with the latency charged.
+	IOFetch(wait time.Duration)
+}
+
+// NopObserver is the no-op default.
+type NopObserver struct{}
+
+func (NopObserver) QueryStart(model.Query, Options)     {}
+func (NopObserver) QueryFinish(Stats, error)            {}
+func (NopObserver) SegmentScheduled(int)                {}
+func (NopObserver) HeapUpdate(model.DocID, model.Score) {}
+func (NopObserver) CleanerPass(int, int)                {}
+func (NopObserver) IOFetch(time.Duration)               {}
+
+var _ Observer = NopObserver{}
+
+// RecordingObserver counts every event; safe for concurrent use. The
+// zero value is ready.
+type RecordingObserver struct {
+	queries       atomic.Int64
+	finishes      atomic.Int64
+	segments      atomic.Int64
+	heapUpdates   atomic.Int64
+	cleanerPasses atomic.Int64
+	ioFetches     atomic.Int64
+	ioWaitNs      atomic.Int64
+
+	mu        sync.Mutex
+	lastStats Stats
+	lastErr   error
+}
+
+func (r *RecordingObserver) QueryStart(model.Query, Options) { r.queries.Add(1) }
+
+func (r *RecordingObserver) QueryFinish(st Stats, err error) {
+	r.finishes.Add(1)
+	r.mu.Lock()
+	r.lastStats, r.lastErr = st, err
+	r.mu.Unlock()
+}
+
+func (r *RecordingObserver) SegmentScheduled(int)                { r.segments.Add(1) }
+func (r *RecordingObserver) HeapUpdate(model.DocID, model.Score) { r.heapUpdates.Add(1) }
+func (r *RecordingObserver) CleanerPass(int, int)                { r.cleanerPasses.Add(1) }
+
+func (r *RecordingObserver) IOFetch(wait time.Duration) {
+	r.ioFetches.Add(1)
+	r.ioWaitNs.Add(int64(wait))
+}
+
+// Queries returns the number of QueryStart events.
+func (r *RecordingObserver) Queries() int64 { return r.queries.Load() }
+
+// Finishes returns the number of QueryFinish events.
+func (r *RecordingObserver) Finishes() int64 { return r.finishes.Load() }
+
+// Segments returns the number of SegmentScheduled events.
+func (r *RecordingObserver) Segments() int64 { return r.segments.Load() }
+
+// HeapUpdates returns the number of HeapUpdate events.
+func (r *RecordingObserver) HeapUpdates() int64 { return r.heapUpdates.Load() }
+
+// CleanerPasses returns the number of CleanerPass events.
+func (r *RecordingObserver) CleanerPasses() int64 { return r.cleanerPasses.Load() }
+
+// IOFetches returns the number of IOFetch events.
+func (r *RecordingObserver) IOFetches() int64 { return r.ioFetches.Load() }
+
+// IOWait returns the total simulated I/O latency observed.
+func (r *RecordingObserver) IOWait() time.Duration { return time.Duration(r.ioWaitNs.Load()) }
+
+// Last returns the most recent QueryFinish payload.
+func (r *RecordingObserver) Last() (Stats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastStats, r.lastErr
+}
+
+var _ Observer = (*RecordingObserver)(nil)
+
+// ExecState is one query evaluation's execution context: it turns a
+// context.Context's cancellation into a flag cheap enough to consult in
+// posting-loop hot paths, and fans Observer events out from the
+// algorithm internals.
+//
+// Cost model: a watcher goroutine (spawned only when the context is
+// cancellable at all) flips an atomic bool the moment the context is
+// done, so the per-posting check — Stopped() — is a single read of a
+// rarely-written cache line. Algorithms may still amortize further and
+// check only every few postings or once per segment; both are fine,
+// the bound on cancellation latency is one segment of work plus one
+// simulated I/O wait (iomodel sleeps wake early on the same context).
+//
+// A nil *ExecState is valid and behaves like a background context with
+// no observer, so internal helpers (ta.RunNRA) accept it freely.
+type ExecState struct {
+	ctx       context.Context
+	obs       Observer
+	observing bool
+
+	stopped   atomic.Bool
+	reason    atomic.Value // string; written before stopped is set
+	closeCh   chan struct{}
+	closeOnce sync.Once
+}
+
+// NewExecState creates the execution state for one query under ctx.
+// A nil ctx means context.Background(); a nil obs means no observation.
+// The caller must call Finish exactly once when the query ends (it
+// releases the deadline watcher).
+func NewExecState(ctx context.Context, obs Observer) *ExecState {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	observing := obs != nil
+	if !observing {
+		obs = NopObserver{}
+	} else if _, nop := obs.(NopObserver); nop {
+		observing = false
+	}
+	e := &ExecState{ctx: ctx, obs: obs, observing: observing, closeCh: make(chan struct{})}
+	if done := ctx.Done(); done != nil {
+		if err := ctx.Err(); err != nil {
+			e.markStopped(err) // pre-cancelled: no watcher needed
+		} else {
+			go e.watch(done)
+		}
+	}
+	return e
+}
+
+// watch flips the stopped flag as soon as the context is done, so hot
+// loops only ever pay an atomic load.
+func (e *ExecState) watch(done <-chan struct{}) {
+	select {
+	case <-done:
+		e.markStopped(e.ctx.Err())
+	case <-e.closeCh:
+	}
+}
+
+func (e *ExecState) markStopped(err error) {
+	e.reason.Store(reasonFor(err))
+	e.stopped.Store(true)
+}
+
+// reasonFor maps a context error to the Stats.StopReason vocabulary.
+func reasonFor(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StopDeadline
+	}
+	return StopCancelled
+}
+
+// Context returns the query's context (never nil).
+func (e *ExecState) Context() context.Context {
+	if e == nil {
+		return context.Background()
+	}
+	return e.ctx
+}
+
+// Stopped reports whether the query's context has been cancelled or
+// its deadline has expired. This is the hot-path check: one atomic
+// load, no syscalls, no time lookups.
+func (e *ExecState) Stopped() bool {
+	return e != nil && e.stopped.Load()
+}
+
+// StopReason returns StopCancelled or StopDeadline once Stopped, else
+// the empty string.
+func (e *ExecState) StopReason() string {
+	if e == nil || !e.stopped.Load() {
+		return ""
+	}
+	return e.reason.Load().(string)
+}
+
+// Begin emits the QueryStart event.
+func (e *ExecState) Begin(q model.Query, opts Options) {
+	if e != nil && e.observing {
+		e.obs.QueryStart(q, opts)
+	}
+}
+
+// Finish releases the deadline watcher and emits the QueryFinish
+// event. Call exactly once, when the evaluation ends (any path).
+func (e *ExecState) Finish(st Stats, err error) {
+	if e == nil {
+		return
+	}
+	e.closeOnce.Do(func() { close(e.closeCh) })
+	if e.observing {
+		e.obs.QueryFinish(st, err)
+	}
+}
+
+// SegmentScheduled emits the segment event.
+func (e *ExecState) SegmentScheduled(term int) {
+	if e != nil && e.observing {
+		e.obs.SegmentScheduled(term)
+	}
+}
+
+// HeapUpdate emits the heap-insert event.
+func (e *ExecState) HeapUpdate(doc model.DocID, score model.Score) {
+	if e != nil && e.observing {
+		e.obs.HeapUpdate(doc, score)
+	}
+}
+
+// CleanerPass emits the cleaner event.
+func (e *ExecState) CleanerPass(kept, dropped int) {
+	if e != nil && e.observing {
+		e.obs.CleanerPass(kept, dropped)
+	}
+}
+
+// BindView attaches the execution state to views that support it (the
+// simulated-disk indexes implement postings.ExecBinder): their I/O
+// waits end early on cancellation — the natural cancellation point for
+// disk-resident queries — and physical fetches flow to the observer.
+// Views without binding support (the in-memory index) pass through.
+func (e *ExecState) BindView(v postings.View) postings.View {
+	if e == nil {
+		return v
+	}
+	b, ok := v.(postings.ExecBinder)
+	if !ok {
+		return v
+	}
+	if e.ctx.Done() == nil && !e.observing {
+		return v // nothing to bind: uncancellable and unobserved
+	}
+	var onIO func(time.Duration)
+	if e.observing {
+		onIO = e.obs.IOFetch
+	}
+	var onStop func()
+	if e.ctx.Done() != nil {
+		// A cut-short I/O wait marks the stop flag synchronously: once a
+		// reader's sleeps become free, the evaluating goroutine could
+		// otherwise burn through its remaining postings at memory speed
+		// before the watcher goroutine's asynchronous flip is visible.
+		onStop = func() { e.markStopped(e.ctx.Err()) }
+	}
+	return b.BindExec(e.ctx, onIO, onStop)
+}

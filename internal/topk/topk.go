@@ -8,6 +8,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,9 @@ type Options struct {
 	// Probe, when non-nil, receives heap snapshots for the
 	// recall-dynamics figures.
 	Probe *RecallProbe
+	// Observer, when non-nil, receives the query's execution events
+	// (see the Observer interface). Nil = no observation.
+	Observer Observer
 }
 
 // Validate reports configuration errors a zero-value-tolerant API
@@ -87,8 +91,23 @@ func (o Options) Validate() error {
 	if o.FracP != 0 && (o.FracP <= 0 || o.FracP > 1) {
 		return fmt.Errorf("topk: FracP must be in (0,1], got %v", o.FracP)
 	}
+	if o.SegSize < 0 {
+		return fmt.Errorf("topk: SegSize must be non-negative, got %d", o.SegSize)
+	}
+	if o.Phi < 0 {
+		return fmt.Errorf("topk: Phi must be non-negative, got %d", o.Phi)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("topk: Shards must be non-negative, got %d", o.Shards)
+	}
 	if o.Exact && o.Delta > 0 {
 		return fmt.Errorf("topk: Exact and Delta are mutually exclusive")
+	}
+	if o.Exact && o.BoostF > 1 {
+		return fmt.Errorf("topk: Exact and BoostF > 1 are mutually exclusive")
+	}
+	if o.Exact && o.FracP != 0 && o.FracP < 1 {
+		return fmt.Errorf("topk: Exact and FracP < 1 are mutually exclusive")
 	}
 	return nil
 }
@@ -141,7 +160,13 @@ type Algorithm interface {
 	// Name returns the algorithm's report name ("Sparta", "pBMW", ...).
 	Name() string
 	// Search evaluates q and returns the (possibly approximate) top-k.
+	// Equivalent to SearchContext with context.Background().
 	Search(q model.Query, opts Options) (model.TopK, Stats, error)
+	// SearchContext evaluates q under ctx. Cancellation and deadline
+	// expiry are anytime stops, not errors: the call returns the
+	// best-so-far partial top-k with Stats.StopReason set to
+	// StopCancelled or StopDeadline and a nil error.
+	SearchContext(ctx context.Context, q model.Query, opts Options) (model.TopK, Stats, error)
 }
 
 // UpperBounds is the Threshold Algorithm's UB[m] vector (Table 1):

@@ -149,6 +149,9 @@ func TestOptionsValidate(t *testing.T) {
 		{K: 10, Threads: 4, Exact: true},
 		{K: 10, Delta: time.Millisecond},
 		{BoostF: 5, FracP: 0.5},
+		{Exact: true, BoostF: 1},  // f = 1 is the exact setting itself
+		{Exact: true, FracP: 1},   // p = 1 likewise
+		{SegSize: 64, Phi: 100, Shards: 12},
 	}
 	for i, o := range ok {
 		if err := o.Validate(); err != nil {
@@ -163,6 +166,11 @@ func TestOptionsValidate(t *testing.T) {
 		{FracP: 1.5},
 		{FracP: -0.1},
 		{Exact: true, Delta: time.Millisecond},
+		{SegSize: -1},
+		{Phi: -10},
+		{Shards: -3},
+		{Exact: true, BoostF: 2},
+		{Exact: true, FracP: 0.5},
 	}
 	for i, o := range bad {
 		if err := o.Validate(); err == nil {

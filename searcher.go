@@ -1,0 +1,172 @@
+package sparta
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/model"
+	"sparta/internal/topk"
+)
+
+// SearcherConfig parameterizes a Searcher. The zero value disables
+// every knob: no timeout, unbounded concurrency, no observer.
+type SearcherConfig struct {
+	// Timeout bounds each query's execution. A query that exceeds it
+	// returns its best-so-far partial top-k with Stats.StopReason
+	// "deadline" and a nil error (the anytime contract). Zero means no
+	// timeout; a caller-supplied context deadline still applies.
+	Timeout time.Duration
+
+	// MaxConcurrent caps queries executing at once. Excess queries wait
+	// in admission order; a query whose context is cancelled while
+	// waiting returns an empty result with StopReason "cancelled" (or
+	// "deadline") and a nil error, without ever executing. Zero means
+	// unbounded.
+	MaxConcurrent int
+
+	// Observer, when non-nil, receives execution events for every query
+	// that does not carry its own Options.Observer.
+	Observer Observer
+}
+
+// SearcherCounters is a point-in-time snapshot of a Searcher's
+// aggregate activity.
+type SearcherCounters struct {
+	// Queries is the number of queries finished (admitted or not).
+	Queries int64
+	// Errors is the number of queries that returned a non-nil error.
+	Errors int64
+	// Cancelled / Deadline count queries that stopped early because
+	// their context was cancelled / its deadline expired — including
+	// queries cancelled while waiting for admission.
+	Cancelled int64
+	Deadline  int64
+	// Rejected counts the subset of Cancelled+Deadline that never ran
+	// because admission was interrupted.
+	Rejected int64
+	// InFlight is the number of queries currently executing or waiting
+	// for admission.
+	InFlight int64
+	// Postings is the total posting count processed.
+	Postings int64
+	// TotalLatency is the summed wall-clock duration of finished
+	// queries (admission wait included); TotalLatency/Queries is the
+	// mean latency.
+	TotalLatency time.Duration
+}
+
+// Searcher wraps any Algorithm with the serving-side concerns of §5.3's
+// latency SLAs: a per-query timeout, a concurrent-query admission
+// limit, and aggregate counters. It implements Algorithm itself, so it
+// can be dropped into the scheduler or the benchmark harness, and it is
+// safe for concurrent use.
+type Searcher struct {
+	alg topk.Algorithm
+	cfg SearcherConfig
+	sem chan struct{} // nil when MaxConcurrent == 0
+
+	queries   atomic.Int64
+	errors    atomic.Int64
+	cancelled atomic.Int64
+	deadline  atomic.Int64
+	rejected  atomic.Int64
+	inFlight  atomic.Int64
+	postings  atomic.Int64
+	latencyNs atomic.Int64
+}
+
+// NewSearcher wraps alg.
+func NewSearcher(alg topk.Algorithm, cfg SearcherConfig) *Searcher {
+	s := &Searcher{alg: alg, cfg: cfg}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return s
+}
+
+// Name implements Algorithm.
+func (s *Searcher) Name() string { return s.alg.Name() }
+
+// Search implements Algorithm; it is SearchContext with a background
+// context (the configured Timeout still applies).
+func (s *Searcher) Search(q Query, opts Options) (TopK, Stats, error) {
+	return s.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements Algorithm: admission under MaxConcurrent,
+// then execution under the tighter of ctx and the configured Timeout.
+// Cancellation — at admission or mid-query — returns a nil error with
+// StopReason "cancelled" or "deadline"; errors are reserved for real
+// failures (e.g. memory-budget aborts).
+func (s *Searcher) SearchContext(ctx context.Context, q Query, opts Options) (TopK, Stats, error) {
+	start := time.Now()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			st := Stats{StopReason: stopReasonFor(ctx.Err()), Duration: time.Since(start)}
+			s.rejected.Add(1)
+			s.account(st, nil)
+			return model.TopK{}, st, nil
+		}
+	}
+
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	if opts.Observer == nil {
+		opts.Observer = s.cfg.Observer
+	}
+
+	res, st, err := s.alg.SearchContext(ctx, q, opts)
+	st.Duration = time.Since(start) // admission wait included
+	s.account(st, err)
+	return res, st, err
+}
+
+func (s *Searcher) account(st Stats, err error) {
+	s.queries.Add(1)
+	s.postings.Add(st.Postings)
+	s.latencyNs.Add(int64(st.Duration))
+	if err != nil {
+		s.errors.Add(1)
+	}
+	switch st.StopReason {
+	case topk.StopCancelled:
+		s.cancelled.Add(1)
+	case topk.StopDeadline:
+		s.deadline.Add(1)
+	}
+}
+
+// Counters returns a snapshot of the aggregate counters. The snapshot
+// is not atomic across fields (each field is individually consistent).
+func (s *Searcher) Counters() SearcherCounters {
+	return SearcherCounters{
+		Queries:      s.queries.Load(),
+		Errors:       s.errors.Load(),
+		Cancelled:    s.cancelled.Load(),
+		Deadline:     s.deadline.Load(),
+		Rejected:     s.rejected.Load(),
+		InFlight:     s.inFlight.Load(),
+		Postings:     s.postings.Load(),
+		TotalLatency: time.Duration(s.latencyNs.Load()),
+	}
+}
+
+// stopReasonFor maps a context error to the corresponding stop reason.
+func stopReasonFor(err error) string {
+	if err == context.DeadlineExceeded {
+		return topk.StopDeadline
+	}
+	return topk.StopCancelled
+}
+
+var _ topk.Algorithm = (*Searcher)(nil)

@@ -57,6 +57,15 @@ type (
 	// Algorithm is the interface all retrieval strategies implement.
 	Algorithm = topk.Algorithm
 
+	// Observer receives per-query execution events (query start/finish,
+	// segment scheduling, heap updates, cleaner passes, simulated I/O).
+	Observer = topk.Observer
+	// NopObserver is an Observer that ignores every event; embed it to
+	// implement only the events of interest.
+	NopObserver = topk.NopObserver
+	// RecordingObserver is a thread-safe counting Observer.
+	RecordingObserver = topk.RecordingObserver
+
 	// Index is the in-memory inverted index.
 	Index = index.Index
 	// IndexBuilder accumulates documents into an Index.
@@ -65,6 +74,14 @@ type (
 	// type implementing it (including application-specific stores, see
 	// examples/analytics) can be searched.
 	View = postings.View
+)
+
+// Stop reasons reported in Stats.StopReason when a query's context
+// ends before the algorithm's own stopping condition: the returned
+// top-k is the anytime partial result, and the error is nil.
+const (
+	StopCancelled = topk.StopCancelled
+	StopDeadline  = topk.StopDeadline
 )
 
 // New creates a Sparta instance over an index view.
