@@ -12,6 +12,10 @@
 //
 // Subcommands: table2 table3 table4 fig3a fig3b fig3c fig3d fig3e
 // fig3f fig3g fig3h fig3i fig4 ramtable compression all
+//
+// The extra "bench" subcommand (not part of "all") runs the default
+// grid with and without the decoded-block posting cache and writes the
+// machine-readable BENCH_topk.json artifact consumed by CI.
 package main
 
 import (
@@ -40,6 +44,8 @@ type runner struct {
 	tuning    bench.Tuning
 	nQueries  int
 	threads   int
+	benchOut  string
+	cacheMB   int64
 	out       io.Writer
 	cw, cwx   *bench.Env
 	ram       *bench.Env
@@ -51,21 +57,24 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		docs    = flag.Int("docs", 0, "base corpus documents (default 50000)")
-		scale   = flag.Int("scale", 10, "CWX10 scale factor")
-		k       = flag.Int("k", 10, "retrieval depth (k/corpus selectivity matches the paper's 1000/50M)")
-		nq      = flag.Int("queries", 10, "queries per measurement point")
-		threads = flag.Int("threads", 12, "max worker threads (paper: 12-core Xeon)")
-		shards  = flag.Int("shards", 12, "sNRA shards")
-		budget  = flag.Int("budget", 200_000, "candidate memory budget in entries (<0 disables)")
-		seed    = flag.Uint64("seed", 2020, "workload seed")
-		ram     = flag.Bool("ram", false, "RAM-resident indexes (no simulated I/O)")
-		delta   = flag.Duration("delta", 5*time.Millisecond, "TA-family Δ (high recall)")
-		fHigh   = flag.Float64("fhigh", 2, "pBMW f (high recall)")
-		fLow    = flag.Float64("flow", 6, "pBMW f (low recall)")
-		pHigh   = flag.Float64("phigh", 0.30, "pJASS p (high recall)")
-		pLow    = flag.Float64("plow", 0.10, "pJASS p (low recall)")
-		outDir  = flag.String("outdir", "", "also write each artifact to <outdir>/<name>.txt")
+		docs      = flag.Int("docs", 0, "base corpus documents (default 50000)")
+		scale     = flag.Int("scale", 10, "CWX10 scale factor")
+		k         = flag.Int("k", 10, "retrieval depth (k/corpus selectivity matches the paper's 1000/50M)")
+		nq        = flag.Int("queries", 10, "queries per measurement point")
+		threads   = flag.Int("threads", 12, "max worker threads (paper: 12-core Xeon)")
+		shards    = flag.Int("shards", 12, "sNRA shards")
+		budget    = flag.Int("budget", 200_000, "candidate memory budget in entries (<0 disables)")
+		seed      = flag.Uint64("seed", 2020, "workload seed")
+		ram       = flag.Bool("ram", false, "RAM-resident indexes (no simulated I/O)")
+		delta     = flag.Duration("delta", 5*time.Millisecond, "TA-family Δ (high recall)")
+		fHigh     = flag.Float64("fhigh", 2, "pBMW f (high recall)")
+		fLow      = flag.Float64("flow", 6, "pBMW f (low recall)")
+		pHigh     = flag.Float64("phigh", 0.30, "pJASS p (high recall)")
+		pLow      = flag.Float64("plow", 0.10, "pJASS p (low recall)")
+		outDir    = flag.String("outdir", "", "also write each artifact to <outdir>/<name>.txt")
+		benchJSON = flag.String("benchout", "BENCH_topk.json",
+			"output path of the machine-readable report the bench subcommand writes")
+		cacheMB = flag.Int64("cachemb", 16, "posting-cache budget (MB) for the bench subcommand")
 	)
 	flag.Parse()
 
@@ -98,6 +107,8 @@ func main() {
 		},
 		nQueries:  *nq,
 		threads:   *threads,
+		benchOut:  *benchJSON,
+		cacheMB:   *cacheMB,
 		out:       os.Stdout,
 		sweepHigh: make(map[string][]bench.SweepPoint),
 	}
@@ -414,6 +425,20 @@ func (r *runner) run(name string) (string, error) {
 		p := env.RunTable2(r.nQueries, r.threads)
 		return bench.FormatTable("Appendix (CW, RAM-resident): mean latency (ms), 12-term exact queries",
 			"mean ms", p, meanOf), nil
+
+	case "bench":
+		// The machine-readable benchmark artifact: the default grid with
+		// and without the decoded-block posting cache, as ns/op plus the
+		// reader-accounting and cache metrics the read path is judged on.
+		env, err := r.envCW()
+		if err != nil {
+			return "", err
+		}
+		rep := env.RunBenchReport(r.tuning, r.nQueries, r.threads, r.cacheMB<<20)
+		if err := rep.WriteJSON(r.benchOut); err != nil {
+			return "", err
+		}
+		return rep.Summary() + "\nwrote " + r.benchOut, nil
 
 	case "compression":
 		// Appendix: §5's justification for benchmarking uncompressed —

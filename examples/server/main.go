@@ -46,11 +46,15 @@ const (
 	// interactive budget); queries hitting it return partial results
 	// with stop reason "deadline".
 	queryTimeout = 250 * time.Millisecond
+	// postingCacheBytes bounds the decoded-block cache shared by all
+	// queries; Zipfian query traffic keeps hot terms resident.
+	postingCacheBytes = 16 << 20
 )
 
 type server struct {
 	mem       *index.Index
 	disk      *diskindex.Index
+	cache     *sparta.PostingCache
 	searchers map[string]*sparta.Searcher
 }
 
@@ -65,10 +69,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := sparta.SearcherConfig{Timeout: queryTimeout, MaxConcurrent: poolSize}
+	cache := sparta.NewPostingCache(postingCacheBytes)
+	sparta.AttachPostingCache(disk, cache)
+	cfg := sparta.SearcherConfig{Timeout: queryTimeout, MaxConcurrent: poolSize, PostingCache: cache}
 	s := &server{
-		mem:  mem,
-		disk: disk,
+		mem:   mem,
+		disk:  disk,
+		cache: cache,
 		searchers: map[string]*sparta.Searcher{
 			"sparta": sparta.NewSearcher(core.New(disk), cfg),
 			"pbmw":   sparta.NewSearcher(bmw.NewPBMW(disk), cfg),
@@ -189,6 +196,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"latency_ms": float64(c.TotalLatency.Microseconds()) / 1000,
 		}
 	}
+	pc := s.cache.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"docs":        s.disk.NumDocs(),
@@ -197,8 +205,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"blocks_read": io.BlocksRead,
 		"cache_hits":  io.CacheHits,
 		"rand_reads":  io.RandReads,
+		"view_calls":  io.ViewCalls,
 		"sim_io_ms":   float64(io.SimulatedIO.Microseconds()) / 1000,
-		"serving":     serving,
+		"posting_cache": map[string]any{
+			"hits":     pc.Hits,
+			"misses":   pc.Misses,
+			"hit_rate": pc.HitRate(),
+			"bytes":    pc.Bytes,
+			"entries":  pc.Entries,
+		},
+		"serving": serving,
 	})
 }
 

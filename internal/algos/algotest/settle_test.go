@@ -1,0 +1,86 @@
+package algotest_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/algos/jass"
+	"sparta/internal/core"
+	"sparta/internal/diskindex"
+	"sparta/internal/iomodel"
+	"sparta/internal/topk"
+)
+
+// settleConfig charges real (tiny) latencies but sets the sleep batch
+// out of reach, so every charge stays owed until someone settles it —
+// the exact regime where an abandoned cursor leaves its I/O bill
+// unpaid.
+func settleConfig() iomodel.Config {
+	return iomodel.Config{
+		BlockSize:   4096,
+		CacheBlocks: 16,
+		SeqLatency:  200 * time.Nanosecond,
+		RandLatency: 500 * time.Nanosecond,
+		SleepBatch:  time.Hour,
+	}
+}
+
+// TestEarlyTerminationPaysIOCharges asserts the execution layer's
+// settlement guarantee: however a query ends — an approximate stop that
+// abandons cursors mid-list, or an external cancellation — every
+// simulated-I/O charge its readers accrued has been paid by the time
+// the search returns.
+func TestEarlyTerminationPaysIOCharges(t *testing.T) {
+	x := algotest.MediumIndex(t, 321)
+	disk, err := diskindex.FromIndex(x, 4, settleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := disk.Store()
+	q := algotest.RandomQuery(x, 5, 55)
+
+	// pJASS with a small posting fraction stops long before its impact
+	// cursors are exhausted.
+	if _, _, err := jass.NewP(disk).Search(q, topk.Options{K: 10, FracP: 0.05, Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if owed := store.Unsettled(); owed != 0 {
+		t.Fatalf("pJASS early stop left %v of I/O charges unpaid", owed)
+	}
+
+	// A context cancelled mid-evaluation abandons whatever the workers
+	// held; the anytime contract returns a partial result, not an error,
+	// and the bill must still be settled.
+	ctx, cancel := context.WithCancel(context.Background())
+	obs := &cancelAfterIO{cancel: cancel, after: 3}
+	_, st, err := core.New(disk).SearchContext(ctx, q, topk.Options{K: 10, Exact: true, Threads: 4, Observer: obs})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owed := store.Unsettled(); owed != 0 {
+		t.Fatalf("cancelled query (stop %q) left %v of I/O charges unpaid", st.StopReason, owed)
+	}
+
+	if io := store.Snapshot(); io.SimulatedIO == 0 {
+		t.Fatal("test charged no simulated I/O; settlement was not exercised")
+	}
+}
+
+// cancelAfterIO cancels the query's context after a few physical
+// fetches, guaranteeing cancellation strikes mid-traversal.
+type cancelAfterIO struct {
+	topk.NopObserver
+	cancel context.CancelFunc
+	after  int64
+	seen   atomic.Int64
+}
+
+func (c *cancelAfterIO) IOFetch(time.Duration) {
+	if c.seen.Add(1) == c.after {
+		c.cancel()
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparta/internal/model"
+	"sparta/internal/plcache"
+	"sparta/internal/stats"
+)
+
+// BenchRow is one (variant, cache setting) measurement of the bench
+// grid: wall-clock ns/op plus the machine-independent I/O metrics the
+// block-decoded read path is about.
+type BenchRow struct {
+	Variant string `json:"variant"`
+	Queries int    `json:"queries"`
+	// NsPerOp is the mean per-query wall-clock time in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// PostingsPerOp is the mean number of postings traversed per query.
+	PostingsPerOp float64 `json:"postings_per_op"`
+	// ViewCallsPerOp counts reader-accounting round trips (Reader.View
+	// invocations) per query — the metric the block-decoded cursors cut.
+	ViewCallsPerOp float64 `json:"view_calls_per_op"`
+	// BlocksReadPerOp counts physical page-cache misses per query.
+	BlocksReadPerOp float64 `json:"blocks_read_per_op"`
+	// PageCacheHitRate is the simulated OS page cache's hit rate.
+	PageCacheHitRate float64 `json:"page_cache_hit_rate"`
+	// PostingCacheHitRate is the decoded-block cache's hit rate (0 when
+	// the row ran without one).
+	PostingCacheHitRate float64 `json:"posting_cache_hit_rate"`
+	// PostingCacheBytes is the decoded bytes resident when the variant
+	// finished (0 when the row ran without a cache).
+	PostingCacheBytes int64   `json:"posting_cache_bytes"`
+	Recall            float64 `json:"recall"`
+}
+
+// BenchReport is the machine-readable benchmark artifact
+// (BENCH_topk.json): the default experiment grid measured with and
+// without the decoded-block posting cache.
+type BenchReport struct {
+	Corpus           string     `json:"corpus"`
+	Docs             int        `json:"docs"`
+	Terms            int        `json:"terms"`
+	K                int        `json:"k"`
+	Threads          int        `json:"threads"`
+	QueryLen         int        `json:"query_len"`
+	CacheBudgetBytes int64      `json:"cache_budget_bytes"`
+	Uncached         []BenchRow `json:"uncached"`
+	Cached           []BenchRow `json:"cached"`
+}
+
+// RunBenchReport measures the default grid — the exact and high-recall
+// variants on 12-term queries — twice: without a posting cache, then
+// with a fresh cache of cacheBytes shared across each variant's query
+// log. The page cache is flushed before every variant (§5.1
+// methodology); the posting cache is fresh per variant so rows are
+// independent.
+func (e *Env) RunBenchReport(tun Tuning, nQueries, threads int, cacheBytes int64) BenchReport {
+	qs := e.pick(queriesMaxLen, nQueries)
+	variants := append(e.ExactVariants(), e.HighVariants(tun)...)
+	rep := BenchReport{
+		Corpus:           e.Spec.Name,
+		Docs:             e.Mem.NumDocs(),
+		Terms:            e.Mem.NumTerms(),
+		K:                e.Opts.K,
+		Threads:          threads,
+		QueryLen:         queriesMaxLen,
+		CacheBudgetBytes: cacheBytes,
+	}
+	prev := e.Disk.PostingCache()
+	defer e.Disk.SetPostingCache(prev)
+
+	for _, v := range variants {
+		e.Disk.SetPostingCache(nil)
+		rep.Uncached = append(rep.Uncached, e.benchVariant(v, qs, threads, nil))
+	}
+	for _, v := range variants {
+		cache := plcache.NewWithBudget(cacheBytes)
+		e.Disk.SetPostingCache(cache)
+		rep.Cached = append(rep.Cached, e.benchVariant(v, qs, threads, cache))
+	}
+	return rep
+}
+
+func (e *Env) benchVariant(v Variant, qs []model.Query, threads int, cache *plcache.Cache) BenchRow {
+	e.FlushAndReset()
+	row := BenchRow{Variant: v.Label, Queries: len(qs)}
+	var lat, post, recall stats.Sample
+	for _, q := range qs {
+		opts := v.Opts
+		opts.Threads = threads
+		res, st, err := MakeAlgorithm(v.ID, e.Disk).Search(q, opts)
+		if err != nil {
+			return row // leave zeroed metrics: the variant crashed here
+		}
+		lat.AddDuration(st.Duration)
+		post.Add(float64(st.Postings))
+		recall.Add(model.Recall(e.Exact(q), res))
+	}
+	n := float64(len(qs))
+	io := e.Disk.Store().Snapshot()
+	row.NsPerOp = lat.Mean() * 1e6 // Sample stores ms
+	row.PostingsPerOp = post.Mean()
+	row.ViewCallsPerOp = float64(io.ViewCalls) / n
+	row.BlocksReadPerOp = float64(io.BlocksRead) / n
+	if total := io.CacheHits + io.BlocksRead; total > 0 {
+		row.PageCacheHitRate = float64(io.CacheHits) / float64(total)
+	}
+	if cache != nil {
+		cs := cache.Snapshot()
+		row.PostingCacheHitRate = cs.HitRate()
+		row.PostingCacheBytes = cs.Bytes
+	}
+	row.Recall = recall.Mean()
+	return row
+}
+
+// WriteJSON writes the report to path, indented for diffing.
+func (r BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a human-readable digest of the report.
+func (r BenchReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench grid (%s: %d docs, %d terms, k=%d, %d-term queries, %d threads, cache %d MB)\n",
+		r.Corpus, r.Docs, r.Terms, r.K, r.QueryLen, r.Threads, r.CacheBudgetBytes>>20)
+	fmt.Fprintf(&b, "%-14s %12s %12s %11s %10s %9s %7s\n",
+		"variant", "ns/op", "views/op", "blocks/op", "plc-hit", "recall", "cache")
+	row := func(x BenchRow, cached string) {
+		fmt.Fprintf(&b, "%-14s %12.0f %12.1f %11.1f %10.3f %9.3f %7s\n",
+			x.Variant, x.NsPerOp, x.ViewCallsPerOp, x.BlocksReadPerOp,
+			x.PostingCacheHitRate, x.Recall, cached)
+	}
+	for _, x := range r.Uncached {
+		row(x, "off")
+	}
+	for _, x := range r.Cached {
+		row(x, "on")
+	}
+	return b.String()
+}

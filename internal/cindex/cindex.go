@@ -15,11 +15,13 @@ package cindex
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sparta/internal/codec"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
 	"sparta/internal/model"
+	"sparta/internal/plcache"
 	"sparta/internal/postings"
 )
 
@@ -53,6 +55,8 @@ type termMeta struct {
 	docBlocks []docBlockMeta
 	impBlocks []impBlockMeta
 	shards    [][]impBlockMeta
+	shardMax  []model.Score // per shard: sublist max, the tight initial Bound
+	shardLen  []int         // per shard: sublist posting count
 }
 
 // Index is an opened compressed index. It implements postings.View.
@@ -63,6 +67,8 @@ type Index struct {
 	store    *iomodel.Store
 	postFile int
 	rawBytes int64 // uncompressed size, for ratio reporting
+
+	cache atomic.Pointer[plcache.Cache] // decoded-block cache, optional
 }
 
 var _ postings.View = (*Index)(nil)
@@ -147,6 +153,8 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 			return nil, fmt.Errorf("cindex: term %d impact blocks: %w", t, err)
 		}
 		tm.shards = make([][]impBlockMeta, shards)
+		tm.shardMax = make([]model.Score, shards)
+		tm.shardLen = make([]int, shards)
 		sharded := make([][]model.Posting, shards)
 		numDocs := int64(x.NumDocs())
 		for _, p := range x.Impact(term) {
@@ -156,6 +164,10 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 		for s := 0; s < shards; s++ {
 			if tm.shards[s], err = appendImpBlocks(sharded[s], tm.max); err != nil {
 				return nil, fmt.Errorf("cindex: term %d shard %d: %w", t, s, err)
+			}
+			tm.shardLen[s] = len(sharded[s])
+			if len(sharded[s]) > 0 {
+				tm.shardMax[s] = sharded[s][0].Score // impact-ordered: first is max
 			}
 		}
 		ci.terms[t] = tm
@@ -169,6 +181,15 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 
 // Store exposes the simulated storage.
 func (x *Index) Store() *iomodel.Store { return x.store }
+
+// SetPostingCache attaches an app-level cache of decoded (that is,
+// decompressed) posting blocks, shared by every cursor over this index.
+// Hits skip the charged read and the varint decode. A nil cache
+// detaches. The cache must not be shared with another index.
+func (x *Index) SetPostingCache(c *plcache.Cache) { x.cache.Store(c) }
+
+// PostingCache returns the attached decoded-block cache, or nil.
+func (x *Index) PostingCache() *plcache.Cache { return x.cache.Load() }
 
 // CompressedBytes returns the compressed postings-region size.
 func (x *Index) CompressedBytes() int64 { return x.store.FileSize(x.postFile) }
@@ -193,6 +214,8 @@ func (x *Index) DocCursor(t model.TermID) postings.DocCursor {
 	tm := &x.terms[t]
 	return &docCursor{
 		rd:     x.store.NewReader(x.postFile),
+		cache:  x.cache.Load(),
+		key:    plcache.Key{Term: t, Kind: plcache.KindDoc},
 		blocks: tm.docBlocks,
 		max:    tm.max,
 		df:     tm.df,
@@ -203,7 +226,8 @@ func (x *Index) DocCursor(t model.TermID) postings.DocCursor {
 // ScoreCursor implements postings.View.
 func (x *Index) ScoreCursor(t model.TermID) postings.ScoreCursor {
 	tm := &x.terms[t]
-	return newImpCursor(x.store.NewReader(x.postFile), tm.impBlocks, tm.max, tm.df)
+	return newImpCursor(x.store.NewReader(x.postFile), x.cache.Load(),
+		plcache.Key{Term: t, Kind: plcache.KindImpact}, tm.impBlocks, tm.max, tm.df)
 }
 
 // ScoreCursorShard implements postings.View.
@@ -215,12 +239,9 @@ func (x *Index) ScoreCursorShard(t model.TermID, shard, nShards int) postings.Sc
 		panic(fmt.Sprintf("cindex: built with %d shards, requested %d", x.shards, nShards))
 	}
 	tm := &x.terms[t]
-	blocks := tm.shards[shard]
-	n := 0
-	for _, b := range blocks {
-		n += int(b.count)
-	}
-	return newImpCursor(x.store.NewReader(x.postFile), blocks, tm.max, n)
+	return newImpCursor(x.store.NewReader(x.postFile), x.cache.Load(),
+		plcache.Key{Term: t, Kind: plcache.KindShard(shard)},
+		tm.shards[shard], tm.shardMax[shard], tm.shardLen[shard])
 }
 
 // RandomAccess implements postings.View: a RAM directory search plus
@@ -242,12 +263,21 @@ func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) 
 		return 0, false
 	}
 	b := blocks[lo]
-	rd := x.store.NewReader(x.postFile)
-	defer rd.Settle()
-	buf := rd.View(b.off, int64(b.byteLen))
-	decoded, err := codec.DecodeDocBlock(b.base, buf, int(b.count), nil)
-	if err != nil {
-		panic(fmt.Sprintf("cindex: corrupt block for term %d: %v", t, err))
+	var decoded []model.Posting
+	if cc := x.cache.Load(); cc != nil {
+		if post, ok := cc.Get(plcache.Key{Term: t, Kind: plcache.KindDoc, Block: int32(lo)}); ok {
+			decoded = post
+		}
+	}
+	if decoded == nil {
+		rd := x.store.NewReader(x.postFile)
+		defer rd.Settle()
+		buf := rd.View(b.off, int64(b.byteLen))
+		var err error
+		decoded, err = codec.DecodeDocBlock(b.base, buf, int(b.count), nil)
+		if err != nil {
+			panic(fmt.Sprintf("cindex: corrupt block for term %d: %v", t, err))
+		}
 	}
 	for _, p := range decoded {
 		if p.Doc == d {
@@ -263,12 +293,15 @@ func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) 
 // docCursor walks compressed doc-ordered blocks.
 type docCursor struct {
 	rd      *iomodel.Reader
+	cache   *plcache.Cache
+	key     plcache.Key // Block set per load
 	blocks  []docBlockMeta
 	max     model.Score
 	df      int
-	blk     int // current block index; -1 before start
-	pos     int // position within decoded
-	decoded []model.Posting
+	blk     int             // current block index; -1 before start
+	pos     int             // position within decoded
+	decoded []model.Posting // current block; may alias a shared cache entry
+	scratch []model.Posting // owned decode buffer, never handed to the cache's readers
 }
 
 func (c *docCursor) loadBlock(i int) bool {
@@ -278,11 +311,25 @@ func (c *docCursor) loadBlock(i int) bool {
 		return false
 	}
 	b := c.blocks[i]
+	if c.cache != nil {
+		c.key.Block = int32(i)
+		if post, ok := c.cache.Get(c.key); ok {
+			c.decoded = post
+			c.blk, c.pos = i, 0
+			return true
+		}
+	}
 	buf := c.rd.View(b.off, int64(b.byteLen))
 	var err error
-	c.decoded, err = codec.DecodeDocBlock(b.base, buf, int(b.count), c.decoded)
+	// Decode into the owned scratch buffer — never into c.decoded,
+	// which may alias a cache entry other queries are reading.
+	c.scratch, err = codec.DecodeDocBlock(b.base, buf, int(b.count), c.scratch)
 	if err != nil {
 		panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
+	}
+	c.decoded = c.scratch
+	if c.cache != nil {
+		c.cache.Put(c.key, c.decoded) // Put copies; scratch stays ours
 	}
 	c.blk = i
 	c.pos = 0
@@ -376,16 +423,19 @@ func (c *docCursor) blockAt(d model.DocID) int {
 // impCursor walks compressed impact-ordered blocks.
 type impCursor struct {
 	rd      *iomodel.Reader
+	cache   *plcache.Cache
+	key     plcache.Key // Block set per load
 	blocks  []impBlockMeta
 	max     model.Score
 	n       int
 	blk     int
 	pos     int
-	decoded []model.Posting
+	decoded []model.Posting // current block; may alias a shared cache entry
+	scratch []model.Posting // owned decode buffer
 }
 
-func newImpCursor(rd *iomodel.Reader, blocks []impBlockMeta, max model.Score, n int) *impCursor {
-	return &impCursor{rd: rd, blocks: blocks, max: max, n: n, blk: -1}
+func newImpCursor(rd *iomodel.Reader, cache *plcache.Cache, key plcache.Key, blocks []impBlockMeta, max model.Score, n int) *impCursor {
+	return &impCursor{rd: rd, cache: cache, key: key, blocks: blocks, max: max, n: n, blk: -1}
 }
 
 func (c *impCursor) loadBlock(i int) bool {
@@ -395,11 +445,23 @@ func (c *impCursor) loadBlock(i int) bool {
 		return false
 	}
 	b := c.blocks[i]
+	if c.cache != nil {
+		c.key.Block = int32(i)
+		if post, ok := c.cache.Get(c.key); ok {
+			c.decoded = post
+			c.blk, c.pos = i, 0
+			return true
+		}
+	}
 	buf := c.rd.View(b.off, int64(b.byteLen))
 	var err error
-	c.decoded, err = codec.DecodeImpactBlock(b.ceil, buf, int(b.count), c.decoded)
+	c.scratch, err = codec.DecodeImpactBlock(b.ceil, buf, int(b.count), c.scratch)
 	if err != nil {
 		panic(fmt.Sprintf("cindex: corrupt impact block: %v", err))
+	}
+	c.decoded = c.scratch
+	if c.cache != nil {
+		c.cache.Put(c.key, c.decoded)
 	}
 	c.blk = i
 	c.pos = 0

@@ -21,7 +21,9 @@ const (
 	DirFile      = "cdir.bin"
 	PostingsFile = "cpostings.bin"
 
-	formatVersion = 1
+	// Version 2 added the per-shard sublist max and posting count
+	// (the tight initial Bound the shard cursors report without I/O).
+	formatVersion = 2
 
 	docMetaSize = 8 + 4 + 4 + 4 + 4 + 4 // off, len, count, base, last, max
 	impMetaSize = 8 + 4 + 4 + 4 + 4     // off, len, count, ceil, lastSc
@@ -89,6 +91,8 @@ func WriteDir(x *index.Index, shards int, dir string) error {
 		}
 		for s := 0; s < ci.shards; s++ {
 			u32(uint32(len(tm.shards[s])))
+			u32(uint32(tm.shardMax[s]))
+			u32(uint32(tm.shardLen[s]))
 			for _, b := range tm.shards[s] {
 				putImp(b)
 			}
@@ -191,11 +195,15 @@ func OpenDir(dir string, cfg iomodel.Config) (*Index, error) {
 			}
 		}
 		tm.shards = make([][]impBlockMeta, m.Shards)
+		tm.shardMax = make([]model.Score, m.Shards)
+		tm.shardLen = make([]int, m.Shards)
 		for s := 0; s < m.Shards; s++ {
-			if err := need(4); err != nil {
+			if err := need(12); err != nil {
 				return nil, err
 			}
 			n := int(u32())
+			tm.shardMax[s] = model.Score(u32())
+			tm.shardLen[s] = int(u32())
 			if err := need(n * impMetaSize); err != nil {
 				return nil, err
 			}

@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
 	"sparta/internal/model"
+	"sparta/internal/plcache"
 	"sparta/internal/postings"
 )
 
@@ -22,9 +25,19 @@ const (
 	PostingsFile = "postings.bin"
 )
 
+// blockBytes is the on-disk size of one full posting block.
+const blockBytes = postings.BlockSize * postingSize
+
 // Index is an opened on-disk index whose posting reads are charged
 // through an iomodel.Store. It implements postings.View and is safe for
 // concurrent use (each cursor owns its reader).
+//
+// Cursors read block-at-a-time: one iomodel View per posting block of
+// postings.BlockSize entries, decoded into a reusable buffer, so Next
+// is a slice index and SkipTo is a RAM metadata search plus one block
+// decode. An optional plcache.Cache of decoded blocks (SetPostingCache)
+// sits above the simulated page cache; serving a block from it skips
+// both the reader-accounting round trip and the simulated disk charge.
 type Index struct {
 	manifest Manifest
 	store    *iomodel.Store
@@ -33,9 +46,21 @@ type Index struct {
 	dict      []dictEntry
 	blocks    [][]postings.BlockMeta // resident, like skip data
 	shardLens [][]uint32             // per term, per shard
+	shardOffs [][]int64              // per term, per shard: absolute sublist offset
+	shardMaxs [][]model.Score        // per term, per shard: sublist max score
+
+	cache atomic.Pointer[plcache.Cache] // app-level decoded-block cache, optional
 }
 
 var _ postings.View = (*Index)(nil)
+
+// blockPool recycles per-cursor decode buffers of one posting block.
+var blockPool = sync.Pool{
+	New: func() any {
+		b := make([]model.Posting, postings.BlockSize)
+		return &b
+	},
+}
 
 // WriteDir serializes x into directory dir (created if needed).
 func WriteDir(x *index.Index, shards int, dir string) error {
@@ -109,6 +134,8 @@ func open(manifestBytes, dictBytes, postBytes []byte, cfg iomodel.Config) (*Inde
 		dict:      make([]dictEntry, m.NumTerms),
 		blocks:    make([][]postings.BlockMeta, m.NumTerms),
 		shardLens: make([][]uint32, m.NumTerms),
+		shardOffs: make([][]int64, m.NumTerms),
+		shardMaxs: make([][]model.Score, m.NumTerms),
 	}
 	// Decode the dictionary and the resident metadata regions. This is
 	// open-time setup (uncharged), like a search engine loading its
@@ -139,12 +166,38 @@ func open(manifestBytes, dictBytes, postBytes []byte, cfg iomodel.Config) (*Inde
 			lens[s] = binary.LittleEndian.Uint32(postBytes[int(e.shardOff)+s*4:])
 		}
 		x.shardLens[t] = lens
+		// Prefix-summed absolute shard sublist offsets, so opening a
+		// shard cursor is O(1) instead of an O(nShards) walk per cursor.
+		// The sublist max (its first posting — lists are impact-ordered)
+		// becomes the cursor's initial Bound, matching the in-memory
+		// view's tight per-shard bound.
+		offs := make([]int64, m.Shards)
+		maxs := make([]model.Score, m.Shards)
+		off := align8(int64(e.shardOff) + int64(m.Shards)*4)
+		for s := 0; s < m.Shards; s++ {
+			offs[s] = off
+			if lens[s] > 0 {
+				maxs[s] = model.Score(binary.LittleEndian.Uint32(postBytes[off+4:]))
+			}
+			off += int64(lens[s]) * postingSize
+		}
+		x.shardOffs[t] = offs
+		x.shardMaxs[t] = maxs
 	}
 	return x, nil
 }
 
 // Store exposes the simulated storage for flushing and statistics.
 func (x *Index) Store() *iomodel.Store { return x.store }
+
+// SetPostingCache attaches an app-level cache of decoded posting
+// blocks, shared by every cursor (and every concurrent query) over this
+// index. A nil cache detaches. The cache must not be shared with
+// another index.
+func (x *Index) SetPostingCache(c *plcache.Cache) { x.cache.Store(c) }
+
+// PostingCache returns the attached decoded-block cache, or nil.
+func (x *Index) PostingCache() *plcache.Cache { return x.cache.Load() }
 
 // Manifest returns the index metadata.
 func (x *Index) Manifest() Manifest { return x.manifest }
@@ -166,16 +219,21 @@ func (x *Index) MaxScore(t model.TermID) model.Score { return model.Score(x.dict
 
 // DocCursor implements postings.View.
 func (x *Index) DocCursor(t model.TermID) postings.DocCursor {
-	return x.docCursor(t, x.store.NewReader(x.postFile))
+	return x.docCursor(t, x.store.NewReader(x.postFile), nil)
 }
 
-func (x *Index) docCursor(t model.TermID, rd *iomodel.Reader) postings.DocCursor {
+func (x *Index) docCursor(t model.TermID, rd *iomodel.Reader, onCache func(bool)) postings.DocCursor {
 	e := x.dict[t]
 	return &diskDocCursor{
-		rd:     rd,
-		base:   int64(e.docOff),
-		n:      int(e.df),
-		pos:    -1,
+		blockCursor: blockCursor{
+			rd:      rd,
+			cache:   x.cache.Load(),
+			onCache: onCache,
+			key:     plcache.Key{Term: t, Kind: plcache.KindDoc},
+			base:    int64(e.docOff),
+			n:       int(e.df),
+			blk:     -1,
+		},
 		max:    model.Score(e.max),
 		blocks: x.blocks[t],
 	}
@@ -183,17 +241,22 @@ func (x *Index) docCursor(t model.TermID, rd *iomodel.Reader) postings.DocCursor
 
 // ScoreCursor implements postings.View.
 func (x *Index) ScoreCursor(t model.TermID) postings.ScoreCursor {
-	return x.scoreCursor(t, x.store.NewReader(x.postFile))
+	return x.scoreCursor(t, x.store.NewReader(x.postFile), nil)
 }
 
-func (x *Index) scoreCursor(t model.TermID, rd *iomodel.Reader) postings.ScoreCursor {
+func (x *Index) scoreCursor(t model.TermID, rd *iomodel.Reader, onCache func(bool)) postings.ScoreCursor {
 	e := x.dict[t]
 	return &diskScoreCursor{
-		rd:   rd,
-		base: int64(e.impactOff),
-		n:    int(e.df),
-		pos:  -1,
-		max:  model.Score(e.max),
+		blockCursor: blockCursor{
+			rd:      rd,
+			cache:   x.cache.Load(),
+			onCache: onCache,
+			key:     plcache.Key{Term: t, Kind: plcache.KindImpact},
+			base:    int64(e.impactOff),
+			n:       int(e.df),
+			blk:     -1,
+		},
+		max: model.Score(e.max),
 	}
 }
 
@@ -201,36 +264,28 @@ func (x *Index) scoreCursor(t model.TermID, rd *iomodel.Reader) postings.ScoreCu
 // shard section. nShards must equal the build-time shard count (or 1
 // for the unsharded list).
 func (x *Index) ScoreCursorShard(t model.TermID, shard, nShards int) postings.ScoreCursor {
-	return x.scoreCursorShard(t, shard, nShards, x.store.NewReader(x.postFile))
+	return x.scoreCursorShard(t, shard, nShards, x.store.NewReader(x.postFile), nil)
 }
 
-func (x *Index) scoreCursorShard(t model.TermID, shard, nShards int, rd *iomodel.Reader) postings.ScoreCursor {
+func (x *Index) scoreCursorShard(t model.TermID, shard, nShards int, rd *iomodel.Reader, onCache func(bool)) postings.ScoreCursor {
 	if nShards <= 1 {
-		e := x.dict[t]
-		return &diskScoreCursor{
-			rd:   rd,
-			base: int64(e.impactOff),
-			n:    int(e.df),
-			pos:  -1,
-			max:  model.Score(e.max),
-		}
+		return x.scoreCursor(t, rd, onCache)
 	}
 	if nShards != x.manifest.Shards {
 		panic(fmt.Sprintf("diskindex: index pre-built with %d shards, requested %d",
 			x.manifest.Shards, nShards))
 	}
-	e := x.dict[t]
-	off := align8(int64(e.shardOff) + int64(nShards)*4)
-	for s := 0; s < shard; s++ {
-		off += int64(x.shardLens[t][s]) * postingSize
-	}
-	max := model.Score(e.max) // bound only; sublist max is <= term max
 	return &diskScoreCursor{
-		rd:   rd,
-		base: off,
-		n:    int(x.shardLens[t][shard]),
-		pos:  -1,
-		max:  max,
+		blockCursor: blockCursor{
+			rd:      rd,
+			cache:   x.cache.Load(),
+			onCache: onCache,
+			key:     plcache.Key{Term: t, Kind: plcache.KindShard(shard)},
+			base:    x.shardOffs[t][shard],
+			n:       int(x.shardLens[t][shard]),
+			blk:     -1,
+		},
+		max: x.shardMaxs[t][shard],
 	}
 }
 
@@ -241,6 +296,8 @@ func (x *Index) scoreCursorShard(t model.TermID, shard, nShards int, rd *iomodel
 // within a posting list, so interpolation converges in O(log log n)
 // probes — each probe touching a (usually non-sequential) block, which
 // is precisely the random-access I/O cost the paper charges to pRA.
+// Probes stay per-posting deliberately: scattered single-posting reads
+// are the access pattern whose cost the paper attributes to pRA.
 func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) {
 	return x.randomAccess(t, d, x.store.NewReader(x.postFile))
 }
@@ -289,11 +346,14 @@ func (x *Index) randomAccess(t model.TermID, d model.DocID, rd *iomodel.Reader) 
 }
 
 // BindExec implements postings.ExecBinder: the returned view opens
-// cursors whose simulated I/O waits end early once ctx is done and
-// whose physical fetches are reported to onIO. It shares the index and
-// page cache with the receiver.
-func (x *Index) BindExec(ctx context.Context, onIO func(time.Duration), onStop func()) postings.View {
-	return &execView{Index: x, ctx: ctx, onIO: onIO, onStop: onStop}
+// cursors whose simulated I/O waits end early once ctx is done, whose
+// physical fetches are reported to onIO, and whose posting-cache
+// lookups are reported to onCache. It shares the index, page cache and
+// posting cache with the receiver, tracks every reader it hands out,
+// and implements postings.Settler so the execution layer can pay any
+// outstanding I/O charges when the query finishes.
+func (x *Index) BindExec(ctx context.Context, onIO func(time.Duration), onStop func(), onCache func(hit bool)) postings.View {
+	return &execView{Index: x, ctx: ctx, onIO: onIO, onStop: onStop, onCache: onCache}
 }
 
 var _ postings.ExecBinder = (*Index)(nil)
@@ -301,107 +361,220 @@ var _ postings.ExecBinder = (*Index)(nil)
 // execView is a per-query binding of an Index to an execution context.
 type execView struct {
 	*Index
-	ctx    context.Context
-	onIO   func(time.Duration)
-	onStop func()
+	ctx     context.Context
+	onIO    func(time.Duration)
+	onStop  func()
+	onCache func(bool)
+
+	mu      sync.Mutex
+	readers []*iomodel.Reader
 }
 
+var _ postings.Settler = (*execView)(nil)
+
+// newReader opens a bound reader and records it for settlement when the
+// query finishes.
 func (v *execView) newReader() *iomodel.Reader {
 	rd := v.store.NewReader(v.postFile)
 	rd.Bind(v.ctx, v.onIO, v.onStop)
+	v.mu.Lock()
+	v.readers = append(v.readers, rd)
+	v.mu.Unlock()
 	return rd
 }
 
+// SettleAll implements postings.Settler: it pays the accrued-but-unpaid
+// simulated latency of every reader this view handed out. Callers must
+// ensure the query's workers have quiesced first.
+//
+// Readers settle concurrently: each owed tail is a wait its owning
+// worker would have performed in parallel with the others, so the
+// settlement wall-clock is the max outstanding charge, not the sum —
+// settling hundreds of readers serially would also multiply the
+// sleep-granularity floor of each micro-payment into real milliseconds.
+func (v *execView) SettleAll() {
+	v.mu.Lock()
+	readers := v.readers
+	v.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, rd := range readers {
+		if !rd.Owes() {
+			rd.Settle() // no wait involved: just flushes accounting
+			continue
+		}
+		wg.Add(1)
+		go func(rd *iomodel.Reader) {
+			defer wg.Done()
+			rd.Settle()
+		}(rd)
+	}
+	wg.Wait()
+}
+
 func (v *execView) DocCursor(t model.TermID) postings.DocCursor {
-	return v.Index.docCursor(t, v.newReader())
+	return v.Index.docCursor(t, v.newReader(), v.onCache)
 }
 
 func (v *execView) ScoreCursor(t model.TermID) postings.ScoreCursor {
-	return v.Index.scoreCursor(t, v.newReader())
+	return v.Index.scoreCursor(t, v.newReader(), v.onCache)
 }
 
 func (v *execView) ScoreCursorShard(t model.TermID, shard, nShards int) postings.ScoreCursor {
-	return v.Index.scoreCursorShard(t, shard, nShards, v.newReader())
+	return v.Index.scoreCursorShard(t, shard, nShards, v.newReader(), v.onCache)
 }
 
+// RandomAccess probes through an untracked reader that is constructed
+// inline and settled by randomAccess before returning — constructed
+// here rather than in a helper so it never escapes to the heap; the
+// RA family allocates nothing per lookup.
 func (v *execView) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) {
-	return v.Index.randomAccess(t, d, v.newReader())
+	rd := v.store.NewReader(v.postFile)
+	rd.Bind(v.ctx, v.onIO, v.onStop)
+	return v.Index.randomAccess(t, d, rd)
+}
+
+// blockCursor is the shared block-at-a-time machinery of the charged
+// cursors: it fetches one posting block per iomodel View call, decodes
+// it into a pooled buffer (or serves it decoded from the app-level
+// cache, skipping the charge), and exposes the decoded slice.
+type blockCursor struct {
+	rd      *iomodel.Reader
+	cache   *plcache.Cache
+	onCache func(bool)
+	key     plcache.Key // Block field is set per load
+	base    int64
+	n       int // total postings
+	blk     int // current block index; -1 before start, nBlocks() when exhausted
+	pos     int // index within cur
+	cur     []model.Posting
+	scratch *[]model.Posting // pooled decode buffer; nil until first miss
+	done    bool
+}
+
+func (c *blockCursor) nBlocks() int {
+	return (c.n + postings.BlockSize - 1) / postings.BlockSize
+}
+
+// loadBlock positions the cursor at the start of block i, consulting
+// the decoded-block cache first and charging a single bulk View on a
+// miss. It returns false (settling the reader and recycling the decode
+// buffer) when i is past the last block.
+func (c *blockCursor) loadBlock(i int) bool {
+	nb := c.nBlocks()
+	if i >= nb {
+		c.finish()
+		return false
+	}
+	count := postings.BlockSize
+	if i == nb-1 {
+		count = c.n - i*postings.BlockSize
+	}
+	if c.cache != nil {
+		c.key.Block = int32(i)
+		if post, ok := c.cache.Get(c.key); ok {
+			if c.onCache != nil {
+				c.onCache(true)
+			}
+			c.cur = post
+			c.blk, c.pos = i, 0
+			return true
+		}
+		if c.onCache != nil {
+			c.onCache(false)
+		}
+	}
+	raw := c.rd.View(c.base+int64(i)*blockBytes, int64(count)*postingSize)
+	if c.scratch == nil {
+		c.scratch = blockPool.Get().(*[]model.Posting)
+	}
+	buf := (*c.scratch)[:count]
+	for j := 0; j < count; j++ {
+		buf[j] = decodePosting(raw[j*postingSize:])
+	}
+	c.cur = buf
+	if c.cache != nil {
+		c.cache.Put(c.key, buf) // Put copies; buf stays ours
+	}
+	c.blk, c.pos = i, 0
+	return true
+}
+
+// finish marks the cursor exhausted: the reader settles its owed
+// latency and the decode buffer returns to the pool.
+func (c *blockCursor) finish() {
+	c.blk = c.nBlocks()
+	c.cur = nil
+	if c.done {
+		return
+	}
+	c.done = true
+	if c.scratch != nil {
+		blockPool.Put(c.scratch)
+		c.scratch = nil
+	}
+	c.rd.Settle()
+}
+
+// next advances one posting, loading the successor block at a block
+// boundary.
+func (c *blockCursor) next() bool {
+	if c.blk >= 0 && c.pos+1 < len(c.cur) {
+		c.pos++
+		return true
+	}
+	if c.blk >= c.nBlocks() {
+		return false // already exhausted
+	}
+	return c.loadBlock(c.blk + 1)
 }
 
 // diskDocCursor is the charged document-order cursor.
 type diskDocCursor struct {
-	rd     *iomodel.Reader
-	base   int64
-	n      int
-	pos    int
+	blockCursor
 	max    model.Score
-	cur    model.Posting
 	blocks []postings.BlockMeta
 }
 
-func (c *diskDocCursor) load() {
-	c.cur = decodePosting(c.rd.View(c.base+int64(c.pos)*postingSize, postingSize))
-}
-
-func (c *diskDocCursor) Next() bool {
-	c.pos++
-	if c.pos >= c.n {
-		c.rd.Settle()
-		return false
-	}
-	c.load()
-	return true
-}
+func (c *diskDocCursor) Next() bool { return c.next() }
 
 func (c *diskDocCursor) SkipTo(d model.DocID) bool {
-	if c.pos >= c.n || c.n == 0 {
+	if c.blk >= len(c.blocks) {
+		return false // exhausted (covers n == 0 after first probe too)
+	}
+	if c.blk >= 0 && c.cur[c.pos].Doc >= d {
+		return true // never moves backwards
+	}
+	// The target block comes from the RAM-resident block directory —
+	// a shallow move over skip data, no posting bytes touched.
+	tgt := postings.BlockAtMeta(c.blocks, d)
+	if tgt < c.blk {
+		tgt = c.blk
+	}
+	if tgt >= len(c.blocks) {
+		c.finish()
 		return false
 	}
-	i := c.pos
-	if i < 0 {
-		i = 0
-	}
-	probe := func(j int) model.DocID {
-		return decodePosting(c.rd.View(c.base+int64(j)*postingSize, postingSize)).Doc
-	}
-	if cur := probe(i); cur >= d {
-		c.pos = i
-		c.load()
-		return true
-	}
-	step := 1
-	hi := i
-	for hi < c.n && probe(hi) < d {
-		i = hi
-		hi += step
-		step *= 2
-	}
-	if hi > c.n {
-		hi = c.n
-	}
-	lo := i
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if probe(mid) < d {
-			lo = mid + 1
-		} else {
-			hi = mid
+	if tgt != c.blk {
+		if !c.loadBlock(tgt) {
+			return false
 		}
 	}
-	c.pos = lo
-	if c.pos >= c.n {
-		c.rd.Settle()
-		return false
+	for c.pos < len(c.cur) && c.cur[c.pos].Doc < d {
+		c.pos++
 	}
-	c.load()
+	if c.pos >= len(c.cur) {
+		// d exceeded this block's postings (possible only when the
+		// cursor was already inside the target block): spill forward.
+		return c.loadBlock(c.blk + 1)
+	}
 	return true
 }
 
-func (c *diskDocCursor) Doc() model.DocID       { return c.cur.Doc }
-func (c *diskDocCursor) Score() model.Score     { return c.cur.Score }
+func (c *diskDocCursor) Doc() model.DocID       { return c.cur[c.pos].Doc }
+func (c *diskDocCursor) Score() model.Score     { return c.cur[c.pos].Score }
 func (c *diskDocCursor) MaxScore() model.Score  { return c.max }
-func (c *diskDocCursor) BlockMax() model.Score  { return c.blocks[c.pos/postings.BlockSize].Max }
-func (c *diskDocCursor) BlockLast() model.DocID { return c.blocks[c.pos/postings.BlockSize].Last }
+func (c *diskDocCursor) BlockMax() model.Score  { return c.blocks[c.blk].Max }
+func (c *diskDocCursor) BlockLast() model.DocID { return c.blocks[c.blk].Last }
 func (c *diskDocCursor) Len() int               { return c.n }
 
 func (c *diskDocCursor) BlockMaxAt(d model.DocID) model.Score {
@@ -412,37 +585,26 @@ func (c *diskDocCursor) BlockLastAt(d model.DocID) model.DocID {
 	return postings.BlockLastAtMeta(c.blocks, d)
 }
 
-// diskScoreCursor is the charged score-order cursor.
+// diskScoreCursor is the charged score-order cursor (whole impact list
+// or one pre-partitioned shard sublist).
 type diskScoreCursor struct {
-	rd   *iomodel.Reader
-	base int64
-	n    int
-	pos  int
-	max  model.Score
-	cur  model.Posting
+	blockCursor
+	max model.Score
 }
 
-func (c *diskScoreCursor) Next() bool {
-	c.pos++
-	if c.pos >= c.n {
-		c.rd.Settle()
-		return false
-	}
-	c.cur = decodePosting(c.rd.View(c.base+int64(c.pos)*postingSize, postingSize))
-	return true
-}
+func (c *diskScoreCursor) Next() bool { return c.next() }
 
-func (c *diskScoreCursor) Doc() model.DocID   { return c.cur.Doc }
-func (c *diskScoreCursor) Score() model.Score { return c.cur.Score }
+func (c *diskScoreCursor) Doc() model.DocID   { return c.cur[c.pos].Doc }
+func (c *diskScoreCursor) Score() model.Score { return c.cur[c.pos].Score }
 
 func (c *diskScoreCursor) Bound() model.Score {
-	if c.pos < 0 {
+	if c.blk < 0 {
 		return c.max
 	}
-	if c.pos >= c.n {
+	if c.blk >= c.nBlocks() {
 		return 0
 	}
-	return c.cur.Score
+	return c.cur[c.pos].Score
 }
 
 func (c *diskScoreCursor) Len() int { return c.n }

@@ -80,6 +80,7 @@ type Stats struct {
 	CacheHits   int64
 	SeqReads    int64         // of BlocksRead, sequential
 	RandReads   int64         // of BlocksRead, random
+	ViewCalls   int64         // Reader.View invocations (reader-accounting round trips)
 	SimulatedIO time.Duration // total latency charged
 }
 
@@ -98,7 +99,9 @@ type Store struct {
 	cacheHits  atomic.Int64
 	seqReads   atomic.Int64
 	randReads  atomic.Int64
+	viewCalls  atomic.Int64
 	simIO      atomic.Int64 // nanoseconds
+	owedNs     atomic.Int64 // charged but not yet paid (see Unsettled)
 }
 
 type cacheStripe struct {
@@ -198,6 +201,7 @@ func (s *Store) ResetStats() {
 	s.cacheHits.Store(0)
 	s.seqReads.Store(0)
 	s.randReads.Store(0)
+	s.viewCalls.Store(0)
 	s.simIO.Store(0)
 }
 
@@ -208,9 +212,17 @@ func (s *Store) Snapshot() Stats {
 		CacheHits:   s.cacheHits.Load(),
 		SeqReads:    s.seqReads.Load(),
 		RandReads:   s.randReads.Load(),
+		ViewCalls:   s.viewCalls.Load(),
 		SimulatedIO: time.Duration(s.simIO.Load()),
 	}
 }
+
+// Unsettled returns the latency charged to readers but not yet paid with
+// a sleep — the balance cursors owe until they (or the query teardown)
+// call Settle. A correctly-settled workload returns to zero between
+// queries; a nonzero steady-state means abandoned cursors are walking
+// away from their I/O bill.
+func (s *Store) Unsettled() time.Duration { return time.Duration(s.owedNs.Load()) }
 
 // stripeFor maps a block to its cache stripe.
 func (s *Store) stripeFor(id blockID) *cacheStripe {
@@ -297,6 +309,7 @@ type Reader struct {
 	file      int
 	lastBlock int64
 	owed      time.Duration
+	views     int64 // View calls not yet flushed to the store counter
 
 	// Execution binding (see Bind): waits end early once ctx is done,
 	// and every physical fetch's charged latency flows to onFetch.
@@ -363,12 +376,22 @@ func (r *Reader) Size() int64 { return r.store.FileSize(r.file) }
 // View returns the file bytes [off, off+n), charging for every block
 // touched that is not in the page cache. The returned slice aliases the
 // store's immutable data; callers must not modify it.
+//
+// Each call is one reader-accounting round trip regardless of n, so
+// bulk access — one View per decoded posting block rather than one per
+// posting — is how cursors keep accounting overhead off the hot path;
+// Stats.ViewCalls counts the round trips.
 func (r *Reader) View(off, n int64) []byte {
 	data := r.store.files[r.file].data
 	if off < 0 || off+n > int64(len(data)) {
 		panic(fmt.Sprintf("iomodel: read [%d,%d) beyond file %q size %d",
 			off, off+n, r.store.files[r.file].name, len(data)))
 	}
+	// Counted locally and flushed on Settle: an atomic add on the shared
+	// store counter here would be hammered from every worker goroutine
+	// (RA probes are one View per posting) and the contended cache line
+	// measurably slows RAM-resident runs.
+	r.views++
 	if n > 0 {
 		bs := int64(r.store.cfg.BlockSize)
 		first := off / bs
@@ -416,17 +439,35 @@ func (r *Reader) touchBlock(b int64) {
 		return
 	}
 	r.owed += lat
+	s.owedNs.Add(int64(lat))
 	if r.owed >= s.cfg.SleepBatch {
 		r.pay(r.owed)
+		s.owedNs.Add(-int64(r.owed))
 		r.owed = 0
 	}
 }
 
-// Settle pays any accumulated-but-unpaid latency. Cursors call it when
-// a traversal ends so short reads are not silently free.
+// Owes reports whether settling this reader involves a simulated wait
+// (accrued-but-unpaid latency). Like all Reader methods it may only be
+// called once the reader's owning goroutine has quiesced.
+func (r *Reader) Owes() bool { return r.owed > 0 }
+
+// Settle pays any accumulated-but-unpaid latency and flushes the
+// reader's local accounting to the store counters. Cursors call it when
+// a traversal ends so short reads are not silently free; the query
+// execution layer also settles every reader it handed out when a query
+// finishes, so early-terminating algorithms cannot abandon cursors with
+// their I/O bill unpaid.
 func (r *Reader) Settle() {
-	if r.owed > 0 && !r.store.cfg.NoSleep {
-		r.pay(r.owed)
+	if r.views > 0 {
+		r.store.viewCalls.Add(r.views)
+		r.views = 0
+	}
+	if r.owed > 0 {
+		if !r.store.cfg.NoSleep {
+			r.pay(r.owed)
+		}
+		r.store.owedNs.Add(-int64(r.owed))
 	}
 	r.owed = 0
 }

@@ -318,3 +318,52 @@ func TestBindOnStopFiresOnceWhenCutShort(t *testing.T) {
 		t.Errorf("onStop fired %d times, want exactly once", stops)
 	}
 }
+
+func TestViewCallsCounted(t *testing.T) {
+	s, h := newStoreWithFile(testConfig(100), 640)
+	r := s.NewReader(h)
+	r.View(0, 64)
+	r.View(0, 64)
+	r.View(64, 512)
+	if st := s.Snapshot(); st.ViewCalls != 0 {
+		t.Errorf("ViewCalls before Settle = %d, want 0 (counted per reader)", st.ViewCalls)
+	}
+	r.Settle() // flushes the reader-local count
+	if st := s.Snapshot(); st.ViewCalls != 3 {
+		t.Errorf("ViewCalls = %d, want 3", st.ViewCalls)
+	}
+	s.ResetStats()
+	if st := s.Snapshot(); st.ViewCalls != 0 {
+		t.Errorf("ViewCalls after reset = %d", st.ViewCalls)
+	}
+}
+
+func TestUnsettledTracksOwedCharges(t *testing.T) {
+	// Sleeps enabled with an enormous batch, so charges accrue as owed
+	// latency that only Settle pays.
+	cfg := Config{
+		BlockSize:   64,
+		CacheBlocks: 100,
+		SeqLatency:  time.Microsecond,
+		RandLatency: time.Microsecond,
+		SleepBatch:  time.Hour,
+	}
+	s, h := newStoreWithFile(cfg, 64*10)
+	r := s.NewReader(h)
+	r.View(0, 64*4) // 4 blocks charged, none paid
+	if got, want := s.Unsettled(), 4*time.Microsecond; got != want {
+		t.Errorf("Unsettled = %v, want %v", got, want)
+	}
+	r.Settle()
+	if got := s.Unsettled(); got != 0 {
+		t.Errorf("Unsettled after Settle = %v, want 0", got)
+	}
+	// A batch-paying reader keeps the balance at zero too.
+	cfg.SleepBatch = time.Nanosecond
+	s2, h2 := newStoreWithFile(cfg, 64*10)
+	r2 := s2.NewReader(h2)
+	r2.View(0, 64*4)
+	if got := s2.Unsettled(); got != 0 {
+		t.Errorf("Unsettled with immediate batches = %v, want 0", got)
+	}
+}

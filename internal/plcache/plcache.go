@@ -1,0 +1,272 @@
+// Package plcache is an application-level cache of decoded posting
+// blocks — the "hot list" tier real serving stacks put above the OS
+// page cache. The simulated page cache (package iomodel) holds raw
+// file pages and still charges CPU-side decode work on every hit; this
+// cache holds blocks after decoding, keyed by (term, region, block), so
+// a hit skips both the reader-accounting round trip and the decode.
+// Query logs are sharply Zipfian in their term distribution, which is
+// exactly the regime where a small decoded-block cache absorbs most of
+// the traffic.
+//
+// Memory is accounted against a membudget.Budget: every insertion
+// charges the decoded bytes before it is visible and evicts
+// least-recently-used blocks until the charge fits, so the cache can
+// never exceed its budget — the same reservation discipline the
+// query-side candidate maps use.
+//
+// The cache is safe for concurrent use and striped to keep concurrent
+// queries off one lock. Cached slices are shared read-only across
+// queries; cursors must never write into a slice obtained from Get.
+package plcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sparta/internal/membudget"
+	"sparta/internal/model"
+)
+
+// Kind distinguishes the posting regions of one term, so doc-ordered,
+// impact-ordered and per-shard blocks of the same term never collide.
+type Kind uint16
+
+const (
+	// KindDoc is the document-ordered region.
+	KindDoc Kind = 0
+	// KindImpact is the impact-ordered region.
+	KindImpact Kind = 1
+	// kindShardBase is the first shard region; shard s is kindShardBase+s.
+	kindShardBase Kind = 2
+)
+
+// KindShard returns the Kind of shard s's impact-ordered region.
+func KindShard(s int) Kind { return kindShardBase + Kind(s) }
+
+// Key identifies one decoded posting block of one index. A cache must
+// not be shared between distinct indexes (keys would collide); share it
+// across the queries of one index instead.
+type Key struct {
+	Term  model.TermID
+	Kind  Kind
+	Block int32
+}
+
+// postingBytes is the accounted in-memory size of one decoded posting
+// (model.Posting: uint32 doc + int64 score, padded).
+const postingBytes = 16
+
+// entryOverhead approximates the per-entry bookkeeping bytes (map cell,
+// LRU links, slice header).
+const entryOverhead = 96
+
+// entryBytes is the accounted size of a cached block of n postings.
+func entryBytes(n int) int64 { return int64(n)*postingBytes + entryOverhead }
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Budget caps the decoded bytes held. Nil or unlimited budgets make
+	// the cache unbounded — tests only; serving should always bound it.
+	Budget *membudget.Budget
+	// Stripes segments the cache to reduce lock contention (default 16).
+	Stripes int
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Inserts   int64
+	Evictions int64
+	// Bytes is the accounted decoded-block memory currently held.
+	Bytes int64
+	// Entries is the number of cached blocks.
+	Entries int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a sharded LRU of decoded posting blocks.
+type Cache struct {
+	budget  *membudget.Budget
+	stripes []stripe
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	inserts   atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+}
+
+type stripe struct {
+	mu    sync.Mutex
+	table map[Key]*entry
+	head  *entry // most recently used
+	tail  *entry // least recently used
+}
+
+type entry struct {
+	key        Key
+	post       []model.Posting
+	bytes      int64
+	prev, next *entry
+}
+
+// New creates a cache under cfg.
+func New(cfg Config) *Cache {
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 16
+	}
+	c := &Cache{budget: cfg.Budget, stripes: make([]stripe, cfg.Stripes)}
+	for i := range c.stripes {
+		c.stripes[i].table = make(map[Key]*entry)
+	}
+	return c
+}
+
+// NewWithBudget creates a cache holding at most limitBytes of decoded
+// blocks (<= 0 means unbounded).
+func NewWithBudget(limitBytes int64) *Cache {
+	return New(Config{Budget: membudget.New(limitBytes)})
+}
+
+// Budget returns the cache's memory budget (may be nil).
+func (c *Cache) Budget() *membudget.Budget { return c.budget }
+
+func (c *Cache) stripeFor(k Key) *stripe {
+	if len(c.stripes) == 1 {
+		return &c.stripes[0]
+	}
+	h := (uint64(k.Term)*0x9e3779b97f4a7c15 ^ uint64(k.Kind)*0x85ebca6b) + uint64(k.Block)*0xc2b2ae35
+	return &c.stripes[h%uint64(len(c.stripes))]
+}
+
+// Get returns the decoded block for k, if cached. The returned slice is
+// shared: read-only, never written, never returned to a pool.
+func (c *Cache) Get(k Key) ([]model.Posting, bool) {
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	e, ok := st.table[k]
+	if ok {
+		st.moveToFront(e)
+	}
+	st.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.post, true
+}
+
+// Put inserts a copy of post under k, evicting least-recently-used
+// blocks until the budget admits it. If the block cannot fit even with
+// the stripe emptied (or it is already cached), the cache is left as
+// is. The caller keeps ownership of post.
+func (c *Cache) Put(k Key, post []model.Posting) {
+	need := entryBytes(len(post))
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.table[k]; dup {
+		return // raced with another query decoding the same block
+	}
+	for c.budget.Charge(need) != nil {
+		if st.tail == nil {
+			return // stripe empty and still over: block larger than budget share
+		}
+		c.evictLocked(st, st.tail)
+	}
+	dup := make([]model.Posting, len(post))
+	copy(dup, post)
+	e := &entry{key: k, post: dup, bytes: need}
+	st.table[k] = e
+	st.pushFront(e)
+	c.inserts.Add(1)
+	c.entries.Add(1)
+	c.bytes.Add(need)
+}
+
+// evictLocked removes e from st (st.mu held) and releases its budget.
+func (c *Cache) evictLocked(st *stripe, e *entry) {
+	st.unlink(e)
+	delete(st.table, e.key)
+	c.budget.Release(e.bytes)
+	c.bytes.Add(-e.bytes)
+	c.entries.Add(-1)
+	c.evictions.Add(1)
+}
+
+// Flush empties the cache and returns all budgeted bytes.
+func (c *Cache) Flush() {
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		for st.tail != nil {
+			c.evictLocked(st, st.tail)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// ResetStats zeroes the hit/miss/insert/eviction counters. Held-bytes
+// and entry gauges are unaffected (they track live state).
+func (c *Cache) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.inserts.Store(0)
+	c.evictions.Store(0)
+}
+
+// Snapshot returns current counters.
+func (c *Cache) Snapshot() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Inserts:   c.inserts.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+		Entries:   c.entries.Load(),
+	}
+}
+
+func (st *stripe) pushFront(e *entry) {
+	e.prev = nil
+	e.next = st.head
+	if st.head != nil {
+		st.head.prev = e
+	}
+	st.head = e
+	if st.tail == nil {
+		st.tail = e
+	}
+}
+
+func (st *stripe) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		st.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		st.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (st *stripe) moveToFront(e *entry) {
+	if st.head == e {
+		return
+	}
+	st.unlink(e)
+	st.pushFront(e)
+}

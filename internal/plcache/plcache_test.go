@@ -1,0 +1,197 @@
+package plcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sparta/internal/membudget"
+	"sparta/internal/model"
+)
+
+func block(n int, seed int) []model.Posting {
+	out := make([]model.Posting, n)
+	for i := range out {
+		out[i] = model.Posting{Doc: model.DocID(seed + i), Score: model.Score(seed * (i + 1))}
+	}
+	return out
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := NewWithBudget(1 << 20)
+	k := Key{Term: 3, Kind: KindDoc, Block: 7}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, block(64, 1))
+	got, ok := c.Get(k)
+	if !ok || len(got) != 64 || got[0].Doc != 1 {
+		t.Fatalf("Get = %v postings, ok=%v", len(got), ok)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 insert", st)
+	}
+}
+
+func TestKindsDoNotCollide(t *testing.T) {
+	c := NewWithBudget(1 << 20)
+	c.Put(Key{Term: 1, Kind: KindDoc, Block: 0}, block(4, 10))
+	c.Put(Key{Term: 1, Kind: KindImpact, Block: 0}, block(4, 20))
+	c.Put(Key{Term: 1, Kind: KindShard(3), Block: 0}, block(4, 30))
+	for _, tc := range []struct {
+		kind Kind
+		doc  model.DocID
+	}{{KindDoc, 10}, {KindImpact, 20}, {KindShard(3), 30}} {
+		got, ok := c.Get(Key{Term: 1, Kind: tc.kind, Block: 0})
+		if !ok || got[0].Doc != tc.doc {
+			t.Errorf("kind %d: got %v ok=%v, want doc %d", tc.kind, got, ok, tc.doc)
+		}
+	}
+}
+
+func TestPutCopiesCallerSlice(t *testing.T) {
+	c := NewWithBudget(1 << 20)
+	mine := block(8, 5)
+	k := Key{Term: 2, Kind: KindDoc, Block: 0}
+	c.Put(k, mine)
+	mine[0].Doc = 999 // caller reuses its buffer (e.g. returns it to a pool)
+	got, _ := c.Get(k)
+	if got[0].Doc == 999 {
+		t.Error("cache aliases the caller's buffer")
+	}
+}
+
+func TestBudgetNeverExceeded(t *testing.T) {
+	limit := int64(10 * 1024)
+	b := membudget.New(limit)
+	c := New(Config{Budget: b, Stripes: 4})
+	for i := 0; i < 1000; i++ {
+		c.Put(Key{Term: model.TermID(i), Kind: KindDoc, Block: 0}, block(64, i))
+		if used := b.Used(); used > limit {
+			t.Fatalf("budget used %d exceeds limit %d", used, limit)
+		}
+		if bytes := c.Snapshot().Bytes; bytes > limit {
+			t.Fatalf("cache holds %d bytes, limit %d", bytes, limit)
+		}
+	}
+	st := c.Snapshot()
+	if st.Evictions == 0 {
+		t.Error("expected evictions under a tight budget")
+	}
+	if st.Bytes != b.Used() {
+		t.Errorf("cache bytes %d != budget used %d", st.Bytes, b.Used())
+	}
+	c.Flush()
+	if b.Used() != 0 || c.Snapshot().Bytes != 0 || c.Snapshot().Entries != 0 {
+		t.Errorf("after Flush: used=%d stats=%+v", b.Used(), c.Snapshot())
+	}
+}
+
+func TestOversizedBlockNotCached(t *testing.T) {
+	c := NewWithBudget(64) // smaller than any block
+	c.Put(Key{Term: 1, Kind: KindDoc, Block: 0}, block(64, 1))
+	if _, ok := c.Get(Key{Term: 1, Kind: KindDoc, Block: 0}); ok {
+		t.Error("oversized block was cached")
+	}
+	if used := c.Budget().Used(); used != 0 {
+		t.Errorf("failed insert leaked %d budget bytes", used)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Single stripe so recency is globally ordered; room for ~2 blocks.
+	b := membudget.New(2 * entryBytes(64))
+	c := New(Config{Budget: b, Stripes: 1})
+	k := func(i int) Key { return Key{Term: model.TermID(i), Kind: KindDoc, Block: 0} }
+	c.Put(k(1), block(64, 1))
+	c.Put(k(2), block(64, 2))
+	c.Get(k(1)) // 1 most recent
+	c.Put(k(3), block(64, 3))
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("LRU entry 2 should have been evicted")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Error("recently-used entry 1 was evicted")
+	}
+	if _, ok := c.Get(k(3)); !ok {
+		t.Error("new entry 3 missing")
+	}
+}
+
+func TestDuplicatePutKeepsFirst(t *testing.T) {
+	c := NewWithBudget(1 << 20)
+	k := Key{Term: 9, Kind: KindImpact, Block: 2}
+	c.Put(k, block(4, 1))
+	c.Put(k, block(4, 2))
+	got, _ := c.Get(k)
+	if got[0].Doc != 1 {
+		t.Error("duplicate Put replaced the existing entry")
+	}
+	if st := c.Snapshot(); st.Inserts != 1 {
+		t.Errorf("inserts = %d, want 1", st.Inserts)
+	}
+}
+
+func TestConcurrentAccessRace(t *testing.T) {
+	b := membudget.New(64 * 1024)
+	c := New(Config{Budget: b})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{Term: model.TermID((i*7 + g) % 97), Kind: KindDoc, Block: int32(i % 3)}
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, block(64, int(k.Term)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if used, limit := b.Used(), b.Limit(); used > limit {
+		t.Errorf("budget used %d > limit %d", used, limit)
+	}
+	st := c.Snapshot()
+	if st.Bytes != b.Used() {
+		t.Errorf("bytes gauge %d != budget used %d", st.Bytes, b.Used())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRate() != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", s.HitRate())
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := NewWithBudget(1 << 24)
+	keys := make([]Key, 256)
+	for i := range keys {
+		keys[i] = Key{Term: model.TermID(i), Kind: KindDoc, Block: 0}
+		c.Put(keys[i], block(64, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func ExampleCache() {
+	c := NewWithBudget(16 << 20) // 16 MB of decoded blocks
+	k := Key{Term: 42, Kind: KindDoc, Block: 0}
+	if _, ok := c.Get(k); !ok {
+		c.Put(k, []model.Posting{{Doc: 1, Score: 100}})
+	}
+	post, _ := c.Get(k)
+	fmt.Println(len(post), c.Snapshot().Hits)
+	// Output: 1 1
+}

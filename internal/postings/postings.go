@@ -66,6 +66,12 @@ type DocCursor interface {
 	Len() int
 }
 
+// BlockAtMeta finds the index of the block containing the first posting
+// with doc >= d: the first block whose Last >= d. Returns len(blocks)
+// if none. Block-granular cursors use it to turn SkipTo into a RAM
+// metadata search plus a single block decode.
+func BlockAtMeta(blocks []BlockMeta, d model.DocID) int { return blockAt(blocks, d) }
+
 // blockAt finds the index of the block containing the first posting
 // with doc >= d: the first block whose Last >= d. Returns len(blocks)
 // if none.
@@ -147,11 +153,23 @@ type View interface {
 // every physical block fetch's charged latency to onIO. onStop is
 // invoked the first time a cursor's wait is cut short, giving the
 // execution layer a synchronous cancellation signal on the goroutine
-// that observed it. Either callback may be nil. The returned view
-// shares the underlying index and page cache; in-memory views simply
-// don't implement this interface.
+// that observed it. onCache receives the outcome of every app-level
+// posting-cache lookup the bound cursors perform. Any callback may be
+// nil. The returned view shares the underlying index, page cache, and
+// posting cache; in-memory views simply don't implement this interface.
 type ExecBinder interface {
-	BindExec(ctx context.Context, onIO func(time.Duration), onStop func()) View
+	BindExec(ctx context.Context, onIO func(time.Duration), onStop func(), onCache func(hit bool)) View
+}
+
+// Settler is implemented by bound views (the result of BindExec) that
+// hand out charged readers: SettleAll pays every reader's accrued but
+// unpaid simulated-I/O latency. The execution layer calls it when a
+// query finishes, so algorithms that stop early — threshold reached,
+// deadline, cancellation — cannot abandon cursors with their I/O bill
+// outstanding. It must only be called after the query's workers have
+// quiesced (readers are single-goroutine objects).
+type Settler interface {
+	SettleAll()
 }
 
 // ShardRange returns the half-open document-id range [lo, hi) of shard

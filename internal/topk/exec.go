@@ -52,6 +52,10 @@ type Observer interface {
 	// IOFetch is called for every physical block fetch of the simulated
 	// storage layer, with the latency charged.
 	IOFetch(wait time.Duration)
+	// CacheLookup is called for every app-level posting-cache lookup a
+	// charged cursor performs (a hit serves the decoded block without
+	// touching simulated storage).
+	CacheLookup(hit bool)
 }
 
 // NopObserver is the no-op default.
@@ -63,6 +67,7 @@ func (NopObserver) SegmentScheduled(int)                {}
 func (NopObserver) HeapUpdate(model.DocID, model.Score) {}
 func (NopObserver) CleanerPass(int, int)                {}
 func (NopObserver) IOFetch(time.Duration)               {}
+func (NopObserver) CacheLookup(bool)                    {}
 
 var _ Observer = NopObserver{}
 
@@ -76,6 +81,8 @@ type RecordingObserver struct {
 	cleanerPasses atomic.Int64
 	ioFetches     atomic.Int64
 	ioWaitNs      atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
 
 	mu        sync.Mutex
 	lastStats Stats
@@ -100,6 +107,14 @@ func (r *RecordingObserver) IOFetch(wait time.Duration) {
 	r.ioWaitNs.Add(int64(wait))
 }
 
+func (r *RecordingObserver) CacheLookup(hit bool) {
+	if hit {
+		r.cacheHits.Add(1)
+	} else {
+		r.cacheMisses.Add(1)
+	}
+}
+
 // Queries returns the number of QueryStart events.
 func (r *RecordingObserver) Queries() int64 { return r.queries.Load() }
 
@@ -120,6 +135,12 @@ func (r *RecordingObserver) IOFetches() int64 { return r.ioFetches.Load() }
 
 // IOWait returns the total simulated I/O latency observed.
 func (r *RecordingObserver) IOWait() time.Duration { return time.Duration(r.ioWaitNs.Load()) }
+
+// CacheHits returns the number of posting-cache hits observed.
+func (r *RecordingObserver) CacheHits() int64 { return r.cacheHits.Load() }
+
+// CacheMisses returns the number of posting-cache misses observed.
+func (r *RecordingObserver) CacheMisses() int64 { return r.cacheMisses.Load() }
 
 // Last returns the most recent QueryFinish payload.
 func (r *RecordingObserver) Last() (Stats, error) {
@@ -154,6 +175,9 @@ type ExecState struct {
 	reason    atomic.Value // string; written before stopped is set
 	closeCh   chan struct{}
 	closeOnce sync.Once
+
+	settleMu sync.Mutex
+	settlers []postings.Settler // bound views with possibly-unpaid I/O
 }
 
 // NewExecState creates the execution state for one query under ctx.
@@ -235,13 +259,24 @@ func (e *ExecState) Begin(q model.Query, opts Options) {
 	}
 }
 
-// Finish releases the deadline watcher and emits the QueryFinish
-// event. Call exactly once, when the evaluation ends (any path).
+// Finish releases the deadline watcher, settles any outstanding I/O
+// charges of bound views, and emits the QueryFinish event. Call
+// exactly once, when the evaluation ends (any path). Every algorithm
+// joins its workers before returning, so by the time Finish runs no
+// goroutine still touches the bound cursors — the precondition
+// postings.Settler requires.
 func (e *ExecState) Finish(st Stats, err error) {
 	if e == nil {
 		return
 	}
 	e.closeOnce.Do(func() { close(e.closeCh) })
+	e.settleMu.Lock()
+	settlers := e.settlers
+	e.settlers = nil
+	e.settleMu.Unlock()
+	for _, s := range settlers {
+		s.SettleAll()
+	}
 	if e.observing {
 		e.obs.QueryFinish(st, err)
 	}
@@ -281,12 +316,14 @@ func (e *ExecState) BindView(v postings.View) postings.View {
 	if !ok {
 		return v
 	}
-	if e.ctx.Done() == nil && !e.observing {
-		return v // nothing to bind: uncancellable and unobserved
-	}
+	// Even uncancellable, unobserved queries bind: the bound view tracks
+	// its readers so Finish can settle I/O charges that early-terminating
+	// algorithms would otherwise abandon unpaid.
 	var onIO func(time.Duration)
+	var onCache func(bool)
 	if e.observing {
 		onIO = e.obs.IOFetch
+		onCache = e.obs.CacheLookup
 	}
 	var onStop func()
 	if e.ctx.Done() != nil {
@@ -296,5 +333,11 @@ func (e *ExecState) BindView(v postings.View) postings.View {
 		// before the watcher goroutine's asynchronous flip is visible.
 		onStop = func() { e.markStopped(e.ctx.Err()) }
 	}
-	return b.BindExec(e.ctx, onIO, onStop)
+	bound := b.BindExec(e.ctx, onIO, onStop, onCache)
+	if s, ok := bound.(postings.Settler); ok {
+		e.settleMu.Lock()
+		e.settlers = append(e.settlers, s)
+		e.settleMu.Unlock()
+	}
+	return bound
 }

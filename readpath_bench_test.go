@@ -1,0 +1,64 @@
+package sparta_test
+
+import (
+	"testing"
+
+	"sparta/internal/corpus"
+	"sparta/internal/diskindex"
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/model"
+)
+
+// BenchmarkCursorTraversalRAM measures the charged cursors' raw
+// per-posting cost with simulated I/O disabled — the block-decoded
+// read path's CPU claim in isolation (one reader-accounting round
+// trip per 64 postings, Next() a slice index). Sequential traversal
+// is the win; sparse SkipTo trades a modest decode penalty for it.
+func BenchmarkCursorTraversalRAM(b *testing.B) {
+	mem := index.FromCorpus(corpus.New(corpus.Spec{
+		Name: "trav", Docs: 20000, Vocab: 2000, ZipfS: 1.0,
+		MeanDocLen: 150, MinDocLen: 5, Seed: 3,
+	}))
+	disk, err := diskindex.FromIndex(mem, 12, iomodel.RAMConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// busiest term: longest posting list
+	best, bestDF := model.TermID(0), 0
+	for t := 0; t < disk.NumTerms(); t++ {
+		if df := disk.DF(model.TermID(t)); df > bestDF {
+			best, bestDF = model.TermID(t), df
+		}
+	}
+	b.Run("doc-next", func(b *testing.B) {
+		var sum model.Score
+		for i := 0; i < b.N; i++ {
+			c := disk.DocCursor(best)
+			for c.Next() {
+				sum += c.Score()
+			}
+		}
+		_ = sum
+		b.ReportMetric(float64(bestDF), "postings/op")
+	})
+	b.Run("score-next", func(b *testing.B) {
+		var sum model.Score
+		for i := 0; i < b.N; i++ {
+			c := disk.ScoreCursor(best)
+			for c.Next() {
+				sum += c.Score()
+			}
+		}
+		_ = sum
+	})
+	b.Run("skipto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := disk.DocCursor(best)
+			d := model.DocID(0)
+			for c.SkipTo(d) {
+				d = c.Doc() + 37
+			}
+		}
+	})
+}

@@ -28,6 +28,13 @@ type SearcherConfig struct {
 	// Observer, when non-nil, receives execution events for every query
 	// that does not carry its own Options.Observer.
 	Observer Observer
+
+	// PostingCache, when non-nil, is the decoded-block cache shared by
+	// this searcher's queries; its hit/miss/bytes counters appear in
+	// Counters(). The cache serves cursors only once attached to the
+	// index view (AttachPostingCache) — this field does not attach it,
+	// because the Searcher wraps an Algorithm, not the view beneath it.
+	PostingCache *PostingCache
 }
 
 // SearcherCounters is a point-in-time snapshot of a Searcher's
@@ -54,6 +61,20 @@ type SearcherCounters struct {
 	// queries (admission wait included); TotalLatency/Queries is the
 	// mean latency.
 	TotalLatency time.Duration
+	// CacheHits / CacheMisses / CacheBytes mirror the configured
+	// PostingCache's counters (zero when none is configured).
+	CacheHits   int64
+	CacheMisses int64
+	CacheBytes  int64
+}
+
+// CacheHitRate returns CacheHits/(CacheHits+CacheMisses), or 0 before
+// any lookup.
+func (c SearcherCounters) CacheHitRate() float64 {
+	if c.CacheHits+c.CacheMisses == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(c.CacheHits+c.CacheMisses)
 }
 
 // Searcher wraps any Algorithm with the serving-side concerns of §5.3's
@@ -149,7 +170,7 @@ func (s *Searcher) account(st Stats, err error) {
 // Counters returns a snapshot of the aggregate counters. The snapshot
 // is not atomic across fields (each field is individually consistent).
 func (s *Searcher) Counters() SearcherCounters {
-	return SearcherCounters{
+	c := SearcherCounters{
 		Queries:      s.queries.Load(),
 		Errors:       s.errors.Load(),
 		Cancelled:    s.cancelled.Load(),
@@ -159,6 +180,11 @@ func (s *Searcher) Counters() SearcherCounters {
 		Postings:     s.postings.Load(),
 		TotalLatency: time.Duration(s.latencyNs.Load()),
 	}
+	if s.cfg.PostingCache != nil {
+		cs := s.cfg.PostingCache.Snapshot()
+		c.CacheHits, c.CacheMisses, c.CacheBytes = cs.Hits, cs.Misses, cs.Bytes
+	}
+	return c
 }
 
 // stopReasonFor maps a context error to the corresponding stop reason.

@@ -31,6 +31,7 @@ import (
 	"sparta/internal/core"
 	"sparta/internal/index"
 	"sparta/internal/model"
+	"sparta/internal/plcache"
 	"sparta/internal/postings"
 	"sparta/internal/topk"
 )
@@ -74,6 +75,14 @@ type (
 	// type implementing it (including application-specific stores, see
 	// examples/analytics) can be searched.
 	View = postings.View
+
+	// PostingCache is a budgeted, shared cache of decoded posting
+	// blocks — the hot-term tier above the simulated page cache. Attach
+	// one to a disk-modeled index with AttachPostingCache and hand it to
+	// SearcherConfig.PostingCache to surface its counters.
+	PostingCache = plcache.Cache
+	// PostingCacheStats is a point-in-time PostingCache snapshot.
+	PostingCacheStats = plcache.Stats
 )
 
 // Stop reasons reported in Stats.StopReason when a query's context
@@ -98,3 +107,22 @@ func Recall(exact, approx TopK) float64 { return model.Recall(exact, approx) }
 // Exact computes the exact top-k by brute force — the ground truth for
 // recall measurement.
 func Exact(v View, q Query, k int) TopK { return topk.BruteForce(v, q, k) }
+
+// NewPostingCache creates a decoded-block cache holding at most
+// limitBytes (<= 0 means unbounded — bound it in serving).
+func NewPostingCache(limitBytes int64) *PostingCache {
+	return plcache.NewWithBudget(limitBytes)
+}
+
+// AttachPostingCache attaches c to v if v supports an app-level
+// decoded-block cache (the disk-modeled indexes do; the in-memory index
+// has nothing to cache). It reports whether the view accepted it. One
+// cache must serve exactly one index: keys are (term, region, block)
+// and would collide across indexes.
+func AttachPostingCache(v View, c *PostingCache) bool {
+	s, ok := v.(interface{ SetPostingCache(*plcache.Cache) })
+	if ok {
+		s.SetPostingCache(c)
+	}
+	return ok
+}
