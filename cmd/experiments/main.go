@@ -45,6 +45,9 @@ type runner struct {
 	nQueries  int
 	threads   int
 	benchOut  string
+	shardOut  string
+	shardP    int
+	shardTO   time.Duration
 	cacheMB   int64
 	out       io.Writer
 	cw, cwx   *bench.Env
@@ -74,6 +77,11 @@ func main() {
 		outDir    = flag.String("outdir", "", "also write each artifact to <outdir>/<name>.txt")
 		benchJSON = flag.String("benchout", "BENCH_topk.json",
 			"output path of the machine-readable report the bench subcommand writes")
+		shardJSON = flag.String("benchshardedout", "BENCH_sharded.json",
+			"output path of the sharded-serving report the bench subcommand writes")
+		shardP  = flag.Int("shardp", 4, "shard count of the sharded bench section")
+		shardTO = flag.Duration("shardtimeout", 2*time.Millisecond,
+			"tight per-shard timeout of the sharded bench section")
 		cacheMB = flag.Int64("cachemb", 16, "posting-cache budget (MB) for the bench subcommand")
 	)
 	flag.Parse()
@@ -108,6 +116,9 @@ func main() {
 		nQueries:  *nq,
 		threads:   *threads,
 		benchOut:  *benchJSON,
+		shardOut:  *shardJSON,
+		shardP:    *shardP,
+		shardTO:   *shardTO,
 		cacheMB:   *cacheMB,
 		out:       os.Stdout,
 		sweepHigh: make(map[string][]bench.SweepPoint),
@@ -438,7 +449,16 @@ func (r *runner) run(name string) (string, error) {
 		if err := rep.WriteJSON(r.benchOut); err != nil {
 			return "", err
 		}
-		return rep.Summary() + "\nwrote " + r.benchOut, nil
+		srep, err := env.RunShardedBenchReport(r.tuning, r.nQueries, r.threads,
+			r.shardP, r.cacheMB<<20, r.shardTO)
+		if err != nil {
+			return "", err
+		}
+		if err := srep.WriteJSON(r.shardOut); err != nil {
+			return "", err
+		}
+		return rep.Summary() + "\nwrote " + r.benchOut + "\n\n" +
+			srep.Summary() + "\nwrote " + r.shardOut, nil
 
 	case "compression":
 		// Appendix: §5's justification for benchmarking uncompressed —

@@ -1,18 +1,25 @@
 // Server: a minimal web-search service over the library — the
 // deployment surface the paper's latency SLAs are about (§5.3 cites
-// the 250 ms interactive budget).
+// the 250 ms interactive budget), now served scatter/gather over a
+// sharded index.
 //
-// On startup it builds a small synthetic index; then it serves
+// On startup it builds a small synthetic index, partitions it into
+// document-range shards (each with its own simulated store and
+// decoded-block cache), and serves
 //
 //	GET /search?q=<terms>&k=10&algo=sparta|pbmw|pjass&mode=exact|high
 //	GET /stats
 //
-// with per-query latency, recall-free stats, and storage counters in
-// the JSON response. Each algorithm is served through a sparta.Searcher,
-// which enforces the latency SLA (a 250 ms query timeout — cancelled
-// queries still return their anytime partial top-k), caps concurrent
-// queries, and aggregates serving counters for /stats. A disconnecting
-// client cancels its query through the request context.
+// Each algorithm runs through a sparta.ShardedSearcher: the Searcher
+// layer enforces the 250 ms SLA and the concurrent-query cap, while
+// the shard group underneath fans every query out to all shards under
+// per-shard deadlines, hedges stragglers, and merges whatever the
+// shards deliver — a slow shard degrades the answer (reported as
+// shards_dropped), never blocks it. A disconnecting client cancels its
+// query through the request context.
+//
+// /stats is one metrics-registry snapshot: every searcher's serving
+// counters and every shard's health/cache counters, flat JSON.
 //
 //	go run ./examples/server &
 //	curl 'localhost:8640/search?q=t12,t733,t5021&algo=sparta&mode=high'
@@ -32,9 +39,7 @@ import (
 	"sparta/internal/algos/jass"
 	"sparta/internal/core"
 	"sparta/internal/corpus"
-	"sparta/internal/diskindex"
 	"sparta/internal/index"
-	"sparta/internal/iomodel"
 	"sparta/internal/model"
 	"sparta/internal/topk"
 )
@@ -42,20 +47,26 @@ import (
 const (
 	listenAddr = "localhost:8640"
 	poolSize   = 12
+	// numShards is the scatter/gather width.
+	numShards = 4
 	// queryTimeout is the serving SLA (§5.3 cites the 250 ms
 	// interactive budget); queries hitting it return partial results
 	// with stop reason "deadline".
 	queryTimeout = 250 * time.Millisecond
-	// postingCacheBytes bounds the decoded-block cache shared by all
-	// queries; Zipfian query traffic keeps hot terms resident.
+	// shardTimeout bounds each shard's share of a query: a straggling
+	// shard is dropped (its partial merged in) rather than spending the
+	// whole SLA.
+	shardTimeout = 100 * time.Millisecond
+	// postingCacheBytes bounds the decoded-block caches; Zipfian query
+	// traffic keeps hot terms resident. The budget is split across the
+	// per-shard caches.
 	postingCacheBytes = 16 << 20
 )
 
 type server struct {
 	mem       *index.Index
-	disk      *diskindex.Index
-	cache     *sparta.PostingCache
-	searchers map[string]*sparta.Searcher
+	searchers map[string]*sparta.ShardedSearcher
+	registry  *sparta.MetricsRegistry
 }
 
 func main() {
@@ -65,39 +76,55 @@ func main() {
 	}
 	log.Printf("building %d-doc index...", spec.Docs)
 	mem := index.FromCorpus(corpus.New(spec))
-	disk, err := diskindex.FromIndex(mem, diskindex.DefaultShards, iomodel.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
+
+	gcfg := sparta.ShardGroupConfig{
+		CacheBytes:     postingCacheBytes / numShards,
+		ShardTimeout:   shardTimeout,
+		BudgetFraction: 0.9, // leave headroom for merge + resolution
+		Hedge:          sparta.ShardHedgeConfig{Enabled: true},
+		TripAfter:      3,
 	}
-	cache := sparta.NewPostingCache(postingCacheBytes)
-	sparta.AttachPostingCache(disk, cache)
-	cfg := sparta.SearcherConfig{Timeout: queryTimeout, MaxConcurrent: poolSize, PostingCache: cache}
+	scfg := sparta.SearcherConfig{Timeout: queryTimeout, MaxConcurrent: poolSize}
+	mk := func(factory sparta.ShardFactory) *sparta.ShardedSearcher {
+		g, err := sparta.ShardIndex(mem, numShards, factory, gcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sparta.NewShardedSearcher(g, scfg)
+	}
 	s := &server{
-		mem:   mem,
-		disk:  disk,
-		cache: cache,
-		searchers: map[string]*sparta.Searcher{
-			"sparta": sparta.NewSearcher(core.New(disk), cfg),
-			"pbmw":   sparta.NewSearcher(bmw.NewPBMW(disk), cfg),
-			"pjass":  sparta.NewSearcher(jass.NewP(disk), cfg),
+		mem:      mem,
+		registry: sparta.NewMetricsRegistry(),
+		searchers: map[string]*sparta.ShardedSearcher{
+			"sparta": mk(func(v sparta.View) sparta.Algorithm { return core.New(v) }),
+			"pbmw":   mk(func(v sparta.View) sparta.Algorithm { return bmw.NewPBMW(v) }),
+			"pjass":  mk(func(v sparta.View) sparta.Algorithm { return jass.NewP(v) }),
 		},
+	}
+	s.registry.RegisterFunc("index.docs", func() any { return mem.NumDocs() })
+	s.registry.RegisterFunc("index.terms", func() any { return mem.NumTerms() })
+	s.registry.RegisterFunc("index.postings", func() any { return mem.TotalPostings() })
+	for name, sr := range s.searchers {
+		sr.RegisterMetrics(s.registry, "serve."+name)
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	log.Printf("serving on http://%s  (try /search?q=t12,t733,t5021&algo=sparta&mode=high)", listenAddr)
+	log.Printf("serving %d shards on http://%s  (try /search?q=t12,t733,t5021&algo=sparta&mode=high)",
+		numShards, listenAddr)
 	log.Fatal(http.ListenAndServe(listenAddr, mux))
 }
 
 type searchResponse struct {
-	Algo      string        `json:"algo"`
-	Query     []int         `json:"query"`
-	K         int           `json:"k"`
-	LatencyMS float64       `json:"latency_ms"`
-	Stop      string        `json:"stop"`
-	Postings  int64         `json:"postings"`
-	Results   []resultEntry `json:"results"`
+	Algo          string        `json:"algo"`
+	Query         []int         `json:"query"`
+	K             int           `json:"k"`
+	LatencyMS     float64       `json:"latency_ms"`
+	Stop          string        `json:"stop"`
+	Postings      int64         `json:"postings"`
+	ShardsDropped int           `json:"shards_dropped"`
+	Results       []resultEntry `json:"results"`
 }
 
 type resultEntry struct {
@@ -106,7 +133,7 @@ type resultEntry struct {
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r.URL.Query().Get("q"), s.disk.NumTerms())
+	q, err := parseQuery(r.URL.Query().Get("q"), s.mem.NumTerms())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -155,18 +182,20 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The request context propagates client disconnects; the Searcher
-	// layers its 250 ms SLA timeout on top.
+	// layers its 250 ms SLA timeout on top, and each shard gets the
+	// tighter of shardTimeout and its share of what remains.
 	res, st, err := alg.SearchContext(r.Context(), q, opts)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	resp := searchResponse{
-		Algo:      alg.Name(),
-		K:         k,
-		LatencyMS: float64(st.Duration.Microseconds()) / 1000,
-		Stop:      st.StopReason,
-		Postings:  st.Postings,
+		Algo:          alg.Name(),
+		K:             k,
+		LatencyMS:     float64(st.Duration.Microseconds()) / 1000,
+		Stop:          st.StopReason,
+		Postings:      st.Postings,
+		ShardsDropped: st.ShardsDropped,
 	}
 	for _, term := range q {
 		resp.Query = append(resp.Query, int(term))
@@ -180,42 +209,14 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// handleStats serves the metrics registry: searcher-level serving
+// counters ("serve.sparta.queries") and per-shard health and cache
+// counters ("serve.sparta.shard.2") in one flat, sorted JSON document.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	io := s.disk.Store().Snapshot()
-	serving := make(map[string]any, len(s.searchers))
-	for name, sr := range s.searchers {
-		c := sr.Counters()
-		serving[name] = map[string]any{
-			"queries":    c.Queries,
-			"errors":     c.Errors,
-			"cancelled":  c.Cancelled,
-			"deadline":   c.Deadline,
-			"rejected":   c.Rejected,
-			"in_flight":  c.InFlight,
-			"postings":   c.Postings,
-			"latency_ms": float64(c.TotalLatency.Microseconds()) / 1000,
-		}
-	}
-	pc := s.cache.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"docs":        s.disk.NumDocs(),
-		"terms":       s.disk.NumTerms(),
-		"postings":    s.disk.Manifest().TotalPostings,
-		"blocks_read": io.BlocksRead,
-		"cache_hits":  io.CacheHits,
-		"rand_reads":  io.RandReads,
-		"view_calls":  io.ViewCalls,
-		"sim_io_ms":   float64(io.SimulatedIO.Microseconds()) / 1000,
-		"posting_cache": map[string]any{
-			"hits":     pc.Hits,
-			"misses":   pc.Misses,
-			"hit_rate": pc.HitRate(),
-			"bytes":    pc.Bytes,
-			"entries":  pc.Entries,
-		},
-		"serving": serving,
-	})
+	if err := s.registry.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // parseQuery accepts comma- or space-separated term ids, optionally

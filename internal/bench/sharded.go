@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sparta/internal/model"
+	"sparta/internal/plcache"
+	"sparta/internal/postings"
+	"sparta/internal/shardserve"
+	"sparta/internal/stats"
+	"sparta/internal/topk"
+)
+
+// ShardedBenchRow is one variant's measurement over the sharded
+// serving layer.
+type ShardedBenchRow struct {
+	Variant string `json:"variant"`
+	Queries int    `json:"queries"`
+	// NsPerOp is the mean per-query wall-clock time in nanoseconds
+	// (scatter, per-shard evaluation, merge, resolution).
+	NsPerOp float64 `json:"ns_per_op"`
+	Recall  float64 `json:"recall"`
+	// ShardsDroppedPerOp is the mean number of shards dropped per query
+	// (deadline misses, errors, breaker skips).
+	ShardsDroppedPerOp float64 `json:"shards_dropped_per_op"`
+	// DeadlineMissRate is each shard's deadline-miss fraction over the
+	// variant's query log, indexed by shard.
+	DeadlineMissRate []float64 `json:"deadline_miss_rate"`
+	// PostingCacheHitRate aggregates the per-shard decoded-block caches
+	// (0 when the report ran without caches).
+	PostingCacheHitRate float64 `json:"posting_cache_hit_rate"`
+}
+
+// ShardedBenchReport is the machine-readable sharded-serving benchmark
+// artifact (BENCH_sharded.json): the default grid served scatter/gather
+// at P shards, once with relaxed per-shard deadlines (no shard ever
+// dropped) and once under a tight per-shard timeout that exposes the
+// partial-merge path and the per-shard deadline-miss rates.
+type ShardedBenchReport struct {
+	Corpus           string        `json:"corpus"`
+	Docs             int           `json:"docs"`
+	Terms            int           `json:"terms"`
+	K                int           `json:"k"`
+	Threads          int           `json:"threads"`
+	QueryLen         int           `json:"query_len"`
+	P                int           `json:"p"`
+	CacheBudgetBytes int64         `json:"cache_budget_bytes"`
+	TightTimeoutNs   int64         `json:"tight_timeout_ns"`
+	Relaxed          []ShardedBenchRow `json:"relaxed"`
+	Tight            []ShardedBenchRow `json:"tight"`
+}
+
+// RunShardedBenchReport measures the default grid — the exact and
+// high-recall variants on 12-term queries — through the scatter/gather
+// layer at p shards: first with no per-shard timeout, then under
+// tightTimeout. Each shard gets a fresh decoded-block cache of
+// cacheBytes per variant (0 = uncached), and each shard's page cache
+// is flushed before every variant, mirroring RunBenchReport's
+// row-independence methodology.
+func (e *Env) RunShardedBenchReport(tun Tuning, nQueries, threads, p int, cacheBytes int64, tightTimeout time.Duration) (ShardedBenchReport, error) {
+	qs := e.pick(queriesMaxLen, nQueries)
+	variants := append(e.ExactVariants(), e.HighVariants(tun)...)
+	views, err := shardserve.PartitionViews(e.Mem, p, e.IO, 0)
+	if err != nil {
+		return ShardedBenchReport{}, err
+	}
+	rep := ShardedBenchReport{
+		Corpus:           e.Spec.Name,
+		Docs:             e.Mem.NumDocs(),
+		Terms:            e.Mem.NumTerms(),
+		K:                e.Opts.K,
+		Threads:          threads,
+		QueryLen:         queriesMaxLen,
+		P:                p,
+		CacheBudgetBytes: cacheBytes,
+		TightTimeoutNs:   tightTimeout.Nanoseconds(),
+	}
+	for _, v := range variants {
+		rep.Relaxed = append(rep.Relaxed,
+			e.benchShardedVariant(views, v, qs, threads, cacheBytes, shardserve.Config{}))
+	}
+	for _, v := range variants {
+		rep.Tight = append(rep.Tight,
+			e.benchShardedVariant(views, v, qs, threads, cacheBytes,
+				shardserve.Config{ShardTimeout: tightTimeout}))
+	}
+	return rep, nil
+}
+
+func (e *Env) benchShardedVariant(views []shardserve.ShardView, v Variant, qs []model.Query, threads int, cacheBytes int64, cfg shardserve.Config) ShardedBenchRow {
+	// Row independence: flush every shard's page cache and give each
+	// shard a fresh decoded-block cache.
+	for i := range views {
+		views[i].Store.Flush()
+		views[i].Store.ResetStats()
+		if cacheBytes > 0 {
+			c := plcache.NewWithBudget(cacheBytes)
+			views[i].View.SetPostingCache(c)
+			views[i].Cache = c
+		} else {
+			views[i].View.SetPostingCache(nil)
+			views[i].Cache = nil
+		}
+	}
+	row := ShardedBenchRow{Variant: v.Label, Queries: len(qs)}
+	g, err := shardserve.NewFromViews(cfg, func(view postings.View) topk.Algorithm {
+		return MakeAlgorithm(v.ID, view)
+	}, views)
+	if err != nil {
+		return row
+	}
+	var lat, recall, dropped stats.Sample
+	for _, q := range qs {
+		opts := v.Opts
+		opts.Threads = threads
+		res, st, err := g.SearchShards(context.Background(), q, opts)
+		if err != nil {
+			return row // leave zeroed metrics: the variant crashed here
+		}
+		lat.AddDuration(st.Duration)
+		recall.Add(model.Recall(e.Exact(q), res))
+		dropped.Add(float64(st.ShardsDropped))
+	}
+	row.NsPerOp = lat.Mean() * 1e6 // Sample stores ms
+	row.Recall = recall.Mean()
+	row.ShardsDroppedPerOp = dropped.Mean()
+	var hits, misses int64
+	for _, c := range g.AllCounters() {
+		rate := 0.0
+		if c.Queries > 0 {
+			rate = float64(c.DeadlineMisses) / float64(c.Queries)
+		}
+		row.DeadlineMissRate = append(row.DeadlineMissRate, rate)
+		hits += c.CacheHits
+		misses += c.CacheMisses
+	}
+	if hits+misses > 0 {
+		row.PostingCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return row
+}
+
+// WriteJSON writes the report to path, indented for diffing.
+func (r ShardedBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a human-readable digest of the report.
+func (r ShardedBenchReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharded grid (%s: %d docs, %d terms, k=%d, %d-term queries, %d threads, P=%d, cache %d MB, tight timeout %v)\n",
+		r.Corpus, r.Docs, r.Terms, r.K, r.QueryLen, r.Threads, r.P,
+		r.CacheBudgetBytes>>20, time.Duration(r.TightTimeoutNs))
+	fmt.Fprintf(&b, "%-14s %12s %9s %12s %22s %9s\n",
+		"variant", "ns/op", "recall", "dropped/op", "deadline-miss/shard", "timeout")
+	row := func(x ShardedBenchRow, mode string) {
+		miss := make([]string, len(x.DeadlineMissRate))
+		for i, m := range x.DeadlineMissRate {
+			miss[i] = fmt.Sprintf("%.2f", m)
+		}
+		fmt.Fprintf(&b, "%-14s %12.0f %9.3f %12.2f %22s %9s\n",
+			x.Variant, x.NsPerOp, x.Recall, x.ShardsDroppedPerOp,
+			strings.Join(miss, " "), mode)
+	}
+	for _, x := range r.Relaxed {
+		row(x, "relaxed")
+	}
+	for _, x := range r.Tight {
+		row(x, "tight")
+	}
+	return b.String()
+}

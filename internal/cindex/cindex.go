@@ -186,7 +186,12 @@ func (x *Index) Store() *iomodel.Store { return x.store }
 // decompressed) posting blocks, shared by every cursor over this index.
 // Hits skip the charged read and the varint decode. A nil cache
 // detaches. The cache must not be shared with another index.
-func (x *Index) SetPostingCache(c *plcache.Cache) { x.cache.Store(c) }
+func (x *Index) SetPostingCache(c *plcache.Cache) {
+	if c != nil {
+		c.MarkAttached()
+	}
+	x.cache.Store(c)
+}
 
 // PostingCache returns the attached decoded-block cache, or nil.
 func (x *Index) PostingCache() *plcache.Cache { return x.cache.Load() }

@@ -194,7 +194,12 @@ func (x *Index) Store() *iomodel.Store { return x.store }
 // blocks, shared by every cursor (and every concurrent query) over this
 // index. A nil cache detaches. The cache must not be shared with
 // another index.
-func (x *Index) SetPostingCache(c *plcache.Cache) { x.cache.Store(c) }
+func (x *Index) SetPostingCache(c *plcache.Cache) {
+	if c != nil {
+		c.MarkAttached()
+	}
+	x.cache.Store(c)
+}
 
 // PostingCache returns the attached decoded-block cache, or nil.
 func (x *Index) PostingCache() *plcache.Cache { return x.cache.Load() }

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"testing"
+
+	"sparta/internal/corpus"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+)
+
+func buildTestIndex(t *testing.T, docs int) *Index {
+	t.Helper()
+	spec := corpus.DefaultSpec()
+	spec.Docs = docs
+	spec.Vocab = 500
+	c := corpus.New(spec)
+	return FromCorpus(c)
+}
+
+func TestPartitionRangeCoversExactlyOnce(t *testing.T) {
+	x := buildTestIndex(t, 300)
+	for _, p := range []int{1, 2, 4, 7} {
+		shards := x.Partition(p)
+		if len(shards) != p {
+			t.Fatalf("Partition(%d) returned %d shards", p, len(shards))
+		}
+		var total int64
+		for _, s := range shards {
+			total += s.TotalPostings()
+			if s.NumDocs() != x.NumDocs() {
+				t.Fatalf("shard NumDocs %d != global %d", s.NumDocs(), x.NumDocs())
+			}
+			if s.NumTerms() != x.NumTerms() {
+				t.Fatalf("shard NumTerms %d != global %d", s.NumTerms(), x.NumTerms())
+			}
+		}
+		if total != x.TotalPostings() {
+			t.Fatalf("p=%d: shards hold %d postings, global index holds %d", p, total, x.TotalPostings())
+		}
+	}
+}
+
+func TestPartitionRangePreservesGlobalScoresAndOrder(t *testing.T) {
+	x := buildTestIndex(t, 200)
+	shards := x.Partition(3)
+	for s, sh := range shards {
+		lo, hi := postings.ShardRange(x.NumDocs(), s, 3)
+		for tid := model.TermID(0); int(tid) < x.NumTerms(); tid++ {
+			var max model.Score
+			prev := model.DocID(0)
+			first := true
+			for _, p := range sh.Postings(tid) {
+				if p.Doc < lo || p.Doc >= hi {
+					t.Fatalf("shard %d holds doc %d outside [%d,%d)", s, p.Doc, lo, hi)
+				}
+				if gs, ok := x.RandomAccess(tid, p.Doc); !ok || gs != p.Score {
+					t.Fatalf("shard %d term %d doc %d: score %d != global %d", s, tid, p.Doc, p.Score, gs)
+				}
+				if !first && p.Doc <= prev {
+					t.Fatalf("shard %d term %d: doc order violated at %d", s, tid, p.Doc)
+				}
+				prev, first = p.Doc, false
+				if p.Score > max {
+					max = p.Score
+				}
+			}
+			if st := sh.Term(tid); st.Max != max || st.DF != len(sh.Postings(tid)) {
+				t.Fatalf("shard %d term %d: stats %+v, want Max=%d DF=%d", s, tid, st, max, len(sh.Postings(tid)))
+			}
+			// Impact list: same postings, score-descending order.
+			imp := sh.Impact(tid)
+			if len(imp) != len(sh.Postings(tid)) {
+				t.Fatalf("shard %d term %d: impact len %d != postings len %d", s, tid, len(imp), len(sh.Postings(tid)))
+			}
+			for i := 1; i < len(imp); i++ {
+				if imp[i].Score > imp[i-1].Score {
+					t.Fatalf("shard %d term %d: impact order violated at %d", s, tid, i)
+				}
+			}
+		}
+	}
+}

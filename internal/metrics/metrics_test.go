@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("queries") != c {
+		t.Fatal("re-registering a counter name returned a different counter")
+	}
+	g := r.Gauge("hit_rate")
+	g.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Fatalf("gauge = %v, want 0.75", g.Value())
+	}
+	snap := r.Snapshot()
+	if snap["queries"] != int64(5) || snap["hit_rate"] != 0.75 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRegisterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.RegisterFunc("lazy", func() any { n++; return n })
+	if v := r.Snapshot()["lazy"]; v != 1 {
+		t.Fatalf("first snapshot = %v, want 1", v)
+	}
+	if v := r.Snapshot()["lazy"]; v != 2 {
+		t.Fatalf("second snapshot = %v, want 2 (func must re-evaluate)", v)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge on a counter name did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.rate").Set(0.5)
+	r.RegisterFunc("c.info", func() any { return map[string]any{"ok": true} })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got["b.count"] != float64(2) || got["a.rate"] != 0.5 {
+		t.Fatalf("decoded = %v", got)
+	}
+	// Keys must come out sorted for diff-able scrapes.
+	if idx := bytes.Index(buf.Bytes(), []byte("a.rate")); idx < 0 || idx > bytes.Index(buf.Bytes(), []byte("b.count")) {
+		t.Fatalf("keys not sorted:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("shared").Value(); v != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", v)
+	}
+}

@@ -14,6 +14,12 @@
 // never exceed its budget — the same reservation discipline the
 // query-side candidate maps use.
 //
+// Admission is two-touch by default: a block's first Put only records
+// its key in a small per-stripe ghost set and is rejected; the block
+// is admitted when Put again while still remembered. One long cold
+// scan therefore costs a few KB of ghost keys instead of flushing the
+// resident hot set. Config.AdmitFirstTouch restores admit-on-first-Put.
+//
 // The cache is safe for concurrent use and striped to keep concurrent
 // queries off one lock. Cached slices are shared read-only across
 // queries; cursors must never write into a slice obtained from Get.
@@ -70,7 +76,21 @@ type Config struct {
 	Budget *membudget.Budget
 	// Stripes segments the cache to reduce lock contention (default 16).
 	Stripes int
+	// AdmitFirstTouch disables the two-touch admission filter: blocks
+	// enter the cache on their first Put instead of their second. The
+	// default (two-touch) keeps one long cold scan from flushing the
+	// hot set — a block must be decoded twice within the recent-miss
+	// window before it may displace resident blocks. First-touch is for
+	// tests and for working sets known to fit entirely in budget.
+	AdmitFirstTouch bool
 }
+
+// ghostKeys is the per-stripe capacity of the recent-miss ghost set
+// backing two-touch admission. Ghost entries are keys only (no
+// postings), so the filter's footprint is a few KB per stripe while
+// its window — stripes × ghostKeys recently rejected blocks — is wide
+// enough that a genuinely re-touched block is still remembered.
+const ghostKeys = 256
 
 // Stats is a point-in-time snapshot of cache activity.
 type Stats struct {
@@ -78,6 +98,10 @@ type Stats struct {
 	Misses    int64
 	Inserts   int64
 	Evictions int64
+	// AdmissionRejects counts Puts turned away by the two-touch filter
+	// (the block's key was only remembered in the ghost set; a repeat
+	// Put within the window is admitted).
+	AdmissionRejects int64
 	// Bytes is the accounted decoded-block memory currently held.
 	Bytes int64
 	// Entries is the number of cached blocks.
@@ -92,17 +116,21 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Cache is a sharded LRU of decoded posting blocks.
+// Cache is a sharded LRU of decoded posting blocks with two-touch
+// admission (see Config.AdmitFirstTouch).
 type Cache struct {
-	budget  *membudget.Budget
-	stripes []stripe
+	budget     *membudget.Budget
+	stripes    []stripe
+	firstTouch bool
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	inserts   atomic.Int64
-	evictions atomic.Int64
-	bytes     atomic.Int64
-	entries   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	inserts    atomic.Int64
+	evictions  atomic.Int64
+	admRejects atomic.Int64
+	bytes      atomic.Int64
+	entries    atomic.Int64
+	attached   atomic.Bool
 }
 
 type stripe struct {
@@ -110,6 +138,14 @@ type stripe struct {
 	table map[Key]*entry
 	head  *entry // most recently used
 	tail  *entry // least recently used
+
+	// Recent-miss ghost set for two-touch admission: a fixed FIFO ring
+	// of keys rejected on their first Put, plus a membership map. Only
+	// keys live here — no posting data, no budget charge.
+	ghost     map[Key]struct{}
+	ghostRing [ghostKeys]Key
+	ghostPos  int
+	ghostLen  int
 }
 
 type entry struct {
@@ -124,9 +160,10 @@ func New(cfg Config) *Cache {
 	if cfg.Stripes <= 0 {
 		cfg.Stripes = 16
 	}
-	c := &Cache{budget: cfg.Budget, stripes: make([]stripe, cfg.Stripes)}
+	c := &Cache{budget: cfg.Budget, stripes: make([]stripe, cfg.Stripes), firstTouch: cfg.AdmitFirstTouch}
 	for i := range c.stripes {
 		c.stripes[i].table = make(map[Key]*entry)
+		c.stripes[i].ghost = make(map[Key]struct{}, ghostKeys)
 	}
 	return c
 }
@@ -167,9 +204,12 @@ func (c *Cache) Get(k Key) ([]model.Posting, bool) {
 }
 
 // Put inserts a copy of post under k, evicting least-recently-used
-// blocks until the budget admits it. If the block cannot fit even with
-// the stripe emptied (or it is already cached), the cache is left as
-// is. The caller keeps ownership of post.
+// blocks until the budget admits it. Under the default two-touch
+// admission the first Put of a key only records it in the stripe's
+// ghost set and is rejected; a second Put while the key is still
+// remembered admits the block. If the block cannot fit even with the
+// stripe emptied (or it is already cached), the cache is left as is.
+// The caller keeps ownership of post.
 func (c *Cache) Put(k Key, post []model.Posting) {
 	need := entryBytes(len(post))
 	st := c.stripeFor(k)
@@ -177,6 +217,10 @@ func (c *Cache) Put(k Key, post []model.Posting) {
 	defer st.mu.Unlock()
 	if _, dup := st.table[k]; dup {
 		return // raced with another query decoding the same block
+	}
+	if !c.firstTouch && !st.ghostTouch(k) {
+		c.admRejects.Add(1)
+		return
 	}
 	for c.budget.Charge(need) != nil {
 		if st.tail == nil {
@@ -192,6 +236,27 @@ func (c *Cache) Put(k Key, post []model.Posting) {
 	c.inserts.Add(1)
 	c.entries.Add(1)
 	c.bytes.Add(need)
+}
+
+// ghostTouch reports whether k has been seen recently (second touch —
+// admit, forgetting the ghost) and otherwise remembers it, displacing
+// the oldest remembered key when the ring is full. Caller holds st.mu.
+func (st *stripe) ghostTouch(k Key) bool {
+	if _, ok := st.ghost[k]; ok {
+		delete(st.ghost, k)
+		return true
+	}
+	if st.ghostLen == ghostKeys {
+		// Overwrite the oldest slot; its key may already have been
+		// promoted (deleted above), in which case the delete is a no-op.
+		delete(st.ghost, st.ghostRing[st.ghostPos])
+	} else {
+		st.ghostLen++
+	}
+	st.ghostRing[st.ghostPos] = k
+	st.ghost[k] = struct{}{}
+	st.ghostPos = (st.ghostPos + 1) % ghostKeys
+	return false
 }
 
 // evictLocked removes e from st (st.mu held) and releases its budget.
@@ -223,19 +288,30 @@ func (c *Cache) ResetStats() {
 	c.misses.Store(0)
 	c.inserts.Store(0)
 	c.evictions.Store(0)
+	c.admRejects.Store(0)
 }
 
 // Snapshot returns current counters.
 func (c *Cache) Snapshot() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Inserts:   c.inserts.Load(),
-		Evictions: c.evictions.Load(),
-		Bytes:     c.bytes.Load(),
-		Entries:   c.entries.Load(),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Inserts:          c.inserts.Load(),
+		Evictions:        c.evictions.Load(),
+		AdmissionRejects: c.admRejects.Load(),
+		Bytes:            c.bytes.Load(),
+		Entries:          c.entries.Load(),
 	}
 }
+
+// MarkAttached records that an index view accepted this cache (the
+// disk-modeled views call it from SetPostingCache). Serving wrappers
+// use Attached to reject configurations where a cache was supplied but
+// never wired to a view — a silent no-op otherwise.
+func (c *Cache) MarkAttached() { c.attached.Store(true) }
+
+// Attached reports whether any view has accepted this cache.
+func (c *Cache) Attached() bool { return c.attached.Load() }
 
 func (st *stripe) pushFront(e *entry) {
 	e.prev = nil

@@ -17,8 +17,12 @@ func block(n int, seed int) []model.Posting {
 	return out
 }
 
+func newFirstTouch(limit int64) *Cache {
+	return New(Config{Budget: membudget.New(limit), AdmitFirstTouch: true})
+}
+
 func TestGetPutRoundTrip(t *testing.T) {
-	c := NewWithBudget(1 << 20)
+	c := newFirstTouch(1 << 20)
 	k := Key{Term: 3, Kind: KindDoc, Block: 7}
 	if _, ok := c.Get(k); ok {
 		t.Fatal("hit on empty cache")
@@ -35,7 +39,7 @@ func TestGetPutRoundTrip(t *testing.T) {
 }
 
 func TestKindsDoNotCollide(t *testing.T) {
-	c := NewWithBudget(1 << 20)
+	c := newFirstTouch(1 << 20)
 	c.Put(Key{Term: 1, Kind: KindDoc, Block: 0}, block(4, 10))
 	c.Put(Key{Term: 1, Kind: KindImpact, Block: 0}, block(4, 20))
 	c.Put(Key{Term: 1, Kind: KindShard(3), Block: 0}, block(4, 30))
@@ -51,7 +55,7 @@ func TestKindsDoNotCollide(t *testing.T) {
 }
 
 func TestPutCopiesCallerSlice(t *testing.T) {
-	c := NewWithBudget(1 << 20)
+	c := newFirstTouch(1 << 20)
 	mine := block(8, 5)
 	k := Key{Term: 2, Kind: KindDoc, Block: 0}
 	c.Put(k, mine)
@@ -65,7 +69,7 @@ func TestPutCopiesCallerSlice(t *testing.T) {
 func TestBudgetNeverExceeded(t *testing.T) {
 	limit := int64(10 * 1024)
 	b := membudget.New(limit)
-	c := New(Config{Budget: b, Stripes: 4})
+	c := New(Config{Budget: b, Stripes: 4, AdmitFirstTouch: true})
 	for i := 0; i < 1000; i++ {
 		c.Put(Key{Term: model.TermID(i), Kind: KindDoc, Block: 0}, block(64, i))
 		if used := b.Used(); used > limit {
@@ -89,7 +93,7 @@ func TestBudgetNeverExceeded(t *testing.T) {
 }
 
 func TestOversizedBlockNotCached(t *testing.T) {
-	c := NewWithBudget(64) // smaller than any block
+	c := newFirstTouch(64) // smaller than any block
 	c.Put(Key{Term: 1, Kind: KindDoc, Block: 0}, block(64, 1))
 	if _, ok := c.Get(Key{Term: 1, Kind: KindDoc, Block: 0}); ok {
 		t.Error("oversized block was cached")
@@ -102,7 +106,7 @@ func TestOversizedBlockNotCached(t *testing.T) {
 func TestLRUEvictionOrder(t *testing.T) {
 	// Single stripe so recency is globally ordered; room for ~2 blocks.
 	b := membudget.New(2 * entryBytes(64))
-	c := New(Config{Budget: b, Stripes: 1})
+	c := New(Config{Budget: b, Stripes: 1, AdmitFirstTouch: true})
 	k := func(i int) Key { return Key{Term: model.TermID(i), Kind: KindDoc, Block: 0} }
 	c.Put(k(1), block(64, 1))
 	c.Put(k(2), block(64, 2))
@@ -120,7 +124,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 }
 
 func TestDuplicatePutKeepsFirst(t *testing.T) {
-	c := NewWithBudget(1 << 20)
+	c := newFirstTouch(1 << 20)
 	k := Key{Term: 9, Kind: KindImpact, Block: 2}
 	c.Put(k, block(4, 1))
 	c.Put(k, block(4, 2))
@@ -171,7 +175,7 @@ func TestHitRate(t *testing.T) {
 }
 
 func BenchmarkGetHit(b *testing.B) {
-	c := NewWithBudget(1 << 24)
+	c := New(Config{Budget: membudget.New(1 << 24), AdmitFirstTouch: true})
 	keys := make([]Key, 256)
 	for i := range keys {
 		keys[i] = Key{Term: model.TermID(i), Kind: KindDoc, Block: 0}
@@ -188,10 +192,84 @@ func BenchmarkGetHit(b *testing.B) {
 func ExampleCache() {
 	c := NewWithBudget(16 << 20) // 16 MB of decoded blocks
 	k := Key{Term: 42, Kind: KindDoc, Block: 0}
-	if _, ok := c.Get(k); !ok {
-		c.Put(k, []model.Posting{{Doc: 1, Score: 100}})
+	// Two-touch admission: the first decode is only remembered, the
+	// second is cached.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, []model.Posting{{Doc: 1, Score: 100}})
+		}
 	}
 	post, _ := c.Get(k)
 	fmt.Println(len(post), c.Snapshot().Hits)
 	// Output: 1 1
+}
+
+func TestTwoTouchAdmission(t *testing.T) {
+	c := NewWithBudget(1 << 20)
+	k := Key{Term: 5, Kind: KindDoc, Block: 1}
+	c.Put(k, block(8, 1))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("block admitted on first touch")
+	}
+	if st := c.Snapshot(); st.AdmissionRejects != 1 || st.Inserts != 0 {
+		t.Fatalf("after first Put: %+v, want 1 admission reject, 0 inserts", st)
+	}
+	c.Put(k, block(8, 1))
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("block not admitted on second touch")
+	}
+	if st := c.Snapshot(); st.AdmissionRejects != 1 || st.Inserts != 1 {
+		t.Fatalf("after second Put: %+v, want 1 admission reject, 1 insert", st)
+	}
+}
+
+func TestTwoTouchScanResistance(t *testing.T) {
+	// A hot working set that fits the budget, then a cold scan of many
+	// distinct blocks: with two-touch admission the scan must not evict
+	// any hot block.
+	b := membudget.New(16 * entryBytes(64))
+	c := New(Config{Budget: b, Stripes: 1})
+	hot := make([]Key, 8)
+	for i := range hot {
+		hot[i] = Key{Term: model.TermID(i), Kind: KindDoc, Block: 0}
+		c.Put(hot[i], block(64, i)) // remembered
+		c.Put(hot[i], block(64, i)) // admitted
+	}
+	for i := 0; i < 2000; i++ {
+		c.Put(Key{Term: model.TermID(1000 + i), Kind: KindDoc, Block: 0}, block(64, i))
+	}
+	for _, k := range hot {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("cold scan evicted hot block %v", k)
+		}
+	}
+	if st := c.Snapshot(); st.AdmissionRejects < 2000 {
+		t.Fatalf("scan admission rejects = %d, want >= 2000", st.AdmissionRejects)
+	}
+}
+
+func TestGhostRingForgetsOldKeys(t *testing.T) {
+	c := New(Config{Budget: membudget.New(1 << 20), Stripes: 1})
+	k := Key{Term: 1, Kind: KindDoc, Block: 0}
+	c.Put(k, block(4, 1)) // remembered
+	// Push more than ghostKeys distinct keys through the stripe so k's
+	// ghost entry ages out.
+	for i := 0; i < ghostKeys+8; i++ {
+		c.Put(Key{Term: model.TermID(100 + i), Kind: KindDoc, Block: 0}, block(4, i))
+	}
+	c.Put(k, block(4, 1)) // first touch again, not second
+	if _, ok := c.Get(k); ok {
+		t.Fatal("aged-out ghost key was still admitted")
+	}
+}
+
+func TestAttachedMarker(t *testing.T) {
+	c := NewWithBudget(1 << 20)
+	if c.Attached() {
+		t.Fatal("fresh cache reports attached")
+	}
+	c.MarkAttached()
+	if !c.Attached() {
+		t.Fatal("MarkAttached did not stick")
+	}
 }

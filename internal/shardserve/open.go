@@ -1,0 +1,183 @@
+// Opening shards: partitioning a global in-memory index into per-shard
+// disk-modeled indexes (FromIndex), and the on-disk layout written by
+// cmd/shardbuild and reopened by OpenDir — a shards.json manifest next
+// to one diskindex directory per shard.
+
+package shardserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sparta/internal/diskindex"
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/model"
+	"sparta/internal/plcache"
+	"sparta/internal/postings"
+)
+
+// ManifestFile is the shard-set manifest written next to the per-shard
+// index directories.
+const ManifestFile = "shards.json"
+
+// Manifest describes a built shard set.
+type Manifest struct {
+	Version int             `json:"version"`
+	NumDocs int             `json:"num_docs"`
+	Shards  []ShardManifest `json:"shards"`
+}
+
+// ShardManifest describes one shard of the set.
+type ShardManifest struct {
+	Dir      string `json:"dir"`
+	LoDoc    uint32 `json:"lo_doc"`
+	HiDoc    uint32 `json:"hi_doc"`
+	Postings int64  `json:"postings"`
+}
+
+// ShardView is one opened shard: the disk-modeled view plus the store
+// and optional cache that belong to it.
+type ShardView struct {
+	View  *diskindex.Index
+	Store *iomodel.Store
+	Cache *plcache.Cache
+	Lo    model.DocID
+	Hi    model.DocID
+}
+
+// PartitionViews partitions x into p document-range shards and opens
+// each as its own disk-modeled index with an independent simulated
+// store configured by io. When cacheBytes is positive, every shard
+// also gets its own decoded-block cache of that budget, attached at
+// open time.
+func PartitionViews(x *index.Index, p int, io iomodel.Config, cacheBytes int64) ([]ShardView, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("shardserve: shard count must be positive, got %d", p)
+	}
+	views := make([]ShardView, p)
+	for s, part := range x.Partition(p) {
+		di, err := diskindex.FromIndex(part, diskindex.DefaultShards, io)
+		if err != nil {
+			return nil, fmt.Errorf("shardserve: opening shard %d: %w", s, err)
+		}
+		lo, hi := postings.ShardRange(x.NumDocs(), s, p)
+		views[s] = ShardView{View: di, Store: di.Store(), Lo: lo, Hi: hi}
+		if cacheBytes > 0 {
+			c := plcache.NewWithBudget(cacheBytes)
+			di.SetPostingCache(c)
+			views[s].Cache = c
+		}
+	}
+	return views, nil
+}
+
+// NewFromViews assembles a group over already-opened shard views,
+// binding factory's algorithm to each.
+func NewFromViews(cfg Config, factory Factory, views []ShardView) (*Group, error) {
+	shards := make([]Shard, len(views))
+	for i, v := range views {
+		shards[i] = Shard{
+			Name:  fmt.Sprintf("shard%d", i),
+			View:  v.View,
+			Alg:   factory(v.View),
+			Store: v.Store,
+			Cache: v.Cache,
+			Lo:    v.Lo,
+			Hi:    v.Hi,
+		}
+	}
+	return New(cfg, shards...)
+}
+
+// FromIndex partitions x into p shards, opens each over its own
+// simulated store (cfg.IO, default iomodel.DefaultConfig) with an
+// optional per-shard cache (cfg.CacheBytes), and serves them with
+// factory's algorithm — the one-call path tests and single-process
+// experiments use.
+func FromIndex(x *index.Index, p int, factory Factory, cfg Config) (*Group, error) {
+	io := iomodel.DefaultConfig()
+	if cfg.IO != nil {
+		io = *cfg.IO
+	}
+	views, err := PartitionViews(x, p, io, cfg.CacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromViews(cfg, factory, views)
+}
+
+// WriteDir partitions x into p shards and writes each as a diskindex
+// directory under dir ("shard-0000", "shard-0001", ...) plus the
+// shards.json manifest. innerShards is each shard index's build-time
+// sNRA pre-partition count (0 = diskindex.DefaultShards).
+func WriteDir(x *index.Index, p, innerShards int, dir string) error {
+	if p <= 0 {
+		return fmt.Errorf("shardserve: shard count must be positive, got %d", p)
+	}
+	if innerShards <= 0 {
+		innerShards = diskindex.DefaultShards
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shardserve: creating %s: %w", dir, err)
+	}
+	m := Manifest{Version: 1, NumDocs: x.NumDocs()}
+	for s, part := range x.Partition(p) {
+		sub := fmt.Sprintf("shard-%04d", s)
+		if err := diskindex.WriteDir(part, innerShards, filepath.Join(dir, sub)); err != nil {
+			return fmt.Errorf("shardserve: writing shard %d: %w", s, err)
+		}
+		lo, hi := postings.ShardRange(x.NumDocs(), s, p)
+		m.Shards = append(m.Shards, ShardManifest{
+			Dir:      sub,
+			LoDoc:    uint32(lo),
+			HiDoc:    uint32(hi),
+			Postings: part.TotalPostings(),
+		})
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestFile), append(b, '\n'), 0o644)
+}
+
+// OpenDir opens a shard set written by WriteDir: each shard gets its
+// own simulated store (cfg.IO) and optional cache (cfg.CacheBytes),
+// and factory's algorithm serves it.
+func OpenDir(dir string, factory Factory, cfg Config) (*Group, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("shardserve: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("shardserve: parsing %s: %w", ManifestFile, err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("shardserve: unsupported manifest version %d", m.Version)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("shardserve: manifest lists no shards")
+	}
+	io := iomodel.DefaultConfig()
+	if cfg.IO != nil {
+		io = *cfg.IO
+	}
+	views := make([]ShardView, len(m.Shards))
+	for s, sm := range m.Shards {
+		di, err := diskindex.OpenDir(filepath.Join(dir, sm.Dir), io)
+		if err != nil {
+			return nil, fmt.Errorf("shardserve: opening shard %d: %w", s, err)
+		}
+		views[s] = ShardView{View: di, Store: di.Store(), Lo: model.DocID(sm.LoDoc), Hi: model.DocID(sm.HiDoc)}
+		if cfg.CacheBytes > 0 {
+			c := plcache.NewWithBudget(cfg.CacheBytes)
+			di.SetPostingCache(c)
+			views[s].Cache = c
+		}
+	}
+	return NewFromViews(cfg, factory, views)
+}

@@ -1,0 +1,678 @@
+// Package shardserve is the scatter/gather serving layer: one query,
+// many independent index shards. Where sNRA partitions a single query
+// across goroutines inside one index (§5.2.2), this package partitions
+// the *index* — each shard is its own view with its own simulated
+// store, its own Searcher-grade algorithm instance, and optionally its
+// own decoded-block cache — and serves every query by fanning it out
+// to all shards concurrently, then merging the per-shard top-k lists
+// into the global top-k (topk.MergeTopK).
+//
+// The serving concerns layered on top of the fan-out are the ones that
+// dominate sharded tail latency in practice:
+//
+//   - Per-shard deadlines: each shard runs under the tighter of
+//     Config.ShardTimeout and the query's remaining context budget
+//     scaled by Config.BudgetFraction. A shard that misses its
+//     deadline contributes its anytime partial top-k (PR 1's
+//     cancellation contract, now per shard) and is counted in
+//     Stats.ShardsDropped — the query as a whole still answers.
+//   - Straggler hedging: when a shard's attempt outlives the recent
+//     latency quantile, the query is re-issued to the shard's replica;
+//     the first attempt to finish wins and the loser is cancelled
+//     *and joined*, so its simulated I/O is settled before the query
+//     reports (Store.Unsettled()==0 holds even for abandoned work).
+//   - Health accounting: consecutive shard errors trip a breaker;
+//     tripped shards are skipped (counted as dropped) except for an
+//     occasional probe query that can close the breaker again.
+//
+// Exact queries get a score-resolution pass after the merge: NRA-family
+// algorithms report lower-bound scores, and ranking across shards by
+// bounds can mis-order the boundary of the result set (the caveat the
+// sNRA package documents). Resolving every merged candidate's true
+// score with per-term random accesses against its owning shard makes
+// sharded exact results byte-identical to the single-index reference,
+// for every exact algorithm.
+package shardserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/iomodel"
+	"sparta/internal/metrics"
+	"sparta/internal/model"
+	"sparta/internal/plcache"
+	"sparta/internal/postings"
+	"sparta/internal/topk"
+)
+
+// Aggregate StopReasons reported by scatter/gather queries (per-shard
+// reasons live in ShardRunStats.Stats.StopReason).
+const (
+	// StopMerged: every shard delivered a complete result.
+	StopMerged = "merged"
+	// StopPartial: at least one shard was dropped (deadline, error, or
+	// breaker skip); the merged top-k covers the shards that answered.
+	StopPartial = "partial"
+)
+
+// Factory builds one algorithm instance over one shard's view —
+// how the group binds a retrieval strategy to every shard it opens.
+type Factory func(view postings.View) topk.Algorithm
+
+// Shard describes one index shard of a Group.
+type Shard struct {
+	// Name labels the shard in stats and metrics ("shard3" if empty).
+	Name string
+	// View is the shard's index view (required).
+	View postings.View
+	// Alg evaluates queries over View (required). It must be safe for
+	// concurrent use, as every Algorithm in this repository is.
+	Alg topk.Algorithm
+	// Replica, when non-nil, receives hedged retries instead of Alg —
+	// model it as a second opened copy of the shard. Nil re-issues to
+	// Alg itself (same index, new attempt), which is the in-process
+	// stand-in for a replica.
+	Replica topk.Algorithm
+	// Store, when non-nil, is the shard's simulated storage; the group
+	// uses it for settlement accounting (Unsettled) and cache metrics.
+	Store *iomodel.Store
+	// Cache, when non-nil, is the shard's decoded-block cache; its
+	// counters appear in ShardCounters.
+	Cache *plcache.Cache
+	// Lo, Hi record the covered document range [Lo, Hi), informational.
+	Lo, Hi model.DocID
+}
+
+// HedgeConfig tunes straggler hedging.
+type HedgeConfig struct {
+	// Enabled turns hedging on.
+	Enabled bool
+	// Quantile of the shard's recent completion latencies to wait
+	// before re-issuing (default 0.95).
+	Quantile float64
+	// MinDelay floors the hedge delay, and is the delay used before
+	// enough latency history exists (default 1ms).
+	MinDelay time.Duration
+}
+
+// Config parameterizes a Group.
+type Config struct {
+	// IO configures the per-shard simulated stores opened by FromIndex /
+	// OpenDir (nil = iomodel.DefaultConfig()). Ignored by New, which
+	// receives already-opened shards.
+	IO *iomodel.Config
+	// CacheBytes, when positive, makes FromIndex / OpenDir attach a
+	// decoded-block cache of this budget to every shard at open time —
+	// the config path that actually wires the cache, unlike the
+	// single-index SearcherConfig.PostingCache field. Ignored by New.
+	CacheBytes int64
+
+	// ShardTimeout bounds each shard's evaluation of one query. Zero
+	// means no per-shard timeout beyond the query context.
+	ShardTimeout time.Duration
+	// ShardTimeoutFor, when non-nil, overrides ShardTimeout per shard
+	// (ops escape hatch; tests use it to force one shard to expire).
+	ShardTimeoutFor func(shard int) time.Duration
+	// BudgetFraction scales the query's remaining context budget into
+	// the per-shard deadline: shard deadline = min(ShardTimeout,
+	// remaining×BudgetFraction). 0 (or >1) means 1.0 — a shard may use
+	// the whole remaining budget.
+	BudgetFraction float64
+
+	// Hedge tunes straggler hedging.
+	Hedge HedgeConfig
+
+	// TripAfter trips a shard's breaker after that many consecutive
+	// errors; tripped shards are skipped (and counted dropped). Zero
+	// disables the breaker.
+	TripAfter int
+	// ProbeEvery sends every ProbeEvery-th query through a tripped
+	// shard as a half-open probe (default 16).
+	ProbeEvery int
+
+	// NoExactResolve skips the post-merge score-resolution pass for
+	// exact queries. Resolution costs ~P×K×|q| random accesses; without
+	// it, exact results from lower-bound algorithms (NRA family) may
+	// mis-rank the boundary of the cross-shard result set.
+	NoExactResolve bool
+}
+
+// latWindow is the per-shard completion-latency ring used for the
+// hedge quantile.
+const latWindow = 64
+
+// shardState is a Shard plus the group's per-shard serving state.
+type shardState struct {
+	Shard
+
+	queries        atomic.Int64
+	errs           atomic.Int64
+	deadlineMisses atomic.Int64
+	hedges         atomic.Int64
+	hedgeWins      atomic.Int64
+	skips          atomic.Int64
+
+	consecErrs atomic.Int64
+	tripped    atomic.Bool
+	probeTick  atomic.Int64
+
+	latMu  sync.Mutex
+	lat    [latWindow]time.Duration
+	latN   int
+	latPos int
+}
+
+func (sh *shardState) recordLatency(d time.Duration) {
+	sh.latMu.Lock()
+	sh.lat[sh.latPos] = d
+	sh.latPos = (sh.latPos + 1) % latWindow
+	if sh.latN < latWindow {
+		sh.latN++
+	}
+	sh.latMu.Unlock()
+}
+
+// latencyQuantile returns the q-quantile of the recorded completion
+// latencies, or 0 when no history exists yet.
+func (sh *shardState) latencyQuantile(q float64) time.Duration {
+	sh.latMu.Lock()
+	n := sh.latN
+	buf := make([]time.Duration, n)
+	copy(buf, sh.lat[:n])
+	sh.latMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return buf[i]
+}
+
+// Group serves queries over a set of index shards. It implements
+// topk.Algorithm (aggregate stats, with ShardsDropped populated), and
+// SearchShards additionally exposes the per-shard breakdown. Safe for
+// concurrent use.
+type Group struct {
+	cfg    Config
+	shards []*shardState
+	name   string
+}
+
+// New assembles a group from already-opened shards. Config.IO and
+// Config.CacheBytes are ignored here — they parameterize FromIndex /
+// OpenDir, which open shards themselves.
+func New(cfg Config, shards ...Shard) (*Group, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shardserve: a group needs at least one shard")
+	}
+	if cfg.Hedge.Enabled {
+		if cfg.Hedge.Quantile == 0 {
+			cfg.Hedge.Quantile = 0.95
+		}
+		if cfg.Hedge.Quantile <= 0 || cfg.Hedge.Quantile >= 1 {
+			return nil, fmt.Errorf("shardserve: hedge quantile must be in (0,1), got %v", cfg.Hedge.Quantile)
+		}
+		if cfg.Hedge.MinDelay == 0 {
+			cfg.Hedge.MinDelay = time.Millisecond
+		}
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 16
+	}
+	g := &Group{cfg: cfg, shards: make([]*shardState, len(shards))}
+	for i, sh := range shards {
+		if sh.View == nil || sh.Alg == nil {
+			return nil, fmt.Errorf("shardserve: shard %d needs View and Alg", i)
+		}
+		if sh.Name == "" {
+			sh.Name = fmt.Sprintf("shard%d", i)
+		}
+		if sh.Cache != nil && !sh.Cache.Attached() {
+			return nil, fmt.Errorf("shardserve: shard %d (%s): cache supplied but not attached to its view", i, sh.Name)
+		}
+		g.shards[i] = &shardState{Shard: sh}
+	}
+	g.name = fmt.Sprintf("Sharded[%s×%d]", g.shards[0].Alg.Name(), len(g.shards))
+	return g, nil
+}
+
+// NumShards returns the shard count.
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// ShardInfo returns shard i's descriptor.
+func (g *Group) ShardInfo(i int) Shard { return g.shards[i].Shard }
+
+// Unsettled sums the unpaid simulated-I/O debt across all shard stores
+// — zero after every query, including dropped and hedged shards.
+func (g *Group) Unsettled() time.Duration {
+	var d time.Duration
+	for _, sh := range g.shards {
+		if sh.Store != nil {
+			d += sh.Store.Unsettled()
+		}
+	}
+	return d
+}
+
+// Name implements topk.Algorithm.
+func (g *Group) Name() string { return g.name }
+
+// Search implements topk.Algorithm.
+func (g *Group) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return g.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm: SearchShards without the
+// per-shard breakdown.
+func (g *Group) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	res, st, err := g.SearchShards(ctx, q, opts)
+	return res, st.Stats, err
+}
+
+// ShardRunStats is one shard's contribution to one query.
+type ShardRunStats struct {
+	Shard int
+	Name  string
+	// Stats is the winning attempt's evaluation statistics (zero when
+	// the shard was skipped).
+	Stats topk.Stats
+	// Err is the attempt's error, if any.
+	Err error
+	// Results is the number of results the shard contributed to the
+	// merge.
+	Results int
+	// Skipped: the shard's breaker was open and this query did not
+	// probe it.
+	Skipped bool
+	// Hedged: a hedged retry was launched; HedgeWon: it finished first.
+	Hedged   bool
+	HedgeWon bool
+	// Dropped: the shard did not deliver a complete result (skipped,
+	// error, or an anytime stop) — the per-query form of
+	// Stats.ShardsDropped.
+	Dropped bool
+}
+
+// ShardedStats is a scatter/gather query's statistics: the aggregate
+// (what topk.Algorithm reports) plus the per-shard breakdown.
+type ShardedStats struct {
+	topk.Stats
+	Shards []ShardRunStats
+	// Hedges / HedgeWins count hedged retries launched / won by the
+	// retry during this query.
+	Hedges    int
+	HedgeWins int
+}
+
+// SearchShards evaluates q over every shard concurrently and merges
+// the per-shard top-k lists into the global top-k. Shards that miss
+// their deadline, error out, or are skipped by an open breaker are
+// counted in Stats.ShardsDropped; the merged result covers whatever
+// the remaining shards delivered (never an error for per-shard
+// failures — the anytime contract, per shard).
+func (g *Group) SearchShards(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, ShardedStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, ShardedStats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	k := opts.K
+	if k <= 0 {
+		k = topk.DefaultK
+	}
+	obs := opts.Observer
+	if obs != nil {
+		obs.QueryStart(q, opts)
+	}
+	sopts := opts
+	sopts.Probe = nil // recall probes are single-index instruments
+	if obs != nil {
+		// Forward execution events to the query observer but keep the
+		// per-query lifecycle events ours: one QueryStart/QueryFinish
+		// per sharded query, not one per shard.
+		sopts.Observer = shardObserver{obs}
+	}
+
+	n := len(g.shards)
+	parts := make([]model.TopK, n)
+	runs := make([]ShardRunStats, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sh := g.shards[i]
+		sh.queries.Add(1)
+		if g.skipTripped(sh) {
+			sh.skips.Add(1)
+			runs[i] = ShardRunStats{Shard: i, Name: sh.Name, Skipped: true, Dropped: true}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			parts[i], runs[i] = g.runShard(ctx, i, sh, q, sopts)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	merged := topk.MergeTopK(parts, k)
+	agg := topk.Stats{}
+	if opts.Exact && !g.cfg.NoExactResolve {
+		var ra int64
+		merged, ra = g.resolveExact(ctx, q, parts, k)
+		agg.RandomAccesses += ra
+	}
+
+	out := ShardedStats{Shards: runs}
+	for i := range runs {
+		r := &runs[i]
+		agg.Postings += r.Stats.Postings
+		agg.RandomAccesses += r.Stats.RandomAccesses
+		agg.HeapInserts += r.Stats.HeapInserts
+		agg.Cleanings += r.Stats.Cleanings
+		if r.Stats.CandidatesPeak > agg.CandidatesPeak {
+			agg.CandidatesPeak = r.Stats.CandidatesPeak
+		}
+		if r.Dropped {
+			agg.ShardsDropped++
+		}
+		if r.Hedged {
+			out.Hedges++
+		}
+		if r.HedgeWon {
+			out.HedgeWins++
+		}
+	}
+	agg.Duration = time.Since(start)
+	switch {
+	case ctx.Err() != nil:
+		agg.StopReason = stopReasonFor(ctx.Err())
+	case agg.ShardsDropped > 0:
+		agg.StopReason = StopPartial
+	default:
+		agg.StopReason = StopMerged
+	}
+	out.Stats = agg
+	if obs != nil {
+		obs.QueryFinish(agg, nil)
+	}
+	return merged, out, nil
+}
+
+// runShard evaluates q on one shard under its deadline, hedging a
+// second attempt when the first outlives the shard's latency quantile.
+// Both attempts are always joined before returning, so every attempt's
+// I/O settlement (ExecState.Finish → SettleAll) has completed by the
+// time the shard reports.
+func (g *Group) runShard(ctx context.Context, i int, sh *shardState, q model.Query, opts topk.Options) (model.TopK, ShardRunStats) {
+	run := ShardRunStats{Shard: i, Name: sh.Name}
+	sctx := ctx
+	if d := g.shardDeadline(i, ctx); d > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	type attempt struct {
+		res   model.TopK
+		st    topk.Stats
+		err   error
+		hedge bool
+	}
+	ch := make(chan attempt, 2)
+	launch := func(alg topk.Algorithm, actx context.Context, hedge bool) {
+		go func() {
+			res, st, err := alg.SearchContext(actx, q, opts)
+			ch <- attempt{res: res, st: st, err: err, hedge: hedge}
+		}()
+	}
+
+	started := time.Now()
+	pctx, pcancel := context.WithCancel(sctx)
+	defer pcancel()
+	launch(sh.Alg, pctx, false)
+
+	var winner attempt
+	if g.cfg.Hedge.Enabled {
+		delay := sh.latencyQuantile(g.cfg.Hedge.Quantile)
+		if delay < g.cfg.Hedge.MinDelay {
+			delay = g.cfg.Hedge.MinDelay
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case winner = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			hctx, hcancel := context.WithCancel(sctx)
+			defer hcancel()
+			replica := sh.Replica
+			if replica == nil {
+				replica = sh.Alg
+			}
+			launch(replica, hctx, true)
+			sh.hedges.Add(1)
+			run.Hedged = true
+			winner = <-ch
+			// Cancel and join the losing attempt: its ExecState.Finish
+			// settles its I/O before it lands here.
+			pcancel()
+			hcancel()
+			<-ch
+		}
+	} else {
+		winner = <-ch
+	}
+
+	run.Stats = winner.st
+	run.Err = winner.err
+	run.Results = len(winner.res)
+	run.HedgeWon = winner.hedge
+	if winner.hedge {
+		sh.hedgeWins.Add(1)
+	}
+	anytimeStop := winner.st.StopReason == topk.StopCancelled || winner.st.StopReason == topk.StopDeadline
+	run.Dropped = winner.err != nil || anytimeStop
+	if winner.st.StopReason == topk.StopDeadline {
+		sh.deadlineMisses.Add(1)
+	}
+	g.accountHealth(sh, winner.err)
+	if !run.Dropped {
+		sh.recordLatency(time.Since(started))
+	}
+	if winner.err != nil {
+		// A failed shard contributes nothing; its error is recorded in
+		// the run stats, not propagated (skip-and-degrade).
+		return nil, run
+	}
+	return winner.res, run
+}
+
+// shardDeadline derives shard i's time budget: the tighter of the
+// configured per-shard timeout and the query's remaining context
+// budget scaled by BudgetFraction. Zero means no extra deadline.
+func (g *Group) shardDeadline(i int, ctx context.Context) time.Duration {
+	d := g.cfg.ShardTimeout
+	if g.cfg.ShardTimeoutFor != nil {
+		if o := g.cfg.ShardTimeoutFor(i); o > 0 {
+			d = o
+		}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem < 0 {
+			rem = 0
+		}
+		frac := g.cfg.BudgetFraction
+		if frac <= 0 || frac > 1 {
+			frac = 1
+		}
+		if b := time.Duration(float64(rem) * frac); d == 0 || b < d {
+			d = b
+		}
+	}
+	return d
+}
+
+// skipTripped reports whether a tripped shard should be skipped for
+// this query (true) or probed half-open (false).
+func (g *Group) skipTripped(sh *shardState) bool {
+	if g.cfg.TripAfter <= 0 || !sh.tripped.Load() {
+		return false
+	}
+	return sh.probeTick.Add(1)%int64(g.cfg.ProbeEvery) != 0
+}
+
+// accountHealth updates the shard's breaker after an attempt.
+func (g *Group) accountHealth(sh *shardState, err error) {
+	if err != nil {
+		sh.errs.Add(1)
+		if g.cfg.TripAfter > 0 && sh.consecErrs.Add(1) >= int64(g.cfg.TripAfter) {
+			sh.tripped.Store(true)
+		}
+		return
+	}
+	sh.consecErrs.Store(0)
+	sh.tripped.Store(false)
+}
+
+// resolveExact replaces every merged candidate's (possibly lower-bound)
+// score with its true score, resolved by per-term random accesses
+// against the owning shard's view, then re-ranks. The candidate set is
+// the union of all per-shard lists — a superset of the global top-k
+// for exact per-shard evaluation, since a document's shard-local rank
+// never exceeds its global rank. Returns the resolved top-k and the
+// number of random accesses charged.
+func (g *Group) resolveExact(ctx context.Context, q model.Query, parts []model.TopK, k int) (model.TopK, int64) {
+	var ra int64
+	resolved := make(model.TopK, 0, len(parts)*8)
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		v := g.shards[i].View
+		var settler postings.Settler
+		if b, ok := v.(postings.ExecBinder); ok {
+			bound := b.BindExec(ctx, nil, nil, nil)
+			if s, ok := bound.(postings.Settler); ok {
+				settler = s
+			}
+			v = bound
+		}
+		for _, r := range part {
+			var s model.Score
+			for _, t := range q {
+				if ts, ok := v.RandomAccess(t, r.Doc); ok {
+					s += ts
+				}
+				ra++
+			}
+			resolved = append(resolved, model.Result{Doc: r.Doc, Score: s})
+		}
+		if settler != nil {
+			settler.SettleAll()
+		}
+	}
+	resolved.Sort()
+	if len(resolved) > k {
+		resolved = resolved[:k]
+	}
+	return resolved, ra
+}
+
+// ShardCounters is a point-in-time snapshot of one shard's aggregate
+// serving counters.
+type ShardCounters struct {
+	Shard          int    `json:"shard"`
+	Name           string `json:"name"`
+	Queries        int64  `json:"queries"`
+	Errors         int64  `json:"errors"`
+	DeadlineMisses int64  `json:"deadline_misses"`
+	Hedges         int64  `json:"hedges"`
+	HedgeWins      int64  `json:"hedge_wins"`
+	Skips          int64  `json:"skips"`
+	Tripped        bool   `json:"tripped"`
+	// Cache counters mirror the shard's decoded-block cache (zero when
+	// none is attached).
+	CacheHits             int64 `json:"cache_hits"`
+	CacheMisses           int64 `json:"cache_misses"`
+	CacheBytes            int64 `json:"cache_bytes"`
+	CacheAdmissionRejects int64 `json:"cache_admission_rejects"`
+	// UnsettledNs is the shard store's unpaid I/O debt — always zero
+	// between queries.
+	UnsettledNs int64 `json:"unsettled_ns"`
+}
+
+// Counters returns shard i's counter snapshot.
+func (g *Group) Counters(i int) ShardCounters {
+	sh := g.shards[i]
+	c := ShardCounters{
+		Shard:          i,
+		Name:           sh.Name,
+		Queries:        sh.queries.Load(),
+		Errors:         sh.errs.Load(),
+		DeadlineMisses: sh.deadlineMisses.Load(),
+		Hedges:         sh.hedges.Load(),
+		HedgeWins:      sh.hedgeWins.Load(),
+		Skips:          sh.skips.Load(),
+		Tripped:        sh.tripped.Load(),
+	}
+	if sh.Cache != nil {
+		cs := sh.Cache.Snapshot()
+		c.CacheHits, c.CacheMisses, c.CacheBytes = cs.Hits, cs.Misses, cs.Bytes
+		c.CacheAdmissionRejects = cs.AdmissionRejects
+	}
+	if sh.Store != nil {
+		c.UnsettledNs = int64(sh.Store.Unsettled())
+	}
+	return c
+}
+
+// AllCounters returns every shard's counter snapshot.
+func (g *Group) AllCounters() []ShardCounters {
+	out := make([]ShardCounters, len(g.shards))
+	for i := range g.shards {
+		out[i] = g.Counters(i)
+	}
+	return out
+}
+
+// RegisterMetrics registers the group's per-shard counters in r under
+// prefix ("<prefix>.shard.<i>"), evaluated lazily at snapshot time.
+func (g *Group) RegisterMetrics(r *metrics.Registry, prefix string) {
+	if prefix != "" && !strings.HasSuffix(prefix, ".") {
+		prefix += "."
+	}
+	r.RegisterFunc(prefix+"shards", func() any { return g.NumShards() })
+	for i := range g.shards {
+		i := i
+		r.RegisterFunc(fmt.Sprintf("%sshard.%d", prefix, i), func() any { return g.Counters(i) })
+	}
+}
+
+// stopReasonFor maps a context error to the StopReason vocabulary.
+func stopReasonFor(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return topk.StopDeadline
+	}
+	return topk.StopCancelled
+}
+
+// shardObserver forwards execution events to the query's observer but
+// swallows the per-shard QueryStart/QueryFinish, which the group emits
+// exactly once itself.
+type shardObserver struct{ topk.Observer }
+
+func (shardObserver) QueryStart(model.Query, topk.Options) {}
+func (shardObserver) QueryFinish(topk.Stats, error)        {}
+
+var _ topk.Algorithm = (*Group)(nil)

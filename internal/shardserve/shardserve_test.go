@@ -1,0 +1,498 @@
+// External test package: internal/bench imports shardserve for the
+// sharded benchmark report, and these tests want bench.MakeAlgorithm —
+// an in-package test would close an import cycle.
+package shardserve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/bench"
+	"sparta/internal/core"
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/metrics"
+	"sparta/internal/model"
+	"sparta/internal/plcache"
+	"sparta/internal/postings"
+	"sparta/internal/shardserve"
+	"sparta/internal/topk"
+)
+
+// exactAlgos is the same exact-capable family the repository's
+// agreement test covers (sNRA is excluded there too: its cross-shard
+// bound merge is only ~0.99 exact even single-index).
+var exactAlgos = []bench.AlgoID{
+	bench.AlgoRA, bench.AlgoNRA, bench.AlgoSelNRA, bench.AlgoMaxScore,
+	bench.AlgoWAND, bench.AlgoBMW, bench.AlgoJASS, bench.AlgoSparta,
+	bench.AlgoPRA, bench.AlgoPNRA, bench.AlgoPBMW, bench.AlgoPWAND,
+	bench.AlgoPJASS,
+}
+
+func ramViews(t *testing.T, x *index.Index, p int) []shardserve.ShardView {
+	t.Helper()
+	views, err := shardserve.PartitionViews(x, p, iomodel.RAMConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return views
+}
+
+// assertMergedExact checks got against the canonical reference (brute
+// force: full scores, sorted descending score then ascending doc).
+// Ranks whose reference score is strictly above the cutoff must match
+// byte-for-byte; within the tied group at the cutoff, any tied document
+// is admissible (the same interchangeability every exactness test in
+// this repository grants), but its resolved score must equal the
+// cutoff.
+func assertMergedExact(t *testing.T, name string, want, got model.TopK) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d\ngot  %v\nwant %v", name, len(got), len(want), got, want)
+	}
+	if len(want) == 0 {
+		return
+	}
+	cut := want[len(want)-1].Score
+	for i := range want {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d score %d, want %d\ngot  %v\nwant %v",
+				name, i, got[i].Score, want[i].Score, got, want)
+		}
+		if want[i].Score > cut && got[i].Doc != want[i].Doc {
+			t.Fatalf("%s: rank %d doc %d, want %d (score %d)\ngot  %v\nwant %v",
+				name, i, got[i].Doc, want[i].Doc, want[i].Score, got, want)
+		}
+	}
+}
+
+// TestShardedMatchesSingleIndexExact is the merge-equivalence property:
+// for every exact algorithm and P ∈ {1,2,4,8}, the scatter/gather
+// result equals the single-index reference — ids, scores, and order.
+func TestShardedMatchesSingleIndexExact(t *testing.T) {
+	x := algotest.MediumIndex(t, 420)
+	queries := []model.Query{
+		algotest.RandomQuery(x, 3, 17),
+		algotest.RandomQuery(x, 7, 23),
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		views := ramViews(t, x, p)
+		for _, id := range exactAlgos {
+			id := id
+			g, err := shardserve.NewFromViews(shardserve.Config{}, func(v postings.View) topk.Algorithm {
+				return bench.MakeAlgorithm(id, v)
+			}, views)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				k := 10 + qi*15
+				want := topk.BruteForce(x, q, k)
+				name := fmt.Sprintf("P=%d/%s/q%d", p, id, qi)
+				got, st, err := g.Search(q, topk.Options{K: k, Exact: true, Threads: 2})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if st.ShardsDropped != 0 {
+					t.Fatalf("%s: ShardsDropped = %d, want 0", name, st.ShardsDropped)
+				}
+				if st.StopReason != shardserve.StopMerged {
+					t.Fatalf("%s: StopReason = %q, want %q", name, st.StopReason, shardserve.StopMerged)
+				}
+				assertMergedExact(t, name, want, got)
+			}
+		}
+	}
+}
+
+// TestShardedApproxRecallNotWorse: approximate Sparta over shards must
+// not lose recall versus the single-index run — each shard exhausts
+// (or Δ-stops) independently, so the union can only know more.
+func TestShardedApproxRecallNotWorse(t *testing.T) {
+	x := algotest.MediumIndex(t, 7)
+	opts := topk.Options{K: 10, Threads: 4, Delta: 2 * time.Millisecond}
+	single := bench.MakeAlgorithm(bench.AlgoSparta, x)
+	for _, q := range []model.Query{
+		algotest.RandomQuery(x, 4, 31),
+		algotest.RandomQuery(x, 8, 37),
+	} {
+		exact := topk.BruteForce(x, q, opts.K)
+		sres, _, err := single.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 4} {
+			g, err := shardserve.NewFromViews(shardserve.Config{}, func(v postings.View) topk.Algorithm {
+				return core.New(v)
+			}, ramViews(t, x, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gres, st, err := g.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.ShardsDropped != 0 {
+				t.Fatalf("P=%d: ShardsDropped = %d", p, st.ShardsDropped)
+			}
+			if sr, gr := model.Recall(exact, sres), model.Recall(exact, gres); gr < sr {
+				t.Errorf("P=%d: sharded recall %v < single-index recall %v", p, gr, sr)
+			}
+		}
+	}
+}
+
+// TestForcedDeadlineExpiry forces one shard's deadline to expire
+// instantly: the query must still answer with ShardsDropped=1, a valid
+// partial top-k that is exact over the surviving shards, and zero
+// unsettled I/O on every shard store afterward.
+func TestForcedDeadlineExpiry(t *testing.T) {
+	x := algotest.MediumIndex(t, 99)
+	const p, bad = 4, 2
+	cfg := shardserve.Config{
+		ShardTimeoutFor: func(shard int) time.Duration {
+			if shard == bad {
+				return time.Nanosecond
+			}
+			return time.Second
+		},
+	}
+	g, err := shardserve.FromIndex(x, p, func(v postings.View) topk.Algorithm {
+		return core.New(v)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := algotest.RandomQuery(x, 5, 555)
+	const k = 10
+	got, st, err := g.SearchShards(context.Background(), q, topk.Options{K: k, Exact: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardsDropped != 1 {
+		t.Fatalf("ShardsDropped = %d, want 1 (%+v)", st.ShardsDropped, st.Shards)
+	}
+	if st.StopReason != shardserve.StopPartial {
+		t.Fatalf("StopReason = %q, want %q", st.StopReason, shardserve.StopPartial)
+	}
+	if r := st.Shards[bad]; !r.Dropped || r.Stats.StopReason != topk.StopDeadline {
+		t.Fatalf("shard %d run = %+v, want dropped with deadline stop", bad, r)
+	}
+	algotest.AssertPartialTopK(t, "forced-expiry", got, k)
+	// The merged result must be exact over the surviving shards: strip
+	// any bonus contributions from the expired shard's partial list,
+	// and what remains must be a prefix of the reference ranking
+	// restricted to the surviving shards' document ranges.
+	lo, hi := postings.ShardRange(x.NumDocs(), bad, p)
+	full := topk.BruteForce(x, q, x.NumDocs())
+	want := make(model.TopK, 0, k)
+	for _, r := range full {
+		if r.Doc < lo || r.Doc >= hi {
+			want = append(want, r)
+			if len(want) == k {
+				break
+			}
+		}
+	}
+	wi := 0
+	for _, r := range got {
+		if r.Doc >= lo && r.Doc < hi {
+			continue // bonus contribution from the expired shard's partial list
+		}
+		if wi >= len(want) {
+			t.Fatalf("more surviving-shard results than the reference has:\ngot  %v\nwant %v", got, want)
+		}
+		if r != want[wi] {
+			t.Fatalf("surviving-shard results diverge: %v, want %v\ngot  %v\nwant %v",
+				r, want[wi], got, want)
+		}
+		wi++
+	}
+	if g.Unsettled() != 0 {
+		t.Fatalf("unsettled I/O after query: %v", g.Unsettled())
+	}
+	if c := g.Counters(bad); c.DeadlineMisses != 1 {
+		t.Fatalf("shard %d deadline misses = %d, want 1", bad, c.DeadlineMisses)
+	}
+}
+
+// fakeAlg is a scriptable algorithm for serving-layer tests.
+type fakeAlg struct {
+	name      string
+	delay     time.Duration
+	res       model.TopK
+	err       atomic.Pointer[error]
+	calls     atomic.Int64
+	cancelled atomic.Int64
+}
+
+func (f *fakeAlg) Name() string { return f.name }
+
+func (f *fakeAlg) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return f.SearchContext(context.Background(), q, opts)
+}
+
+func (f *fakeAlg) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	f.calls.Add(1)
+	if ep := f.err.Load(); ep != nil && *ep != nil {
+		return nil, topk.Stats{StopReason: "error"}, *ep
+	}
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			f.cancelled.Add(1)
+			return nil, topk.Stats{StopReason: topk.StopCancelled}, nil
+		}
+	}
+	return f.res, topk.Stats{StopReason: "exhausted"}, nil
+}
+
+func TestHedgingWinsAndJoinsLoser(t *testing.T) {
+	x := algotest.SmallIndex(t, 1)
+	slow := &fakeAlg{name: "slow", delay: 200 * time.Millisecond,
+		res: model.TopK{{Doc: 1, Score: 100}}}
+	fast := &fakeAlg{name: "fast", res: model.TopK{{Doc: 2, Score: 200}}}
+	g, err := shardserve.New(shardserve.Config{
+		Hedge: shardserve.HedgeConfig{Enabled: true, MinDelay: 5 * time.Millisecond, Quantile: 0.9},
+	}, shardserve.Shard{View: x, Alg: slow, Replica: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := g.SearchShards(context.Background(), model.Query{0}, topk.Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedges = %d, wins = %d, want 1/1 (%+v)", st.Hedges, st.HedgeWins, st.Shards)
+	}
+	if len(got) != 1 || got[0].Doc != 2 {
+		t.Fatalf("result = %v, want the replica's (doc 2)", got)
+	}
+	if slow.cancelled.Load() != 1 {
+		t.Fatalf("losing primary cancelled %d times, want 1 (joined before return)", slow.cancelled.Load())
+	}
+	if c := g.Counters(0); c.Hedges != 1 || c.HedgeWins != 1 {
+		t.Fatalf("shard counters = %+v, want 1 hedge / 1 win", c)
+	}
+}
+
+func TestHedgeNotLaunchedWhenPrimaryFast(t *testing.T) {
+	x := algotest.SmallIndex(t, 2)
+	prim := &fakeAlg{name: "prim", res: model.TopK{{Doc: 1, Score: 100}}}
+	repl := &fakeAlg{name: "repl", res: model.TopK{{Doc: 2, Score: 200}}}
+	g, err := shardserve.New(shardserve.Config{
+		Hedge: shardserve.HedgeConfig{Enabled: true, MinDelay: 250 * time.Millisecond},
+	}, shardserve.Shard{View: x, Alg: prim, Replica: repl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := g.SearchShards(context.Background(), model.Query{0}, topk.Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hedges != 0 || repl.calls.Load() != 0 {
+		t.Fatalf("hedge launched for a fast primary (hedges=%d, replica calls=%d)", st.Hedges, repl.calls.Load())
+	}
+}
+
+func TestBreakerTripsSkipsAndRecovers(t *testing.T) {
+	x := algotest.SmallIndex(t, 3)
+	healthy := &fakeAlg{name: "ok", res: model.TopK{{Doc: 1, Score: 100}}}
+	flaky := &fakeAlg{name: "flaky", res: model.TopK{{Doc: 300, Score: 90}}}
+	boom := errors.New("shard down")
+	flaky.err.Store(&boom)
+	g, err := shardserve.New(shardserve.Config{TripAfter: 2, ProbeEvery: 4},
+		shardserve.Shard{View: x, Alg: healthy},
+		shardserve.Shard{View: x, Alg: flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := model.Query{0}
+	opts := topk.Options{K: 5}
+
+	// Two consecutive errors trip the breaker.
+	for i := 0; i < 2; i++ {
+		_, st, err := g.SearchShards(context.Background(), q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ShardsDropped != 1 || st.Shards[1].Err == nil {
+			t.Fatalf("query %d: %+v, want shard 1 dropped with error", i, st.Shards)
+		}
+	}
+	if !g.Counters(1).Tripped {
+		t.Fatal("breaker not tripped after TripAfter consecutive errors")
+	}
+
+	// Tripped: queries skip the shard (no calls through) except probes.
+	flakyCallsBefore := flaky.calls.Load()
+	var skipped, probed int
+	for i := 0; i < 8; i++ {
+		_, st, err := g.SearchShards(context.Background(), q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Shards[1].Skipped {
+			skipped++
+		} else {
+			probed++
+		}
+		if st.ShardsDropped != 1 {
+			t.Fatalf("tripped query %d: ShardsDropped = %d, want 1", i, st.ShardsDropped)
+		}
+	}
+	if skipped == 0 || probed == 0 {
+		t.Fatalf("skipped=%d probed=%d, want both (skip with periodic half-open probes)", skipped, probed)
+	}
+	if calls := flaky.calls.Load() - flakyCallsBefore; calls != int64(probed) {
+		t.Fatalf("flaky shard saw %d calls, want %d (probes only)", calls, probed)
+	}
+
+	// Shard heals: the next successful probe closes the breaker.
+	var noErr error
+	flaky.err.Store(&noErr)
+	for i := 0; i < 8 && g.Counters(1).Tripped; i++ {
+		if _, _, err := g.SearchShards(context.Background(), q, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Counters(1).Tripped {
+		t.Fatal("breaker did not close after a successful probe")
+	}
+	_, st, err := g.SearchShards(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardsDropped != 0 {
+		t.Fatalf("after recovery: ShardsDropped = %d, want 0 (%+v)", st.ShardsDropped, st.Shards)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := shardserve.New(shardserve.Config{}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	x := algotest.SmallIndex(t, 4)
+	if _, err := shardserve.New(shardserve.Config{}, shardserve.Shard{View: x}); err == nil {
+		t.Fatal("shard without Alg accepted")
+	}
+	// A cache supplied but never attached to the view must be rejected.
+	c := plcache.NewWithBudget(1 << 20)
+	alg := &fakeAlg{name: "a"}
+	if _, err := shardserve.New(shardserve.Config{}, shardserve.Shard{View: x, Alg: alg, Cache: c}); err == nil {
+		t.Fatal("unattached cache accepted")
+	}
+	c.MarkAttached()
+	if _, err := shardserve.New(shardserve.Config{}, shardserve.Shard{View: x, Alg: alg, Cache: c}); err != nil {
+		t.Fatalf("attached cache rejected: %v", err)
+	}
+}
+
+func TestFromIndexAttachesPerShardCaches(t *testing.T) {
+	x := algotest.MediumIndex(t, 11)
+	ram := iomodel.RAMConfig()
+	g, err := shardserve.FromIndex(x, 3, func(v postings.View) topk.Algorithm {
+		return core.New(v)
+	}, shardserve.Config{IO: &ram, CacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := algotest.RandomQuery(x, 4, 77)
+	// Two-touch admission: run the query three times so hot blocks are
+	// remembered, admitted, then hit.
+	for i := 0; i < 3; i++ {
+		if _, _, err := g.Search(q, topk.Options{K: 10, Exact: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var hits int64
+	for i := 0; i < g.NumShards(); i++ {
+		if g.ShardInfo(i).Cache == nil {
+			t.Fatalf("shard %d: no cache attached", i)
+		}
+		hits += g.Counters(i).CacheHits
+	}
+	if hits == 0 {
+		t.Fatal("no posting-cache hits across shards after repeated query")
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	x := algotest.SmallIndex(t, 5)
+	g, err := shardserve.New(shardserve.Config{},
+		shardserve.Shard{View: x, Alg: &fakeAlg{name: "a", res: model.TopK{{Doc: 1, Score: 10}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Search(model.Query{0}, topk.Options{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	r := metrics.NewRegistry()
+	g.RegisterMetrics(r, "serve")
+	snap := r.Snapshot()
+	if snap["serve.shards"] != 1 {
+		t.Fatalf("serve.shards = %v", snap["serve.shards"])
+	}
+	sc, ok := snap["serve.shard.0"].(shardserve.ShardCounters)
+	if !ok || sc.Queries != 1 {
+		t.Fatalf("serve.shard.0 = %#v, want 1 query", snap["serve.shard.0"])
+	}
+}
+
+func TestWriteDirOpenDirRoundTrip(t *testing.T) {
+	x := algotest.MediumIndex(t, 13)
+	dir := t.TempDir()
+	if err := shardserve.WriteDir(x, 4, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	ram := iomodel.RAMConfig()
+	g, err := shardserve.OpenDir(dir, func(v postings.View) topk.Algorithm {
+		return core.New(v)
+	}, shardserve.Config{IO: &ram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumShards() != 4 {
+		t.Fatalf("opened %d shards, want 4", g.NumShards())
+	}
+	q := algotest.RandomQuery(x, 5, 101)
+	const k = 10
+	want := topk.BruteForce(x, q, k)
+	got, st, err := g.Search(q, topk.Options{K: k, Exact: true, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardsDropped != 0 {
+		t.Fatalf("ShardsDropped = %d", st.ShardsDropped)
+	}
+	assertMergedExact(t, "opendir", want, got)
+}
+
+func TestSearchShardsRespectsGlobalCancel(t *testing.T) {
+	x := algotest.MediumIndex(t, 17)
+	g, err := shardserve.NewFromViews(shardserve.Config{}, func(v postings.View) topk.Algorithm {
+		return core.New(v)
+	}, ramViews(t, x, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, st, err := g.SearchShards(ctx, algotest.RandomQuery(x, 4, 3), topk.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StopReason != topk.StopCancelled {
+		t.Fatalf("StopReason = %q, want %q", st.StopReason, topk.StopCancelled)
+	}
+	algotest.AssertPartialTopK(t, "cancelled", got, 10)
+	if g.Unsettled() != 0 {
+		t.Fatalf("unsettled I/O: %v", g.Unsettled())
+	}
+}

@@ -1,0 +1,91 @@
+// Cross-shard result merging for the scatter/gather serving layer
+// (internal/shardserve): each index shard evaluates the query
+// independently and returns its local top-k; MergeTopK combines the
+// per-shard lists into the global top-k with a k-way heap merge.
+//
+// This is the serving-side sibling of heap.Merge (which merges
+// per-thread heaps inside one query): here the inputs are already
+// canonically sorted result lists, so a k-way merge over the list
+// heads produces the first k global results in O(P·k·log P) without
+// re-sorting the concatenation.
+
+package topk
+
+import "sparta/internal/model"
+
+// MergeTopK merges per-shard top-k lists into the global top-k.
+//
+// Each part must be canonically sorted (descending score, ascending
+// doc id on ties — the order model.TopK.Sort establishes and every
+// Algorithm returns). Duplicate documents across parts — possible
+// when shard ranges overlap or a hedged retry returns alongside its
+// primary — keep their first (highest-scored) occurrence. The merge
+// stops as soon as k results are emitted, so partial per-shard lists
+// (anytime results from shards that missed their deadline) merge for
+// free: they simply contribute fewer heads.
+func MergeTopK(parts []model.TopK, k int) model.TopK {
+	if k <= 0 {
+		k = DefaultK
+	}
+	// Heads of the non-empty parts, heap-ordered so hs[0] is the
+	// globally next result.
+	type head struct{ part, pos int }
+	hs := make([]head, 0, len(parts))
+	before := func(a, b head) bool {
+		ra, rb := parts[a.part][a.pos], parts[b.part][b.pos]
+		if ra.Score != rb.Score {
+			return ra.Score > rb.Score
+		}
+		return ra.Doc < rb.Doc
+	}
+	var siftDown func(i int)
+	siftDown = func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(hs) && before(hs[l], hs[min]) {
+				min = l
+			}
+			if r < len(hs) && before(hs[r], hs[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			hs[i], hs[min] = hs[min], hs[i]
+			i = min
+		}
+	}
+	for i, p := range parts {
+		if len(p) > 0 {
+			hs = append(hs, head{part: i, pos: 0})
+		}
+	}
+	for i := len(hs)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+
+	out := make(model.TopK, 0, min(k, 4*len(hs)))
+	var seen map[model.DocID]struct{}
+	if len(hs) > 1 {
+		seen = make(map[model.DocID]struct{}, k)
+	}
+	for len(hs) > 0 && len(out) < k {
+		top := hs[0]
+		r := parts[top.part][top.pos]
+		if seen == nil {
+			out = append(out, r)
+		} else if _, dup := seen[r.Doc]; !dup {
+			seen[r.Doc] = struct{}{}
+			out = append(out, r)
+		}
+		if top.pos+1 < len(parts[top.part]) {
+			hs[0].pos++
+		} else {
+			hs[0] = hs[len(hs)-1]
+			hs = hs[:len(hs)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}

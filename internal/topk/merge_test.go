@@ -1,0 +1,112 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparta/internal/model"
+)
+
+// reference implements the merge contract the slow, obvious way:
+// concatenate, keep the best score per doc, sort, truncate.
+func referenceMerge(parts []model.TopK, k int) model.TopK {
+	best := make(map[model.DocID]model.Score)
+	for _, p := range parts {
+		for _, r := range p {
+			if s, ok := best[r.Doc]; !ok || r.Score > s {
+				best[r.Doc] = r.Score
+			}
+		}
+	}
+	all := make(model.TopK, 0, len(best))
+	for d, s := range best {
+		all = append(all, model.Result{Doc: d, Score: s})
+	}
+	all.Sort()
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestMergeTopKMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nParts := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(20)
+		parts := make([]model.TopK, nParts)
+		for i := range parts {
+			n := rng.Intn(2 * k) // some shards return short (partial) lists
+			p := make(model.TopK, 0, n)
+			for j := 0; j < n; j++ {
+				p = append(p, model.Result{
+					Doc:   model.DocID(rng.Intn(60)),
+					Score: model.Score(rng.Intn(8) * 1000),
+				})
+			}
+			p.Sort()
+			// Shards never emit the same doc twice within one list.
+			dedup := p[:0]
+			seen := map[model.DocID]bool{}
+			for _, r := range p {
+				if !seen[r.Doc] {
+					seen[r.Doc] = true
+					dedup = append(dedup, r)
+				}
+			}
+			parts[i] = dedup
+		}
+		got := MergeTopK(parts, k)
+		want := referenceMerge(parts, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: rank %d: got %v, want %v\ngot  %v\nwant %v",
+					trial, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+func TestMergeTopKEmptyAndSingle(t *testing.T) {
+	if got := MergeTopK(nil, 10); len(got) != 0 {
+		t.Fatalf("merge of no parts = %v, want empty", got)
+	}
+	if got := MergeTopK([]model.TopK{{}, {}}, 10); len(got) != 0 {
+		t.Fatalf("merge of empty parts = %v, want empty", got)
+	}
+	one := model.TopK{{Doc: 3, Score: 500}, {Doc: 1, Score: 200}}
+	got := MergeTopK([]model.TopK{one}, 10)
+	if len(got) != 2 || got[0] != one[0] || got[1] != one[1] {
+		t.Fatalf("single-part merge = %v, want %v", got, one)
+	}
+}
+
+func TestMergeTopKDuplicateKeepsHighest(t *testing.T) {
+	a := model.TopK{{Doc: 7, Score: 900}, {Doc: 2, Score: 100}}
+	b := model.TopK{{Doc: 7, Score: 400}, {Doc: 5, Score: 300}}
+	got := MergeTopK([]model.TopK{a, b}, 10)
+	want := model.TopK{{Doc: 7, Score: 900}, {Doc: 5, Score: 300}, {Doc: 2, Score: 100}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeTopKTruncatesAtK(t *testing.T) {
+	parts := []model.TopK{
+		{{Doc: 1, Score: 500}, {Doc: 2, Score: 400}},
+		{{Doc: 3, Score: 450}, {Doc: 4, Score: 350}},
+	}
+	got := MergeTopK(parts, 2)
+	want := model.TopK{{Doc: 1, Score: 500}, {Doc: 3, Score: 450}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

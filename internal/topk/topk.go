@@ -153,6 +153,12 @@ type Stats struct {
 	// StopReason records why evaluation ended ("exhausted", "ubstop",
 	// "delta", "safe", "fraction", ...).
 	StopReason string
+	// ShardsDropped is the number of index shards that did not deliver
+	// a complete result to a scatter/gather query (deadline expiry,
+	// error, or health-trip skip) — zero for single-index evaluation.
+	// The returned top-k is still valid over the shards that answered
+	// (the anytime contract, per shard).
+	ShardsDropped int
 }
 
 // Algorithm is a top-k retrieval strategy bound to an index.

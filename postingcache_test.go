@@ -32,6 +32,15 @@ func TestPostingCacheHitRateOnZipfianLog(t *testing.T) {
 
 	s := sparta.NewSearcher(sparta.New(disk), sparta.SearcherConfig{PostingCache: cache})
 	log := queries.Generate(disk, 6, 40, 11).Length(4)
+	// First pass warms the cache through two-touch admission (a block
+	// must be seen twice before it is cached); the hit-rate bar applies
+	// to the steady state after it.
+	for _, q := range log {
+		if _, _, err := s.Search(q, sparta.Options{K: 10, Exact: true, Threads: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache.ResetStats()
 	for _, q := range log {
 		if _, _, err := s.Search(q, sparta.Options{K: 10, Exact: true, Threads: 4}); err != nil {
 			t.Fatal(err)

@@ -2,12 +2,22 @@ package sparta
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"sparta/internal/metrics"
 	"sparta/internal/model"
 	"sparta/internal/topk"
 )
+
+// ErrCacheNotAttached is returned by a Searcher whose configured
+// PostingCache was never attached to an index view: every lookup would
+// miss, which silently reports a 0% hit rate instead of the
+// misconfiguration it is. Attach the cache first (AttachPostingCache),
+// or open shards with Config.CacheBytes, which attaches at open time.
+var ErrCacheNotAttached = errors.New("sparta: SearcherConfig.PostingCache set but not attached to any index view (AttachPostingCache)")
 
 // SearcherConfig parameterizes a Searcher. The zero value disables
 // every knob: no timeout, unbounded concurrency, no observer.
@@ -34,6 +44,10 @@ type SearcherConfig struct {
 	// Counters(). The cache serves cursors only once attached to the
 	// index view (AttachPostingCache) — this field does not attach it,
 	// because the Searcher wraps an Algorithm, not the view beneath it.
+	// A cache that is supplied here but never attached is a
+	// misconfiguration: queries fail with ErrCacheNotAttached rather
+	// than silently running uncached. (The sharded serving path attaches
+	// per-shard caches itself at open time via Config.CacheBytes.)
 	PostingCache *PostingCache
 }
 
@@ -61,11 +75,13 @@ type SearcherCounters struct {
 	// queries (admission wait included); TotalLatency/Queries is the
 	// mean latency.
 	TotalLatency time.Duration
-	// CacheHits / CacheMisses / CacheBytes mirror the configured
-	// PostingCache's counters (zero when none is configured).
-	CacheHits   int64
-	CacheMisses int64
-	CacheBytes  int64
+	// CacheHits / CacheMisses / CacheBytes / CacheAdmissionRejects
+	// mirror the configured PostingCache's counters (zero when none is
+	// configured).
+	CacheHits             int64
+	CacheMisses           int64
+	CacheBytes            int64
+	CacheAdmissionRejects int64
 }
 
 // CacheHitRate returns CacheHits/(CacheHits+CacheMisses), or 0 before
@@ -121,6 +137,9 @@ func (s *Searcher) Search(q Query, opts Options) (TopK, Stats, error) {
 // StopReason "cancelled" or "deadline"; errors are reserved for real
 // failures (e.g. memory-budget aborts).
 func (s *Searcher) SearchContext(ctx context.Context, q Query, opts Options) (TopK, Stats, error) {
+	if s.cfg.PostingCache != nil && !s.cfg.PostingCache.Attached() {
+		return nil, Stats{}, ErrCacheNotAttached
+	}
 	start := time.Now()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
@@ -183,8 +202,37 @@ func (s *Searcher) Counters() SearcherCounters {
 	if s.cfg.PostingCache != nil {
 		cs := s.cfg.PostingCache.Snapshot()
 		c.CacheHits, c.CacheMisses, c.CacheBytes = cs.Hits, cs.Misses, cs.Bytes
+		c.CacheAdmissionRejects = cs.AdmissionRejects
 	}
 	return c
+}
+
+// RegisterMetrics registers the searcher's counters in r under prefix
+// ("<prefix>.queries", "<prefix>.cache_hit_rate", ...), evaluated
+// lazily at snapshot time.
+func (s *Searcher) RegisterMetrics(r *metrics.Registry, prefix string) {
+	if prefix != "" && !strings.HasSuffix(prefix, ".") {
+		prefix += "."
+	}
+	r.RegisterFunc(prefix+"queries", func() any { return s.queries.Load() })
+	r.RegisterFunc(prefix+"errors", func() any { return s.errors.Load() })
+	r.RegisterFunc(prefix+"cancelled", func() any { return s.cancelled.Load() })
+	r.RegisterFunc(prefix+"deadline", func() any { return s.deadline.Load() })
+	r.RegisterFunc(prefix+"rejected", func() any { return s.rejected.Load() })
+	r.RegisterFunc(prefix+"in_flight", func() any { return s.inFlight.Load() })
+	r.RegisterFunc(prefix+"postings", func() any { return s.postings.Load() })
+	r.RegisterFunc(prefix+"latency_total_ns", func() any { return s.latencyNs.Load() })
+	r.RegisterFunc(prefix+"mean_latency_ns", func() any {
+		q := s.queries.Load()
+		if q == 0 {
+			return int64(0)
+		}
+		return s.latencyNs.Load() / q
+	})
+	if s.cfg.PostingCache != nil {
+		r.RegisterFunc(prefix+"cache", func() any { return s.cfg.PostingCache.Snapshot() })
+		r.RegisterFunc(prefix+"cache_hit_rate", func() any { return s.Counters().CacheHitRate() })
+	}
 }
 
 // stopReasonFor maps a context error to the corresponding stop reason.

@@ -1,0 +1,106 @@
+// Sharded serving, re-exported from internal/shardserve: a query fans
+// out to independent index shards under per-shard deadlines and the
+// per-shard top-k lists merge into the global top-k. See the
+// shardserve package documentation for the serving semantics
+// (deadlines, hedging, health) and DESIGN.md for the equivalence
+// argument.
+package sparta
+
+import (
+	"context"
+	"time"
+
+	"sparta/internal/shardserve"
+)
+
+type (
+	// ShardGroup serves queries over a set of index shards by
+	// scatter/gather. It implements Algorithm, so it drops into a
+	// Searcher like any single-index strategy.
+	ShardGroup = shardserve.Group
+	// ShardGroupConfig parameterizes a ShardGroup (per-shard deadlines,
+	// hedging, breaker, per-shard cache budget).
+	ShardGroupConfig = shardserve.Config
+	// ShardHedgeConfig tunes straggler hedging.
+	ShardHedgeConfig = shardserve.HedgeConfig
+	// Shard describes one index shard of a group.
+	Shard = shardserve.Shard
+	// ShardFactory builds one algorithm instance per shard view.
+	ShardFactory = shardserve.Factory
+	// ShardedStats is a scatter/gather query's aggregate statistics
+	// plus the per-shard breakdown.
+	ShardedStats = shardserve.ShardedStats
+	// ShardRunStats is one shard's contribution to one query.
+	ShardRunStats = shardserve.ShardRunStats
+	// ShardCounters is one shard's aggregate serving counters.
+	ShardCounters = shardserve.ShardCounters
+)
+
+// Aggregate stop reasons reported by scatter/gather queries.
+const (
+	// StopMerged: every shard delivered a complete result.
+	StopMerged = shardserve.StopMerged
+	// StopPartial: at least one shard was dropped; the merged top-k
+	// covers the shards that answered.
+	StopPartial = shardserve.StopPartial
+)
+
+// NewShardGroup assembles a group from already-opened shards.
+func NewShardGroup(cfg ShardGroupConfig, shards ...Shard) (*ShardGroup, error) {
+	return shardserve.New(cfg, shards...)
+}
+
+// ShardIndex partitions x into p document-range shards, opens each over
+// its own simulated store (with a per-shard decoded-block cache when
+// cfg.CacheBytes is set — the config path that attaches caches at open
+// time), and serves them with factory's algorithm.
+func ShardIndex(x *Index, p int, factory ShardFactory, cfg ShardGroupConfig) (*ShardGroup, error) {
+	return shardserve.FromIndex(x, p, factory, cfg)
+}
+
+// OpenShardDir opens a shard set built by cmd/shardbuild (or
+// shardserve.WriteDir).
+func OpenShardDir(dir string, factory ShardFactory, cfg ShardGroupConfig) (*ShardGroup, error) {
+	return shardserve.OpenDir(dir, factory, cfg)
+}
+
+// ShardedSearcher is a Searcher over a ShardGroup: the single-index
+// serving concerns (timeout, admission, aggregate counters) wrap the
+// scatter/gather layer, and the group's per-shard state stays
+// reachable. Safe for concurrent use.
+type ShardedSearcher struct {
+	*Searcher
+	group *ShardGroup
+}
+
+// NewShardedSearcher wraps g. Do not set cfg.PostingCache here — shard
+// caches are per shard and attached at open time (ShardGroupConfig.
+// CacheBytes); a group-level cache would collide keys across shards
+// and queries would fail with ErrCacheNotAttached.
+func NewShardedSearcher(g *ShardGroup, cfg SearcherConfig) *ShardedSearcher {
+	return &ShardedSearcher{Searcher: NewSearcher(g, cfg), group: g}
+}
+
+// Group returns the underlying shard group.
+func (s *ShardedSearcher) Group() *ShardGroup { return s.group }
+
+// SearchShards is the introspective query path: SearchContext's
+// evaluation with the per-shard breakdown, bypassing the Searcher's
+// admission queue and timeout (pass a context deadline to bound it).
+func (s *ShardedSearcher) SearchShards(ctx context.Context, q Query, opts Options) (TopK, ShardedStats, error) {
+	return s.group.SearchShards(ctx, q, opts)
+}
+
+// ShardCounters returns every shard's counter snapshot.
+func (s *ShardedSearcher) ShardCounters() []ShardCounters { return s.group.AllCounters() }
+
+// Unsettled sums the unpaid simulated-I/O debt across shard stores —
+// zero between queries.
+func (s *ShardedSearcher) Unsettled() time.Duration { return s.group.Unsettled() }
+
+// RegisterMetrics registers both the searcher-level counters and the
+// per-shard counters in r under prefix.
+func (s *ShardedSearcher) RegisterMetrics(r *MetricsRegistry, prefix string) {
+	s.Searcher.RegisterMetrics(r, prefix)
+	s.group.RegisterMetrics(r, prefix)
+}

@@ -30,6 +30,7 @@ package sparta
 import (
 	"sparta/internal/core"
 	"sparta/internal/index"
+	"sparta/internal/metrics"
 	"sparta/internal/model"
 	"sparta/internal/plcache"
 	"sparta/internal/postings"
@@ -83,6 +84,11 @@ type (
 	PostingCache = plcache.Cache
 	// PostingCacheStats is a point-in-time PostingCache snapshot.
 	PostingCacheStats = plcache.Stats
+
+	// MetricsRegistry is a dependency-free named-metrics registry;
+	// Searchers and shard groups register their counters into one, and
+	// WriteJSON serves it as a /stats endpoint (see examples/server).
+	MetricsRegistry = metrics.Registry
 )
 
 // Stop reasons reported in Stats.StopReason when a query's context
@@ -126,3 +132,6 @@ func AttachPostingCache(v View, c *PostingCache) bool {
 	}
 	return ok
 }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
