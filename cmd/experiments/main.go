@@ -15,7 +15,10 @@
 //
 // The extra "bench" subcommand (not part of "all") runs the default
 // grid with and without the decoded-block posting cache and writes the
-// machine-readable BENCH_topk.json artifact consumed by CI.
+// machine-readable BENCH_topk.json artifact consumed by CI. The
+// "throughput" subcommand (also not part of "all") runs the closed-loop
+// multi-client grid, batched vs sequential, and writes
+// BENCH_throughput.json.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +53,11 @@ type runner struct {
 	shardP    int
 	shardTO   time.Duration
 	cacheMB   int64
+	tputOut   string
+	tputCs    []int
+	batchWin  time.Duration
+	maxBatch  int
+	warmBlk   int
 	out       io.Writer
 	cw, cwx   *bench.Env
 	ram       *bench.Env
@@ -82,9 +91,21 @@ func main() {
 		shardP  = flag.Int("shardp", 4, "shard count of the sharded bench section")
 		shardTO = flag.Duration("shardtimeout", 2*time.Millisecond,
 			"tight per-shard timeout of the sharded bench section")
-		cacheMB = flag.Int64("cachemb", 16, "posting-cache budget (MB) for the bench subcommand")
+		cacheMB  = flag.Int64("cachemb", 16, "posting-cache budget (MB) for the bench subcommand")
+		tputJSON = flag.String("throughputout", "BENCH_throughput.json",
+			"output path of the report the throughput subcommand writes")
+		clients  = flag.String("clients", "1,4,16,64", "closed-loop client grid of the throughput subcommand")
+		batchWin = flag.Duration("batchwindow", 200*time.Microsecond,
+			"query-coalescing window of the throughput subcommand's batched rows")
+		maxBatch = flag.Int("maxbatch", 16, "max queries per coalesced batch (throughput subcommand)")
+		warmBlk  = flag.Int("warmblocks", 2, "leading blocks warmed per term shared across a batch")
 	)
 	flag.Parse()
+
+	clientGrid, err := parseInts(*clients)
+	if err != nil {
+		log.Fatalf("-clients: %v", err)
+	}
 
 	base := corpus.DefaultSpec()
 	if *docs > 0 {
@@ -120,6 +141,11 @@ func main() {
 		shardP:    *shardP,
 		shardTO:   *shardTO,
 		cacheMB:   *cacheMB,
+		tputOut:   *tputJSON,
+		tputCs:    clientGrid,
+		batchWin:  *batchWin,
+		maxBatch:  *maxBatch,
+		warmBlk:   *warmBlk,
 		out:       os.Stdout,
 		sweepHigh: make(map[string][]bench.SweepPoint),
 	}
@@ -166,6 +192,22 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("client counts must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // envCW lazily builds the base-scale environment.
@@ -459,6 +501,28 @@ func (r *runner) run(name string) (string, error) {
 		}
 		return rep.Summary() + "\nwrote " + r.benchOut + "\n\n" +
 			srep.Summary() + "\nwrote " + r.shardOut, nil
+
+	case "throughput":
+		// The multi-query serving artifact: closed-loop clients over the
+		// Zipfian voice mix, sequential vs batched (coalescing window +
+		// shared warm-up + single-flight block fills).
+		env, err := r.envCW()
+		if err != nil {
+			return "", err
+		}
+		rep := env.RunThroughputReport(r.tuning, bench.ThroughputConfig{
+			Clients:          r.tputCs,
+			QueriesPerClient: maxInt(r.nQueries*2, 20),
+			Threads:          r.threads,
+			CacheBytes:       r.cacheMB << 20,
+			Window:           r.batchWin,
+			MaxBatch:         r.maxBatch,
+			WarmBlocks:       r.warmBlk,
+		})
+		if err := rep.WriteJSON(r.tputOut); err != nil {
+			return "", err
+		}
+		return rep.Summary() + "\nwrote " + r.tputOut, nil
 
 	case "compression":
 		// Appendix: §5's justification for benchmarking uncompressed —

@@ -11,15 +11,21 @@
 //	GET /stats
 //
 // Each algorithm runs through a sparta.ShardedSearcher: the Searcher
-// layer enforces the 250 ms SLA and the concurrent-query cap, while
-// the shard group underneath fans every query out to all shards under
-// per-shard deadlines, hedges stragglers, and merges whatever the
-// shards deliver — a slow shard degrades the answer (reported as
+// layer enforces the 250 ms SLA, the concurrent-query cap, and
+// load-aware shedding (a query whose remaining budget is smaller than
+// the observed admission-queue wait gets a 503 instead of a guaranteed
+// timeout), while the shard group underneath coalesces concurrent
+// queries into per-shard batches (shared warm-up, single-flight block
+// fills), fans every query out to all shards under per-shard
+// deadlines, hedges stragglers, and merges whatever the shards
+// deliver — a slow shard degrades the answer (reported as
 // shards_dropped), never blocks it. A disconnecting client cancels its
 // query through the request context.
 //
 // /stats is one metrics-registry snapshot: every searcher's serving
-// counters and every shard's health/cache counters, flat JSON.
+// counters (including shed), every shard's health/cache counters
+// (including single-flight duplicate-fill suppression), and the
+// per-shard batch coalescing counters, flat JSON.
 //
 //	go run ./examples/server &
 //	curl 'localhost:8640/search?q=t12,t733,t5021&algo=sparta&mode=high'
@@ -27,6 +33,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -61,6 +68,16 @@ const (
 	// traffic keeps hot terms resident. The budget is split across the
 	// per-shard caches.
 	postingCacheBytes = 16 << 20
+	// batchWindow coalesces queries arriving within 200µs of each other
+	// into per-shard batches: they share a warm-up pass over overlapping
+	// terms and single-flight block fills. Well under the SLA, so the
+	// latency cost is negligible against the duplicate work it removes.
+	batchWindow = 200 * time.Microsecond
+	// maxBatch caps a coalesced batch; a full batch launches early.
+	maxBatch = 8
+	// shedQuantile: shed a query at admission when its remaining context
+	// budget is below the median observed admission-queue wait.
+	shedQuantile = 0.5
 )
 
 type server struct {
@@ -83,8 +100,14 @@ func main() {
 		BudgetFraction: 0.9, // leave headroom for merge + resolution
 		Hedge:          sparta.ShardHedgeConfig{Enabled: true},
 		TripAfter:      3,
+		BatchWindow:    batchWindow,
+		MaxBatch:       maxBatch,
 	}
-	scfg := sparta.SearcherConfig{Timeout: queryTimeout, MaxConcurrent: poolSize}
+	scfg := sparta.SearcherConfig{
+		Timeout:       queryTimeout,
+		MaxConcurrent: poolSize,
+		ShedQuantile:  shedQuantile,
+	}
 	mk := func(factory sparta.ShardFactory) *sparta.ShardedSearcher {
 		g, err := sparta.ShardIndex(mem, numShards, factory, gcfg)
 		if err != nil {
@@ -185,6 +208,13 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// layers its 250 ms SLA timeout on top, and each shard gets the
 	// tighter of shardTimeout and its share of what remains.
 	res, st, err := alg.SearchContext(r.Context(), q, opts)
+	if errors.Is(err, sparta.ErrAdmissionShed) {
+		// Load shedding: executing this query could only produce a result
+		// after its deadline — tell the client to back off instead.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: query shed at admission", http.StatusServiceUnavailable)
+		return
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

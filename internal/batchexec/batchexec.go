@@ -1,0 +1,305 @@
+// Package batchexec coalesces concurrent queries into batches over one
+// algorithm — the multi-query execution layer the serving stack runs
+// per shard. A query arriving while no batch is collecting becomes the
+// leader of a new batch and waits a small collection window; queries
+// arriving inside the window (or while the previous batch is still in
+// flight, since they form the next batch) join it. When the window
+// expires or the batch is full, the whole batch launches at once:
+//
+//   - One warm-up pass covers the terms shared by two or more member
+//     queries (postings.TermWarmer), so the batch pays a shared term's
+//     leading-block fetches once instead of once per member.
+//   - Every posting-block miss goes through the plcache single-flight
+//     gate (the views were rewired in this layer's PR), so members that
+//     race on the same block share one fetch+decode.
+//   - Members execute concurrently and return individually; each member
+//     settles its own readers through the usual topk.ExecState path, and
+//     the warm-up pass settles its readers when it completes, so
+//     Store.Unsettled()==0 holds once a batch has drained — on every
+//     completion path, including cancellation or deadline expiry of any
+//     member mid-batch.
+//
+// Batching trades a bounded latency add (≤ Window) for throughput: on a
+// Zipfian query log concurrent queries overlap heavily in their hot
+// terms, and the shared warm-up plus single-flight fills remove the
+// duplicated fetch+decode work that otherwise scales with concurrency.
+//
+// The zero Config (Window == 0) disables batching entirely: Search and
+// SearchContext pass straight through to the wrapped algorithm with no
+// added goroutines, allocation, or reordering, preserving the unbatched
+// serving semantics exactly.
+package batchexec
+
+import (
+	"context"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"sparta/internal/metrics"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+	"sparta/internal/topk"
+)
+
+// Config parameterizes an Executor.
+type Config struct {
+	// Window is how long a batch leader collects co-arriving queries
+	// before launching the batch. Zero disables batching (pass-through).
+	Window time.Duration
+	// MaxBatch caps the batch size; a full batch launches without
+	// waiting out the window. Default 16. MaxBatch 1 launches every
+	// query immediately in its own batch (the batching machinery runs,
+	// but nothing coalesces — the degenerate case tests pin).
+	MaxBatch int
+	// WarmBlocks is how many leading blocks per term region the batch
+	// warm-up pass prefetches for terms shared by ≥ 2 member queries.
+	// Default 2; negative disables warm-up.
+	WarmBlocks int
+	// Warmer runs the warm-up pass — normally the batch's disk-resident
+	// view. Nil disables warm-up (single-flight fills still apply).
+	Warmer postings.TermWarmer
+}
+
+// withDefaults normalizes zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.WarmBlocks == 0 {
+		c.WarmBlocks = 2
+	}
+	return c
+}
+
+// Counters is a snapshot of an Executor's batching activity.
+type Counters struct {
+	// Batches is the number of batches launched.
+	Batches int64 `json:"batches"`
+	// BatchedQueries is the number of queries executed through batches.
+	BatchedQueries int64 `json:"batched_queries"`
+	// Coalesced counts queries that joined another query's collection
+	// window (BatchedQueries − Batches, the coalesce hits).
+	Coalesced int64 `json:"coalesced"`
+	// MaxBatchObserved is the largest batch launched.
+	MaxBatchObserved int64 `json:"max_batch_observed"`
+	// SharedTerms counts terms warmed because ≥ 2 members of one batch
+	// queried them.
+	SharedTerms int64 `json:"shared_terms"`
+	// WarmedBlocks counts block fills performed by warm-up passes.
+	WarmedBlocks int64 `json:"warmed_blocks"`
+}
+
+// MeanBatch returns BatchedQueries/Batches, or 0 before any batch.
+func (c Counters) MeanBatch() float64 {
+	if c.Batches == 0 {
+		return 0
+	}
+	return float64(c.BatchedQueries) / float64(c.Batches)
+}
+
+// Executor wraps a topk.Algorithm with query coalescing. It implements
+// topk.Algorithm itself, so it drops transparently between a serving
+// wrapper and the algorithm it batches for. Safe for concurrent use.
+type Executor struct {
+	alg topk.Algorithm
+	cfg Config
+
+	mu   sync.Mutex
+	open *batch // collecting batch, nil when none
+
+	// active tracks every goroutine a dispatched batch owns (member
+	// queries and warm-up passes) for Drain.
+	active sync.WaitGroup
+
+	batches      atomic.Int64
+	queries      atomic.Int64
+	coalesced    atomic.Int64
+	maxBatch     atomic.Int64
+	sharedTerms  atomic.Int64
+	warmedBlocks atomic.Int64
+}
+
+var _ topk.Algorithm = (*Executor)(nil)
+
+// request is one query riding a batch. The runner publishes res/st/err
+// and then closes done; the submitting goroutine reads them only after
+// done.
+type request struct {
+	ctx  context.Context
+	q    model.Query
+	opts topk.Options
+	done chan struct{}
+	res  model.TopK
+	st   topk.Stats
+	err  error
+}
+
+// batch is one collection window. full is closed (once, by whoever
+// detaches the batch from e.open) when the batch reaches MaxBatch, so
+// the leader stops collecting early.
+type batch struct {
+	reqs []*request
+	full chan struct{}
+}
+
+// New wraps alg under cfg.
+func New(alg topk.Algorithm, cfg Config) *Executor {
+	return &Executor{alg: alg, cfg: cfg.withDefaults()}
+}
+
+// Name implements topk.Algorithm: an Executor reports as the algorithm
+// it batches for.
+func (e *Executor) Name() string { return e.alg.Name() }
+
+// Search implements topk.Algorithm.
+func (e *Executor) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return e.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm. With batching enabled the
+// query joins the collecting batch (or starts one and leads its
+// window); it returns when its own evaluation completes — members of
+// one batch return individually, not when the batch drains.
+func (e *Executor) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	if e.cfg.Window <= 0 {
+		return e.alg.SearchContext(ctx, q, opts)
+	}
+	r := &request{ctx: ctx, q: q, opts: opts, done: make(chan struct{})}
+	e.mu.Lock()
+	if b := e.open; b != nil {
+		// Join the collecting batch.
+		b.reqs = append(b.reqs, r)
+		e.coalesced.Add(1)
+		if len(b.reqs) >= e.cfg.MaxBatch {
+			e.open = nil // detached: the leader's select sees full
+			close(b.full)
+		}
+		e.mu.Unlock()
+		<-r.done
+		return r.res, r.st, r.err
+	}
+	// Lead a new batch.
+	b := &batch{reqs: []*request{r}, full: make(chan struct{})}
+	if e.cfg.MaxBatch == 1 {
+		e.mu.Unlock()
+		e.dispatch(b)
+		<-r.done
+		return r.res, r.st, r.err
+	}
+	e.open = b
+	e.mu.Unlock()
+
+	timer := time.NewTimer(e.cfg.Window)
+	select {
+	case <-timer.C:
+	case <-b.full:
+	case <-ctx.Done():
+		// The leader's context ended during collection: launch whatever
+		// has gathered now. The leader's own evaluation returns its
+		// cancelled partial immediately; joined members run normally.
+	}
+	timer.Stop()
+	e.mu.Lock()
+	if e.open == b {
+		e.open = nil
+	}
+	e.mu.Unlock()
+	e.dispatch(b)
+	<-r.done
+	return r.res, r.st, r.err
+}
+
+// dispatch launches a detached batch: the shared warm-up pass (when ≥ 2
+// members overlap on a term) and one goroutine per member. It returns
+// without waiting; members release their submitters individually and
+// Drain waits for everything.
+func (e *Executor) dispatch(b *batch) {
+	n := int64(len(b.reqs))
+	e.batches.Add(1)
+	e.queries.Add(n)
+	for {
+		cur := e.maxBatch.Load()
+		if n <= cur || e.maxBatch.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	if n >= 2 && e.cfg.Warmer != nil && e.cfg.WarmBlocks > 0 {
+		if shared := sharedTerms(b.reqs); len(shared) > 0 {
+			e.sharedTerms.Add(int64(len(shared)))
+			// Warm concurrently with the members: their cursors join the
+			// warm pass's in-flight fills through the single-flight gate
+			// instead of waiting for the whole pass. Bound to the
+			// leader's context so an abandoned batch stops prefetching.
+			warmCtx := b.reqs[0].ctx
+			e.active.Add(1)
+			go func() {
+				defer e.active.Done()
+				e.warmedBlocks.Add(int64(e.cfg.Warmer.WarmTerms(warmCtx, shared, e.cfg.WarmBlocks)))
+			}()
+		}
+	}
+	for _, r := range b.reqs {
+		r := r
+		e.active.Add(1)
+		go func() {
+			defer e.active.Done()
+			defer close(r.done)
+			r.res, r.st, r.err = e.alg.SearchContext(r.ctx, r.q, r.opts)
+		}()
+	}
+}
+
+// sharedTerms returns the terms queried by at least two distinct
+// members of the batch — the overlap the warm-up pass covers.
+func sharedTerms(reqs []*request) []model.TermID {
+	counts := make(map[model.TermID]int)
+	for _, r := range reqs {
+		seen := make(map[model.TermID]struct{}, len(r.q))
+		for _, t := range r.q {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			counts[t]++
+		}
+	}
+	var out []model.TermID
+	for t, n := range counts {
+		if n >= 2 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Drain blocks until every batch dispatched so far — member queries and
+// warm-up passes — has completed. Call it when no SearchContext calls
+// are being submitted (shutdown, test assertions): once Drain returns,
+// all batch I/O is settled, so Store.Unsettled() == 0.
+func (e *Executor) Drain() { e.active.Wait() }
+
+// Counters returns a snapshot of the executor's batching counters.
+func (e *Executor) Counters() Counters {
+	return Counters{
+		Batches:          e.batches.Load(),
+		BatchedQueries:   e.queries.Load(),
+		Coalesced:        e.coalesced.Load(),
+		MaxBatchObserved: e.maxBatch.Load(),
+		SharedTerms:      e.sharedTerms.Load(),
+		WarmedBlocks:     e.warmedBlocks.Load(),
+	}
+}
+
+// RegisterMetrics exposes the batching counters on r under prefix
+// (e.g. "serve.sparta.batch").
+func (e *Executor) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.RegisterFunc(prefix+".batches", func() any { return e.batches.Load() })
+	r.RegisterFunc(prefix+".batched_queries", func() any { return e.queries.Load() })
+	r.RegisterFunc(prefix+".coalesced", func() any { return e.coalesced.Load() })
+	r.RegisterFunc(prefix+".max_batch", func() any { return e.maxBatch.Load() })
+	r.RegisterFunc(prefix+".mean_batch", func() any { return e.Counters().MeanBatch() })
+	r.RegisterFunc(prefix+".shared_terms", func() any { return e.sharedTerms.Load() })
+	r.RegisterFunc(prefix+".warmed_blocks", func() any { return e.warmedBlocks.Load() })
+}

@@ -42,15 +42,15 @@ type ShardedBenchRow struct {
 // dropped) and once under a tight per-shard timeout that exposes the
 // partial-merge path and the per-shard deadline-miss rates.
 type ShardedBenchReport struct {
-	Corpus           string        `json:"corpus"`
-	Docs             int           `json:"docs"`
-	Terms            int           `json:"terms"`
-	K                int           `json:"k"`
-	Threads          int           `json:"threads"`
-	QueryLen         int           `json:"query_len"`
-	P                int           `json:"p"`
-	CacheBudgetBytes int64         `json:"cache_budget_bytes"`
-	TightTimeoutNs   int64         `json:"tight_timeout_ns"`
+	Corpus           string            `json:"corpus"`
+	Docs             int               `json:"docs"`
+	Terms            int               `json:"terms"`
+	K                int               `json:"k"`
+	Threads          int               `json:"threads"`
+	QueryLen         int               `json:"query_len"`
+	P                int               `json:"p"`
+	CacheBudgetBytes int64             `json:"cache_budget_bytes"`
+	TightTimeoutNs   int64             `json:"tight_timeout_ns"`
 	Relaxed          []ShardedBenchRow `json:"relaxed"`
 	Tight            []ShardedBenchRow `json:"tight"`
 }

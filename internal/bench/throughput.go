@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/batchexec"
+	"sparta/internal/plcache"
+)
+
+// ThroughputRow is one (client count, batching mode) measurement of the
+// closed-loop throughput grid.
+type ThroughputRow struct {
+	// Clients is the closed-loop client count (each client issues its
+	// next query as soon as the previous one returns).
+	Clients int  `json:"clients"`
+	Batched bool `json:"batched"`
+	Queries int  `json:"queries"`
+	// QPS is completed queries per wall-clock second.
+	QPS float64 `json:"qps"`
+	// Latency percentiles over per-query wall-clock time, milliseconds.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// PostingCacheHitRate is the decoded-block cache's hit rate for the
+	// row (fresh cache per row).
+	PostingCacheHitRate float64 `json:"posting_cache_hit_rate"`
+	// DupFillsSuppressed counts block fills served by a concurrent
+	// decode through the single-flight gate instead of re-charging the
+	// store — the duplicate-decode work concurrency would otherwise pay.
+	DupFillsSuppressed int64 `json:"dup_fills_suppressed"`
+	// DupFillRate is DupFillsSuppressed/(DupFillsSuppressed+fills): the
+	// fraction of decode demand that single-flight deduplicated.
+	DupFillRate float64 `json:"dup_fill_rate"`
+	// Batch counters (zero in unbatched rows).
+	Batches       int64   `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	Coalesced     int64   `json:"coalesced"`
+	SharedTerms   int64   `json:"shared_terms"`
+	WarmedBlocks  int64   `json:"warmed_blocks"`
+}
+
+// ThroughputReport is the machine-readable multi-query throughput
+// artifact (BENCH_throughput.json): closed-loop client sweeps over the
+// Zipfian voice-query log, sequential (batching off) versus batched.
+type ThroughputReport struct {
+	Corpus           string          `json:"corpus"`
+	Docs             int             `json:"docs"`
+	Terms            int             `json:"terms"`
+	K                int             `json:"k"`
+	Algorithm        string          `json:"algorithm"`
+	CacheBudgetBytes int64           `json:"cache_budget_bytes"`
+	BatchWindowNs    int64           `json:"batch_window_ns"`
+	MaxBatch         int             `json:"max_batch"`
+	WarmBlocks       int             `json:"warm_blocks"`
+	QueriesPerClient int             `json:"queries_per_client"`
+	Sequential       []ThroughputRow `json:"sequential"`
+	Batched          []ThroughputRow `json:"batched"`
+}
+
+// ThroughputConfig parameterizes RunThroughputReport.
+type ThroughputConfig struct {
+	// Algo is the measured algorithm (default AlgoSparta, the paper's
+	// headline high-recall configuration).
+	Algo AlgoID
+	// Clients is the closed-loop client grid (default {1, 4, 16, 64}).
+	Clients []int
+	// QueriesPerClient fixes per-client work so rows are comparable
+	// across client counts (default 24).
+	QueriesPerClient int
+	// Threads is the per-query intra-parallelism budget at C=1; it is
+	// divided across clients (min 1) so every row works the same
+	// worker pool.
+	Threads int
+	// CacheBytes budgets the fresh decoded-block cache of each row.
+	CacheBytes int64
+	// Window / MaxBatch / WarmBlocks parameterize the batched rows (see
+	// batchexec.Config). Window defaults to 200µs.
+	Window     time.Duration
+	MaxBatch   int
+	WarmBlocks int
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.Algo == "" {
+		c.Algo = AlgoSparta
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 4, 16, 64}
+	}
+	if c.QueriesPerClient <= 0 {
+		c.QueriesPerClient = 24
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 200 * time.Microsecond
+	}
+	return c
+}
+
+// RunThroughputReport measures multi-query serving throughput: for each
+// client count C, C closed-loop clients drain a shared Zipfian
+// voice-mix query log through one algorithm instance — unbatched (every
+// query independent, today's serving path) versus through a
+// batchexec.Executor (coalescing window + shared warm-up +
+// single-flight fills). Each row runs on a fresh decoded-block cache
+// and a flushed page cache, high-recall tuning (tun.Delta), and the
+// same total work per client.
+//
+// One discarded warm-up pass runs before the grid, and the two modes of
+// each client count run back to back: a cold process pays one-time
+// costs (index page faults, allocator and scheduler warm-up) on its
+// first row, and Delta-based anytime stopping turns any such timing
+// shift into a work shift — so whichever cell ran first would be
+// systematically penalized against its mode pair.
+func (e *Env) RunThroughputReport(tun Tuning, cfg ThroughputConfig) ThroughputReport {
+	cfg = cfg.withDefaults()
+	rep := ThroughputReport{
+		Corpus:           e.Spec.Name,
+		Docs:             e.Mem.NumDocs(),
+		Terms:            e.Mem.NumTerms(),
+		K:                e.Opts.K,
+		Algorithm:        string(cfg.Algo),
+		CacheBudgetBytes: cfg.CacheBytes,
+		BatchWindowNs:    int64(cfg.Window),
+		MaxBatch:         cfg.MaxBatch,
+		WarmBlocks:       cfg.WarmBlocks,
+		QueriesPerClient: cfg.QueriesPerClient,
+	}
+	prev := e.Disk.PostingCache()
+	defer e.Disk.SetPostingCache(prev)
+
+	warm := cfg
+	warm.QueriesPerClient = 16
+	e.throughputRow(tun, warm, 4, true, uint64(len(cfg.Clients)))
+
+	for i, c := range cfg.Clients {
+		for _, batched := range []bool{false, true} {
+			row := e.throughputRow(tun, cfg, c, batched, uint64(i))
+			if batched {
+				rep.Batched = append(rep.Batched, row)
+			} else {
+				rep.Sequential = append(rep.Sequential, row)
+			}
+		}
+	}
+	return rep
+}
+
+func (e *Env) throughputRow(tun Tuning, cfg ThroughputConfig, clients int, batched bool, seedSalt uint64) ThroughputRow {
+	cache := plcache.NewWithBudget(cfg.CacheBytes)
+	e.Disk.SetPostingCache(cache)
+	e.FlushAndReset()
+
+	// The same log for every row of one client count: seed varies only
+	// with the grid position, so batched and unbatched rows face
+	// identical work. Low client counts get a floor on total queries —
+	// a 20-query row's percentiles are single observations, and on this
+	// Delta-stopped anytime workload run-to-run timing drift swamps any
+	// mode difference at that sample size.
+	qpc := cfg.QueriesPerClient
+	const minTotal = 96
+	if qpc*clients < minTotal {
+		qpc = (minTotal + clients - 1) / clients
+	}
+	total := qpc * clients
+	qs := e.Sets.VoiceMix(total, e.Opts.Seed+seedSalt)
+
+	opts := e.baseOpts()
+	opts.Delta = tun.Delta // the high-recall anytime configuration
+	opts.Threads = cfg.Threads / clients
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+
+	alg := MakeAlgorithm(cfg.Algo, e.Disk)
+	var ex *batchexec.Executor
+	if batched {
+		ex = batchexec.New(alg, batchexec.Config{
+			Window:     cfg.Window,
+			MaxBatch:   cfg.MaxBatch,
+			WarmBlocks: cfg.WarmBlocks,
+			Warmer:     e.Disk,
+		})
+		alg = ex
+	}
+
+	lat := make([]time.Duration, total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				t0 := time.Now()
+				_, _, err := alg.SearchContext(context.Background(), qs[i], opts)
+				if err != nil {
+					panic(fmt.Sprintf("bench: throughput query failed: %v", err))
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ex != nil {
+		ex.Drain()
+	}
+
+	row := ThroughputRow{
+		Clients: clients,
+		Batched: batched,
+		Queries: total,
+		QPS:     float64(total) / elapsed.Seconds(),
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(p float64) time.Duration {
+		i := int(p*float64(len(sorted))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	row.MeanMs = ms(sum / time.Duration(total))
+	row.P50Ms, row.P95Ms, row.P99Ms = ms(pct(0.50)), ms(pct(0.95)), ms(pct(0.99))
+
+	cs := cache.Snapshot()
+	row.PostingCacheHitRate = cs.HitRate()
+	row.DupFillsSuppressed = cs.DupFillsSuppressed
+	if fills := cs.Misses; fills+cs.DupFillsSuppressed > 0 {
+		row.DupFillRate = float64(cs.DupFillsSuppressed) / float64(fills+cs.DupFillsSuppressed)
+	}
+	if ex != nil {
+		bc := ex.Counters()
+		row.Batches = bc.Batches
+		row.MeanBatchSize = bc.MeanBatch()
+		row.Coalesced = bc.Coalesced
+		row.SharedTerms = bc.SharedTerms
+		row.WarmedBlocks = bc.WarmedBlocks
+	}
+	return row
+}
+
+// WriteJSON writes the report to path, indented for diffing.
+func (r ThroughputReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a human-readable digest of the report.
+func (r ThroughputReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "throughput grid (%s: %d docs, %s high, window %v, max batch %d, cache %d MB, %d q/client)\n",
+		r.Corpus, r.Docs, r.Algorithm, time.Duration(r.BatchWindowNs), r.MaxBatch,
+		r.CacheBudgetBytes>>20, r.QueriesPerClient)
+	fmt.Fprintf(&b, "%-8s %8s %9s %9s %9s %9s %8s %10s %10s %8s\n",
+		"clients", "batch", "qps", "mean_ms", "p95_ms", "p99_ms", "plc-hit", "dup-fills", "mean-batch", "warmed")
+	row := func(x ThroughputRow) {
+		mode := "off"
+		if x.Batched {
+			mode = "on"
+		}
+		fmt.Fprintf(&b, "%-8d %8s %9.1f %9.2f %9.2f %9.2f %8.3f %10d %10.1f %8d\n",
+			x.Clients, mode, x.QPS, x.MeanMs, x.P95Ms, x.P99Ms,
+			x.PostingCacheHitRate, x.DupFillsSuppressed, x.MeanBatchSize, x.WarmedBlocks)
+	}
+	// The arrays are parallel (same client grid); print each client
+	// count's pair adjacently so the mode comparison reads down the page.
+	for i := range r.Sequential {
+		row(r.Sequential[i])
+		if i < len(r.Batched) {
+			row(r.Batched[i])
+		}
+	}
+	return b.String()
+}

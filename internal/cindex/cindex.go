@@ -317,12 +317,22 @@ func (c *docCursor) loadBlock(i int) bool {
 	}
 	b := c.blocks[i]
 	if c.cache != nil {
+		// Single-flight: concurrent cursors missing on this block share
+		// one fetch+decode; only the fill leader charges the store.
 		c.key.Block = int32(i)
-		if post, ok := c.cache.Get(c.key); ok {
-			c.decoded = post
-			c.blk, c.pos = i, 0
-			return true
-		}
+		post, _, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
+			buf := c.rd.View(b.off, int64(b.byteLen))
+			// Decode into a fresh slice the cache retains — never into
+			// the owned scratch, which this cursor reuses.
+			post, err := codec.DecodeDocBlock(b.base, buf, int(b.count), nil)
+			if err != nil {
+				panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
+			}
+			return post, nil
+		})
+		c.decoded = post
+		c.blk, c.pos = i, 0
+		return true
 	}
 	buf := c.rd.View(b.off, int64(b.byteLen))
 	var err error
@@ -333,9 +343,6 @@ func (c *docCursor) loadBlock(i int) bool {
 		panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
 	}
 	c.decoded = c.scratch
-	if c.cache != nil {
-		c.cache.Put(c.key, c.decoded) // Put copies; scratch stays ours
-	}
 	c.blk = i
 	c.pos = 0
 	return true
@@ -452,11 +459,17 @@ func (c *impCursor) loadBlock(i int) bool {
 	b := c.blocks[i]
 	if c.cache != nil {
 		c.key.Block = int32(i)
-		if post, ok := c.cache.Get(c.key); ok {
-			c.decoded = post
-			c.blk, c.pos = i, 0
-			return true
-		}
+		post, _, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
+			buf := c.rd.View(b.off, int64(b.byteLen))
+			post, err := codec.DecodeImpactBlock(b.ceil, buf, int(b.count), nil)
+			if err != nil {
+				panic(fmt.Sprintf("cindex: corrupt impact block: %v", err))
+			}
+			return post, nil
+		})
+		c.decoded = post
+		c.blk, c.pos = i, 0
+		return true
 	}
 	buf := c.rd.View(b.off, int64(b.byteLen))
 	var err error
@@ -465,9 +478,6 @@ func (c *impCursor) loadBlock(i int) bool {
 		panic(fmt.Sprintf("cindex: corrupt impact block: %v", err))
 	}
 	c.decoded = c.scratch
-	if c.cache != nil {
-		c.cache.Put(c.key, c.decoded)
-	}
 	c.blk = i
 	c.pos = 0
 	return true

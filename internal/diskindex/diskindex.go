@@ -204,6 +204,110 @@ func (x *Index) SetPostingCache(c *plcache.Cache) {
 // PostingCache returns the attached decoded-block cache, or nil.
 func (x *Index) PostingCache() *plcache.Cache { return x.cache.Load() }
 
+// warmWorkers bounds the parallelism of one WarmTerms pass; each worker
+// owns one charged reader, so a warm pass overlaps at most this many
+// simulated fetches.
+const warmWorkers = 8
+
+var _ postings.TermWarmer = (*Index)(nil)
+
+// WarmTerms implements postings.TermWarmer: it prefetches the leading
+// `blocks` posting blocks of each term's impact- and doc-ordered
+// regions, plus the first block of each pre-built shard sublist, into
+// the attached decoded-block cache (or just the simulated page cache
+// when none is attached). Fills go through the single-flight gate with
+// hot admission, so a warm pass never duplicates a fetch a concurrent
+// query is already performing, and warmed blocks displace cold ones
+// immediately. The pass stops early when ctx is done; every reader it
+// opened is settled before it returns. It reports the fills performed.
+func (x *Index) WarmTerms(ctx context.Context, terms []model.TermID, blocks int) int {
+	if blocks <= 0 || len(terms) == 0 {
+		return 0
+	}
+	cache := x.cache.Load()
+	work := make(chan model.TermID, len(terms))
+	for _, t := range terms {
+		if int(t) < len(x.dict) {
+			work <- t
+		}
+	}
+	close(work)
+	workers := warmWorkers
+	if workers > len(terms) {
+		workers = len(terms)
+	}
+	var filled atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rd := x.store.NewReader(x.postFile)
+			rd.Bind(ctx, nil, nil)
+			defer rd.Settle()
+			for t := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				filled.Add(int64(x.warmTerm(rd, cache, t, blocks)))
+			}
+		}()
+	}
+	wg.Wait()
+	return int(filled.Load())
+}
+
+// warmTerm fetches the leading blocks of one term's regions through rd,
+// returning the number of fills it performed itself.
+func (x *Index) warmTerm(rd *iomodel.Reader, cache *plcache.Cache, t model.TermID, blocks int) int {
+	e := x.dict[t]
+	if e.df == 0 {
+		return 0
+	}
+	filled := 0
+	warm := func(kind plcache.Kind, base int64, n, limit int) {
+		nb := (n + postings.BlockSize - 1) / postings.BlockSize
+		w := nb
+		if w > limit {
+			w = limit
+		}
+		for i := 0; i < w; i++ {
+			count := postings.BlockSize
+			if i == nb-1 {
+				count = n - i*postings.BlockSize
+			}
+			off := base + int64(i)*blockBytes
+			if cache == nil {
+				rd.View(off, int64(count)*postingSize) // page-cache warm only
+				filled++
+				continue
+			}
+			key := plcache.Key{Term: t, Kind: kind, Block: int32(i)}
+			_, did, _ := cache.GetOrFillHot(key, func() ([]model.Posting, error) {
+				raw := rd.View(off, int64(count)*postingSize)
+				buf := make([]model.Posting, count)
+				for j := 0; j < count; j++ {
+					buf[j] = decodePosting(raw[j*postingSize:])
+				}
+				return buf, nil
+			})
+			if did {
+				filled++
+			}
+		}
+	}
+	warm(plcache.KindImpact, int64(e.impactOff), int(e.df), blocks)
+	warm(plcache.KindDoc, int64(e.docOff), int(e.df), blocks)
+	if x.manifest.Shards > 1 { // at 1 shard the cursors fall back to the impact region
+		for s := 0; s < x.manifest.Shards; s++ {
+			if sn := int(x.shardLens[t][s]); sn > 0 {
+				warm(plcache.KindShard(s), x.shardOffs[t][s], sn, 1)
+			}
+		}
+	}
+	return filled
+}
+
 // Manifest returns the index metadata.
 func (x *Index) Manifest() Manifest { return x.manifest }
 
@@ -475,18 +579,23 @@ func (c *blockCursor) loadBlock(i int) bool {
 		count = c.n - i*postings.BlockSize
 	}
 	if c.cache != nil {
+		// Single-flight: concurrent cursors missing on the same block
+		// share one fetch+decode; only the fill leader charges the store.
 		c.key.Block = int32(i)
-		if post, ok := c.cache.Get(c.key); ok {
-			if c.onCache != nil {
-				c.onCache(true)
+		post, filled, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
+			raw := c.rd.View(c.base+int64(i)*blockBytes, int64(count)*postingSize)
+			buf := make([]model.Posting, count) // retained by the cache; never pooled
+			for j := 0; j < count; j++ {
+				buf[j] = decodePosting(raw[j*postingSize:])
 			}
-			c.cur = post
-			c.blk, c.pos = i, 0
-			return true
-		}
+			return buf, nil
+		})
 		if c.onCache != nil {
-			c.onCache(false)
+			c.onCache(!filled) // a waiter served by another's fill is a hit
 		}
+		c.cur = post
+		c.blk, c.pos = i, 0
+		return true
 	}
 	raw := c.rd.View(c.base+int64(i)*blockBytes, int64(count)*postingSize)
 	if c.scratch == nil {
@@ -497,9 +606,6 @@ func (c *blockCursor) loadBlock(i int) bool {
 		buf[j] = decodePosting(raw[j*postingSize:])
 	}
 	c.cur = buf
-	if c.cache != nil {
-		c.cache.Put(c.key, buf) // Put copies; buf stays ours
-	}
 	c.blk, c.pos = i, 0
 	return true
 }

@@ -26,6 +26,7 @@
 package plcache
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -102,6 +103,15 @@ type Stats struct {
 	// (the block's key was only remembered in the ghost set; a repeat
 	// Put within the window is admitted).
 	AdmissionRejects int64
+	// DupFillsSuppressed counts GetOrFill callers that were served by a
+	// concurrent caller's fill instead of decoding (and charging the
+	// store for) the same block themselves — the redundant work the
+	// single-flight gate removes under concurrent query load.
+	DupFillsSuppressed int64
+	// InFlightFills is the number of fills currently executing (a gauge,
+	// not a counter): how many distinct blocks are being decoded for this
+	// cache right now.
+	InFlightFills int64
 	// Bytes is the accounted decoded-block memory currently held.
 	Bytes int64
 	// Entries is the number of cached blocks.
@@ -131,6 +141,23 @@ type Cache struct {
 	bytes      atomic.Int64
 	entries    atomic.Int64
 	attached   atomic.Bool
+
+	// Single-flight gate for GetOrFill: at most one fill per key runs at
+	// a time; concurrent missers wait on the leader's result instead of
+	// decoding (and charging the store for) the same block again.
+	fillMu        sync.Mutex
+	fills         map[Key]*fill
+	dupSuppressed atomic.Int64
+	inFlight      atomic.Int64
+}
+
+// fill is one in-flight block decode. The leader closes done after
+// publishing post/err; waiters read both only after done.
+type fill struct {
+	done    chan struct{}
+	waiters atomic.Int64
+	post    []model.Posting
+	err     error
 }
 
 type stripe struct {
@@ -160,7 +187,12 @@ func New(cfg Config) *Cache {
 	if cfg.Stripes <= 0 {
 		cfg.Stripes = 16
 	}
-	c := &Cache{budget: cfg.Budget, stripes: make([]stripe, cfg.Stripes), firstTouch: cfg.AdmitFirstTouch}
+	c := &Cache{
+		budget:     cfg.Budget,
+		stripes:    make([]stripe, cfg.Stripes),
+		firstTouch: cfg.AdmitFirstTouch,
+		fills:      make(map[Key]*fill),
+	}
 	for i := range c.stripes {
 		c.stripes[i].table = make(map[Key]*entry)
 		c.stripes[i].ghost = make(map[Key]struct{}, ghostKeys)
@@ -203,6 +235,93 @@ func (c *Cache) Get(k Key) ([]model.Posting, bool) {
 	return e.post, true
 }
 
+// errFillAborted is returned to waiters whose leader's fill function
+// panicked; the panic itself propagates on the leader's goroutine.
+var errFillAborted = errors.New("plcache: concurrent fill aborted")
+
+// GetOrFill returns the decoded block for k, running fillFn to produce
+// it on a miss. Concurrent misses on the same key are single-flighted:
+// exactly one caller (the leader) runs fillFn — so the store is charged
+// for at most one fetch+decode per key at a time — and every concurrent
+// caller waits for and shares the leader's result. filled reports
+// whether this call ran fillFn.
+//
+// Accounting: a served waiter counts as a hit (the block reached it
+// without a decode) and increments DupFillsSuppressed; the leader
+// counts a miss. A successful fill is offered to the cache under the
+// usual admission rules — except that a fill which had waiters is
+// admitted immediately (see PutHot): concurrent demand is the second
+// touch. Like Get, the returned slice is shared and read-only.
+//
+// fillFn runs outside all cache locks, so it may block on I/O; it must
+// return a slice the cache may retain (never a pooled buffer).
+func (c *Cache) GetOrFill(k Key, fillFn func() ([]model.Posting, error)) (post []model.Posting, filled bool, err error) {
+	return c.getOrFill(k, fillFn, false)
+}
+
+// GetOrFillHot is GetOrFill with PutHot admission: a successful fill is
+// admitted immediately instead of through the two-touch filter. Batch
+// warm-up uses it — warm-up only touches terms shared by several
+// queries of one batch, which is second-touch evidence in itself.
+func (c *Cache) GetOrFillHot(k Key, fillFn func() ([]model.Posting, error)) (post []model.Posting, filled bool, err error) {
+	return c.getOrFill(k, fillFn, true)
+}
+
+func (c *Cache) getOrFill(k Key, fillFn func() ([]model.Posting, error), hot bool) (post []model.Posting, filled bool, err error) {
+	if post, ok := c.Get(k); ok {
+		return post, false, nil
+	}
+	// Get counted the miss; join or start a fill.
+	c.fillMu.Lock()
+	if f, ok := c.fills[k]; ok {
+		f.waiters.Add(1)
+		c.fillMu.Unlock()
+		// Re-label this caller's miss: it will be served by the
+		// leader's decode, which is the hit the single-flight gate buys.
+		c.misses.Add(-1)
+		c.hits.Add(1)
+		c.dupSuppressed.Add(1)
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.post, false, nil
+	}
+	f := &fill{done: make(chan struct{})}
+	c.fills[k] = f
+	c.inFlight.Add(1)
+	c.fillMu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed { // fillFn panicked; unblock waiters before unwinding
+			f.err = errFillAborted
+			c.finishFill(k, f)
+		}
+	}()
+	f.post, f.err = fillFn()
+	completed = true
+	if f.err == nil {
+		// Concurrent demand counts as the second touch: a fill that had
+		// waiters bypasses two-touch admission.
+		c.put(k, f.post, hot || f.waiters.Load() > 0, true)
+	}
+	c.finishFill(k, f)
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	return f.post, true, nil
+}
+
+// finishFill retires an in-flight fill and releases its waiters.
+func (c *Cache) finishFill(k Key, f *fill) {
+	c.fillMu.Lock()
+	delete(c.fills, k)
+	c.fillMu.Unlock()
+	c.inFlight.Add(-1)
+	close(f.done)
+}
+
 // Put inserts a copy of post under k, evicting least-recently-used
 // blocks until the budget admits it. Under the default two-touch
 // admission the first Put of a key only records it in the stripe's
@@ -210,7 +329,21 @@ func (c *Cache) Get(k Key) ([]model.Posting, bool) {
 // remembered admits the block. If the block cannot fit even with the
 // stripe emptied (or it is already cached), the cache is left as is.
 // The caller keeps ownership of post.
-func (c *Cache) Put(k Key, post []model.Posting) {
+func (c *Cache) Put(k Key, post []model.Posting) { c.put(k, post, false, false) }
+
+// PutHot inserts like Put but bypasses the two-touch admission filter.
+// Callers use it when they already hold independent evidence that the
+// block is hot — a batch warm-up for a term shared by several queries,
+// or a single-flight fill that had concurrent waiters — so the first
+// decode should displace resident blocks immediately instead of waiting
+// for a second touch.
+func (c *Cache) PutHot(k Key, post []model.Posting) { c.put(k, post, true, false) }
+
+// put inserts post under k. hot bypasses two-touch admission; owned
+// means the caller transfers ownership of post (no defensive copy) —
+// only GetOrFill uses it, whose fill contract already requires a
+// retainable slice.
+func (c *Cache) put(k Key, post []model.Posting, hot, owned bool) {
 	need := entryBytes(len(post))
 	st := c.stripeFor(k)
 	st.mu.Lock()
@@ -218,7 +351,7 @@ func (c *Cache) Put(k Key, post []model.Posting) {
 	if _, dup := st.table[k]; dup {
 		return // raced with another query decoding the same block
 	}
-	if !c.firstTouch && !st.ghostTouch(k) {
+	if !hot && !c.firstTouch && !st.ghostTouch(k) {
 		c.admRejects.Add(1)
 		return
 	}
@@ -228,9 +361,12 @@ func (c *Cache) Put(k Key, post []model.Posting) {
 		}
 		c.evictLocked(st, st.tail)
 	}
-	dup := make([]model.Posting, len(post))
-	copy(dup, post)
-	e := &entry{key: k, post: dup, bytes: need}
+	kept := post
+	if !owned {
+		kept = make([]model.Posting, len(post))
+		copy(kept, post)
+	}
+	e := &entry{key: k, post: kept, bytes: need}
 	st.table[k] = e
 	st.pushFront(e)
 	c.inserts.Add(1)
@@ -289,18 +425,21 @@ func (c *Cache) ResetStats() {
 	c.inserts.Store(0)
 	c.evictions.Store(0)
 	c.admRejects.Store(0)
+	c.dupSuppressed.Store(0)
 }
 
 // Snapshot returns current counters.
 func (c *Cache) Snapshot() Stats {
 	return Stats{
-		Hits:             c.hits.Load(),
-		Misses:           c.misses.Load(),
-		Inserts:          c.inserts.Load(),
-		Evictions:        c.evictions.Load(),
-		AdmissionRejects: c.admRejects.Load(),
-		Bytes:            c.bytes.Load(),
-		Entries:          c.entries.Load(),
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Inserts:            c.inserts.Load(),
+		Evictions:          c.evictions.Load(),
+		AdmissionRejects:   c.admRejects.Load(),
+		DupFillsSuppressed: c.dupSuppressed.Load(),
+		InFlightFills:      c.inFlight.Load(),
+		Bytes:              c.bytes.Load(),
+		Entries:            c.entries.Load(),
 	}
 }
 

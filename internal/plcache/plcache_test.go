@@ -3,7 +3,9 @@ package plcache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sparta/internal/membudget"
 	"sparta/internal/model"
@@ -271,5 +273,196 @@ func TestAttachedMarker(t *testing.T) {
 	c.MarkAttached()
 	if !c.Attached() {
 		t.Fatal("MarkAttached did not stick")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestGetOrFillSingleFlight(t *testing.T) {
+	c := newFirstTouch(1 << 20)
+	k := Key{Term: 9, Kind: KindDoc, Block: 3}
+	var fillCalls atomic.Int64
+	release := make(chan struct{})
+
+	// Leader: the fill blocks until released, holding the in-flight slot.
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		post, filled, err := c.GetOrFill(k, func() ([]model.Posting, error) {
+			fillCalls.Add(1)
+			<-release
+			return block(16, 40), nil
+		})
+		if err != nil || !filled || len(post) != 16 {
+			t.Errorf("leader: filled=%v len=%d err=%v", filled, len(post), err)
+		}
+	}()
+	waitFor(t, "fill to start", func() bool { return c.Snapshot().InFlightFills == 1 })
+
+	// Waiter: a concurrent miss on the same key joins the fill instead of
+	// charging a second decode. The suppression counter moves before the
+	// waiter blocks, so the test can release the leader deterministically.
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		post, filled, err := c.GetOrFill(k, func() ([]model.Posting, error) {
+			fillCalls.Add(1)
+			return block(16, 40), nil
+		})
+		if err != nil || filled || len(post) != 16 {
+			t.Errorf("waiter: filled=%v len=%d err=%v", filled, len(post), err)
+		}
+	}()
+	waitFor(t, "waiter to register", func() bool { return c.Snapshot().DupFillsSuppressed == 1 })
+
+	close(release)
+	<-leaderDone
+	<-waiterDone
+
+	if n := fillCalls.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	st := c.Snapshot()
+	if st.DupFillsSuppressed != 1 || st.InFlightFills != 0 {
+		t.Fatalf("stats = %+v, want 1 suppressed dup, 0 in flight", st)
+	}
+	// The waiter's join counts as a hit, not a second miss.
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("misses=%d hits=%d, want 1 and 1", st.Misses, st.Hits)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("filled block not cached")
+	}
+}
+
+func TestGetOrFillErrorDoesNotCache(t *testing.T) {
+	c := newFirstTouch(1 << 20)
+	k := Key{Term: 5, Kind: KindImpact, Block: 0}
+	boom := fmt.Errorf("disk on fire")
+	if _, _, err := c.GetOrFill(k, func() ([]model.Posting, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("failed fill was cached")
+	}
+	if st := c.Snapshot(); st.InFlightFills != 0 {
+		t.Fatalf("in-flight fills = %d after failed fill, want 0", st.InFlightFills)
+	}
+	// The key is fillable again after the failure.
+	post, filled, err := c.GetOrFill(k, func() ([]model.Posting, error) { return block(8, 2), nil })
+	if err != nil || !filled || len(post) != 8 {
+		t.Fatalf("retry: filled=%v len=%d err=%v", filled, len(post), err)
+	}
+}
+
+func TestGetOrFillPanicUnblocksWaiters(t *testing.T) {
+	c := newFirstTouch(1 << 20)
+	k := Key{Term: 6, Kind: KindDoc, Block: 1}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.GetOrFill(k, func() ([]model.Posting, error) {
+			close(entered)
+			<-release
+			panic("corrupt block")
+		})
+	}()
+	<-entered
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrFill(k, func() ([]model.Posting, error) { return block(4, 1), nil })
+		waiterDone <- err
+	}()
+	waitFor(t, "waiter to register", func() bool { return c.Snapshot().DupFillsSuppressed == 1 })
+	close(release)
+	if err := <-waiterDone; err == nil {
+		t.Fatal("waiter of a panicking fill got nil error")
+	}
+	if st := c.Snapshot(); st.InFlightFills != 0 {
+		t.Fatalf("in-flight fills = %d after panic, want 0", st.InFlightFills)
+	}
+}
+
+func TestGetOrFillHotBypassesTwoTouch(t *testing.T) {
+	c := NewWithBudget(1 << 20) // two-touch admission
+	k := Key{Term: 7, Kind: KindDoc, Block: 0}
+	if _, filled, err := c.GetOrFillHot(k, func() ([]model.Posting, error) { return block(4, 3), nil }); err != nil || !filled {
+		t.Fatalf("filled=%v err=%v", filled, err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("hot fill was not admitted on first touch")
+	}
+	// Plain GetOrFill on a two-touch cache is NOT admitted first touch...
+	k2 := Key{Term: 8, Kind: KindDoc, Block: 0}
+	c.GetOrFill(k2, func() ([]model.Posting, error) { return block(4, 3), nil })
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("cold fill bypassed two-touch admission")
+	}
+	// ...but is on the second.
+	c.GetOrFill(k2, func() ([]model.Posting, error) { return block(4, 3), nil })
+	if _, ok := c.Get(k2); !ok {
+		t.Fatal("second fill not admitted")
+	}
+}
+
+func TestPutHotAdmitsFirstTouch(t *testing.T) {
+	c := NewWithBudget(1 << 20) // two-touch admission
+	k := Key{Term: 11, Kind: KindDoc, Block: 2}
+	c.PutHot(k, block(4, 9))
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("PutHot was not admitted on first touch")
+	}
+}
+
+func TestGetOrFillManyConcurrentMissesChargeOnce(t *testing.T) {
+	c := newFirstTouch(1 << 20)
+	k := Key{Term: 13, Kind: KindDoc, Block: 0}
+	var fillCalls atomic.Int64
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	leaderIn := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetOrFill(k, func() ([]model.Posting, error) {
+			fillCalls.Add(1)
+			close(leaderIn)
+			<-release
+			return block(4, 1), nil
+		})
+	}()
+	<-leaderIn
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post, _, err := c.GetOrFill(k, func() ([]model.Posting, error) {
+				fillCalls.Add(1)
+				return block(4, 1), nil
+			})
+			if err != nil || len(post) != 4 {
+				t.Errorf("waiter: len=%d err=%v", len(post), err)
+			}
+		}()
+	}
+	waitFor(t, "all waiters to register", func() bool {
+		return c.Snapshot().DupFillsSuppressed == waiters
+	})
+	close(release)
+	wg.Wait()
+	if n := fillCalls.Load(); n != 1 {
+		t.Fatalf("fill ran %d times for %d concurrent misses, want 1", n, waiters+1)
 	}
 }

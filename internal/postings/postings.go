@@ -172,6 +172,20 @@ type Settler interface {
 	SettleAll()
 }
 
+// TermWarmer is implemented by disk-resident views that can prefetch
+// the leading decoded blocks of a set of terms into the attached
+// posting cache before a batch of queries executes (package batchexec
+// runs one warm pass per batch over the terms its queries share).
+// WarmTerms fetches up to `blocks` leading blocks of each term's doc-
+// and impact-ordered regions, plus the first block of each pre-built
+// shard sublist, stopping early when ctx is done. Every charged reader
+// it opens is settled before it returns. It reports the number of
+// block fills it performed (already-cached or in-flight blocks are not
+// re-fetched).
+type TermWarmer interface {
+	WarmTerms(ctx context.Context, terms []model.TermID, blocks int) int
+}
+
 // ShardRange returns the half-open document-id range [lo, hi) of shard
 // number `shard` out of nShards over a corpus of numDocs documents.
 // Ranges are contiguous and of near-equal size, partitioning the id

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sparta/internal/batchexec"
 	"sparta/internal/iomodel"
 	"sparta/internal/metrics"
 	"sparta/internal/model"
@@ -142,6 +143,21 @@ type Config struct {
 	// it, exact results from lower-bound algorithms (NRA family) may
 	// mis-rank the boundary of the cross-shard result set.
 	NoExactResolve bool
+
+	// BatchWindow enables per-shard query coalescing (package
+	// batchexec): each shard's algorithm is wrapped in a batch executor,
+	// so concurrent queries fanning out to the same shard within this
+	// window share one warm-up pass and single-flight their block fills.
+	// Zero disables batching (the default serving path, unchanged).
+	// Hedged retries bypass the batch layer — a hedge exists to cut tail
+	// latency, not to wait out a collection window.
+	BatchWindow time.Duration
+	// MaxBatch caps a shard batch (default 16; see batchexec.Config).
+	MaxBatch int
+	// BatchWarmBlocks is the warm-up depth per shared term (default 2;
+	// negative disables warm-up). Warm-up runs only on shard views that
+	// implement postings.TermWarmer (the disk-modeled ones).
+	BatchWarmBlocks int
 }
 
 // latWindow is the per-shard completion-latency ring used for the
@@ -206,6 +222,9 @@ type Group struct {
 	cfg    Config
 	shards []*shardState
 	name   string
+	// batchers are the per-shard batch executors when BatchWindow > 0
+	// (batchers[i] == shards[i].Alg), kept for counters and Drain.
+	batchers []*batchexec.Executor
 }
 
 // New assembles a group from already-opened shards. Config.IO and
@@ -239,6 +258,27 @@ func New(cfg Config, shards ...Shard) (*Group, error) {
 		}
 		if sh.Cache != nil && !sh.Cache.Attached() {
 			return nil, fmt.Errorf("shardserve: shard %d (%s): cache supplied but not attached to its view", i, sh.Name)
+		}
+		if cfg.BatchWindow > 0 {
+			// Per-shard coalescing: concurrent queries fanning out to
+			// this shard batch here. Hedged retries must stay
+			// latency-critical, so when no explicit replica exists the
+			// unwrapped algorithm becomes one — a hedge never waits out
+			// a collection window.
+			if sh.Replica == nil {
+				sh.Replica = sh.Alg
+			}
+			bcfg := batchexec.Config{
+				Window:     cfg.BatchWindow,
+				MaxBatch:   cfg.MaxBatch,
+				WarmBlocks: cfg.BatchWarmBlocks,
+			}
+			if w, ok := sh.View.(postings.TermWarmer); ok {
+				bcfg.Warmer = w
+			}
+			ex := batchexec.New(sh.Alg, bcfg)
+			sh.Alg = ex
+			g.batchers = append(g.batchers, ex)
 		}
 		g.shards[i] = &shardState{Shard: sh}
 	}
@@ -607,6 +647,11 @@ type ShardCounters struct {
 	CacheMisses           int64 `json:"cache_misses"`
 	CacheBytes            int64 `json:"cache_bytes"`
 	CacheAdmissionRejects int64 `json:"cache_admission_rejects"`
+	// CacheDupFillsSuppressed / CacheInFlightFills mirror the cache's
+	// single-flight gate (fills served by a concurrent decode; fills
+	// currently executing).
+	CacheDupFillsSuppressed int64 `json:"cache_dup_fills_suppressed"`
+	CacheInFlightFills      int64 `json:"cache_in_flight_fills"`
 	// UnsettledNs is the shard store's unpaid I/O debt — always zero
 	// between queries.
 	UnsettledNs int64 `json:"unsettled_ns"`
@@ -630,6 +675,8 @@ func (g *Group) Counters(i int) ShardCounters {
 		cs := sh.Cache.Snapshot()
 		c.CacheHits, c.CacheMisses, c.CacheBytes = cs.Hits, cs.Misses, cs.Bytes
 		c.CacheAdmissionRejects = cs.AdmissionRejects
+		c.CacheDupFillsSuppressed = cs.DupFillsSuppressed
+		c.CacheInFlightFills = cs.InFlightFills
 	}
 	if sh.Store != nil {
 		c.UnsettledNs = int64(sh.Store.Unsettled())
@@ -656,6 +703,37 @@ func (g *Group) RegisterMetrics(r *metrics.Registry, prefix string) {
 	for i := range g.shards {
 		i := i
 		r.RegisterFunc(fmt.Sprintf("%sshard.%d", prefix, i), func() any { return g.Counters(i) })
+	}
+	if len(g.batchers) > 0 {
+		r.RegisterFunc(prefix+"batch", func() any { return g.BatchCounters() })
+	}
+}
+
+// BatchCounters aggregates the per-shard batch executors' counters
+// (zero value when BatchWindow is disabled).
+func (g *Group) BatchCounters() batchexec.Counters {
+	var c batchexec.Counters
+	for _, b := range g.batchers {
+		bc := b.Counters()
+		c.Batches += bc.Batches
+		c.BatchedQueries += bc.BatchedQueries
+		c.Coalesced += bc.Coalesced
+		if bc.MaxBatchObserved > c.MaxBatchObserved {
+			c.MaxBatchObserved = bc.MaxBatchObserved
+		}
+		c.SharedTerms += bc.SharedTerms
+		c.WarmedBlocks += bc.WarmedBlocks
+	}
+	return c
+}
+
+// Drain blocks until every dispatched shard batch (member queries and
+// warm-up passes) has completed; afterwards all batch I/O is settled,
+// so Unsettled() == 0. Call it with no searches in flight (shutdown,
+// test assertions). A no-op when batching is disabled.
+func (g *Group) Drain() {
+	for _, b := range g.batchers {
+		b.Drain()
 	}
 }
 

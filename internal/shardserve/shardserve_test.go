@@ -7,6 +7,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -494,5 +495,80 @@ func TestSearchShardsRespectsGlobalCancel(t *testing.T) {
 	algotest.AssertPartialTopK(t, "cancelled", got, 10)
 	if g.Unsettled() != 0 {
 		t.Fatalf("unsettled I/O: %v", g.Unsettled())
+	}
+}
+
+// TestBatchedGroupMatchesUnbatched runs concurrent queries through a
+// group with per-shard batching enabled: every result must still be
+// merged-exact, the batch counters must show coalescing, and after
+// Drain no shard store may hold unsettled I/O.
+func TestBatchedGroupMatchesUnbatched(t *testing.T) {
+	x := algotest.MediumIndex(t, 1234)
+	const p, n = 4, 6
+	views, err := shardserve.PartitionViews(x, p, iomodel.RAMConfig(), 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := shardserve.NewFromViews(shardserve.Config{
+		BatchWindow:     20 * time.Millisecond,
+		MaxBatch:        n,
+		BatchWarmBlocks: 2,
+	}, func(v postings.View) topk.Algorithm {
+		return bench.MakeAlgorithm(bench.AlgoSparta, v)
+	}, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overlapping queries so the per-shard batches share terms.
+	queries := make([]model.Query, n)
+	for i := range queries {
+		queries[i] = algotest.RandomQuery(x, 4+i%3, uint64(60+i/2))
+	}
+	const k = 10
+	type result struct {
+		res model.TopK
+		st  shardserve.ShardedStats
+	}
+	results := make([]result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range queries {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, st, err := g.SearchShards(context.Background(), queries[i],
+				topk.Options{K: k, Exact: true, Threads: 1})
+			results[i], errs[i] = result{res, st}, err
+		}()
+	}
+	wg.Wait()
+	g.Drain()
+
+	for i, q := range queries {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if results[i].st.ShardsDropped != 0 {
+			t.Fatalf("query %d: ShardsDropped = %d", i, results[i].st.ShardsDropped)
+		}
+		assertMergedExact(t, fmt.Sprintf("batched/q%d", i),
+			topk.BruteForce(x, q, k), results[i].res)
+	}
+	if owed := g.Unsettled(); owed != 0 {
+		t.Fatalf("%v of I/O charges unpaid after drain", owed)
+	}
+	bc := g.BatchCounters()
+	// Every query visits every shard, so each shard's executor batched n
+	// queries: n*p in total across the group.
+	if bc.BatchedQueries != int64(n*p) {
+		t.Errorf("batched queries = %d, want %d", bc.BatchedQueries, n*p)
+	}
+	if bc.Coalesced == 0 {
+		t.Error("no queries coalesced despite a generous window")
+	}
+	if bc.MaxBatchObserved < 2 {
+		t.Errorf("max batch observed = %d, want >= 2", bc.MaxBatchObserved)
 	}
 }

@@ -28,6 +28,11 @@ const (
 	StopCancelled = "cancelled"
 	// StopDeadline: the query's context deadline expired.
 	StopDeadline = "deadline"
+	// StopShed: load-aware admission dropped the query before it ran —
+	// its remaining context budget was smaller than the observed
+	// admission-queue wait, so executing it could only produce a result
+	// after its deadline.
+	StopShed = "shed"
 )
 
 // Observer receives one query's execution events. Implementations must

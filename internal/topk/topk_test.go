@@ -149,8 +149,8 @@ func TestOptionsValidate(t *testing.T) {
 		{K: 10, Threads: 4, Exact: true},
 		{K: 10, Delta: time.Millisecond},
 		{BoostF: 5, FracP: 0.5},
-		{Exact: true, BoostF: 1},  // f = 1 is the exact setting itself
-		{Exact: true, FracP: 1},   // p = 1 likewise
+		{Exact: true, BoostF: 1}, // f = 1 is the exact setting itself
+		{Exact: true, FracP: 1},  // p = 1 likewise
 		{SegSize: 64, Phi: 100, Shards: 12},
 	}
 	for i, o := range ok {

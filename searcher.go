@@ -3,12 +3,16 @@ package sparta
 import (
 	"context"
 	"errors"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"sparta/internal/batchexec"
 	"sparta/internal/metrics"
 	"sparta/internal/model"
+	"sparta/internal/postings"
 	"sparta/internal/topk"
 )
 
@@ -18,6 +22,14 @@ import (
 // misconfiguration it is. Attach the cache first (AttachPostingCache),
 // or open shards with Config.CacheBytes, which attaches at open time.
 var ErrCacheNotAttached = errors.New("sparta: SearcherConfig.PostingCache set but not attached to any index view (AttachPostingCache)")
+
+// ErrAdmissionShed is returned by a Searcher that dropped a query at
+// admission under load: the concurrency limit was saturated and the
+// query's remaining context budget was smaller than the observed
+// admission-queue wait (SearcherConfig.ShedQuantile), so running it
+// could only produce a result after its deadline. Shedding early
+// returns the capacity to queries that can still meet theirs.
+var ErrAdmissionShed = errors.New("sparta: query shed at admission (queue wait exceeds remaining context budget)")
 
 // SearcherConfig parameterizes a Searcher. The zero value disables
 // every knob: no timeout, unbounded concurrency, no observer.
@@ -49,6 +61,36 @@ type SearcherConfig struct {
 	// than silently running uncached. (The sharded serving path attaches
 	// per-shard caches itself at open time via Config.CacheBytes.)
 	PostingCache *PostingCache
+
+	// ShedQuantile enables load-aware admission: when MaxConcurrent is
+	// saturated and a query carries a context deadline, the query is
+	// shed (ErrAdmissionShed, StopReason "shed") if its remaining budget
+	// is smaller than this quantile of recently observed admission
+	// waits — it would time out in the queue, so dropping it immediately
+	// frees its slot-wait for queries that can still answer in time.
+	// 0 disables shedding (every query waits, as before); 0.9 sheds
+	// queries whose budget is below the p90 observed wait. Queries
+	// without a deadline never shed.
+	ShedQuantile float64
+
+	// BatchWindow enables multi-query batch execution (package
+	// batchexec): concurrent queries arriving within this window are
+	// coalesced into one batch that shares a cursor warm-up pass for
+	// overlapping terms and single-flights its posting-block fills.
+	// Zero (the default) disables batching — the serving path is then
+	// byte-identical to an unbatched Searcher. For sharded serving,
+	// prefer ShardGroupConfig.BatchWindow, which batches per shard.
+	BatchWindow time.Duration
+	// MaxBatch caps the batch size (default 16; see batchexec.Config).
+	MaxBatch int
+	// BatchWarmBlocks is the per-term warm-up depth of a batch (default
+	// 2; negative disables warm-up). Warm-up also needs BatchWarmView.
+	BatchWarmBlocks int
+	// BatchWarmView is the index view batches warm. It must be the view
+	// the wrapped algorithm reads (the Searcher wraps an Algorithm, not
+	// the view beneath it, so it cannot discover the view itself). Views
+	// that cannot warm (in-memory ones) are ignored.
+	BatchWarmView View
 }
 
 // SearcherCounters is a point-in-time snapshot of a Searcher's
@@ -66,6 +108,11 @@ type SearcherCounters struct {
 	// Rejected counts the subset of Cancelled+Deadline that never ran
 	// because admission was interrupted.
 	Rejected int64
+	// Shed counts queries dropped by load-aware admission (their
+	// remaining context budget was below the observed admission-wait
+	// quantile; see SearcherConfig.ShedQuantile). Disjoint from
+	// Rejected: shed queries return ErrAdmissionShed without waiting.
+	Shed int64
 	// InFlight is the number of queries currently executing or waiting
 	// for admission.
 	InFlight int64
@@ -82,6 +129,11 @@ type SearcherCounters struct {
 	CacheMisses           int64
 	CacheBytes            int64
 	CacheAdmissionRejects int64
+	// CacheDupFillsSuppressed / CacheInFlightFills mirror the cache's
+	// single-flight gate: fills served by a concurrent decode instead of
+	// duplicating it, and fills currently executing.
+	CacheDupFillsSuppressed int64
+	CacheInFlightFills      int64
 }
 
 // CacheHitRate returns CacheHits/(CacheHits+CacheMisses), or 0 before
@@ -99,15 +151,18 @@ func (c SearcherCounters) CacheHitRate() float64 {
 // can be dropped into the scheduler or the benchmark harness, and it is
 // safe for concurrent use.
 type Searcher struct {
-	alg topk.Algorithm
-	cfg SearcherConfig
-	sem chan struct{} // nil when MaxConcurrent == 0
+	alg   topk.Algorithm
+	cfg   SearcherConfig
+	sem   chan struct{}       // nil when MaxConcurrent == 0
+	batch *batchexec.Executor // non-nil when BatchWindow > 0 (== alg)
+	waits waitRing            // recent admission waits, for shedding
 
 	queries   atomic.Int64
 	errors    atomic.Int64
 	cancelled atomic.Int64
 	deadline  atomic.Int64
 	rejected  atomic.Int64
+	shed      atomic.Int64
 	inFlight  atomic.Int64
 	postings  atomic.Int64
 	latencyNs atomic.Int64
@@ -116,10 +171,41 @@ type Searcher struct {
 // NewSearcher wraps alg.
 func NewSearcher(alg topk.Algorithm, cfg SearcherConfig) *Searcher {
 	s := &Searcher{alg: alg, cfg: cfg}
+	if cfg.BatchWindow > 0 {
+		bcfg := batchexec.Config{
+			Window:     cfg.BatchWindow,
+			MaxBatch:   cfg.MaxBatch,
+			WarmBlocks: cfg.BatchWarmBlocks,
+		}
+		if w, ok := cfg.BatchWarmView.(postings.TermWarmer); ok {
+			bcfg.Warmer = w
+		}
+		s.batch = batchexec.New(alg, bcfg)
+		s.alg = s.batch
+	}
 	if cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
 	return s
+}
+
+// BatchCounters returns the batch-execution counters, or the zero value
+// when batching is disabled.
+func (s *Searcher) BatchCounters() batchexec.Counters {
+	if s.batch == nil {
+		return batchexec.Counters{}
+	}
+	return s.batch.Counters()
+}
+
+// Drain blocks until every dispatched batch (member queries and warm-up
+// passes) has completed; afterwards all batch I/O is settled. Call it
+// with no searches in flight — shutdown and test assertions. A no-op
+// when batching is disabled.
+func (s *Searcher) Drain() {
+	if s.batch != nil {
+		s.batch.Drain()
+	}
 }
 
 // Name implements Algorithm.
@@ -146,13 +232,35 @@ func (s *Searcher) SearchContext(ctx context.Context, q Query, opts Options) (To
 
 	if s.sem != nil {
 		select {
-		case s.sem <- struct{}{}:
+		case s.sem <- struct{}{}: // free slot: no queue, no wait recorded
 			defer func() { <-s.sem }()
-		case <-ctx.Done():
-			st := Stats{StopReason: stopReasonFor(ctx.Err()), Duration: time.Since(start)}
-			s.rejected.Add(1)
-			s.account(st, nil)
-			return model.TopK{}, st, nil
+		default:
+			// Saturated. Load-aware admission: if the queue's recent
+			// waits say this query would outlive its budget in line,
+			// shed it now instead of letting it time out holding a
+			// place other queries could use.
+			if q := s.cfg.ShedQuantile; q > 0 {
+				if dl, ok := ctx.Deadline(); ok {
+					if est := s.waits.quantile(q); est > 0 && time.Until(dl) < est {
+						st := Stats{StopReason: topk.StopShed, Duration: time.Since(start)}
+						s.shed.Add(1)
+						s.account(st, ErrAdmissionShed)
+						return model.TopK{}, st, ErrAdmissionShed
+					}
+				}
+			}
+			waitStart := time.Now()
+			select {
+			case s.sem <- struct{}{}:
+				s.waits.record(time.Since(waitStart))
+				defer func() { <-s.sem }()
+			case <-ctx.Done():
+				st := Stats{StopReason: stopReasonFor(ctx.Err()), Duration: time.Since(start)}
+				s.rejected.Add(1)
+				s.waits.record(time.Since(waitStart))
+				s.account(st, nil)
+				return model.TopK{}, st, nil
+			}
 		}
 	}
 
@@ -195,6 +303,7 @@ func (s *Searcher) Counters() SearcherCounters {
 		Cancelled:    s.cancelled.Load(),
 		Deadline:     s.deadline.Load(),
 		Rejected:     s.rejected.Load(),
+		Shed:         s.shed.Load(),
 		InFlight:     s.inFlight.Load(),
 		Postings:     s.postings.Load(),
 		TotalLatency: time.Duration(s.latencyNs.Load()),
@@ -203,6 +312,8 @@ func (s *Searcher) Counters() SearcherCounters {
 		cs := s.cfg.PostingCache.Snapshot()
 		c.CacheHits, c.CacheMisses, c.CacheBytes = cs.Hits, cs.Misses, cs.Bytes
 		c.CacheAdmissionRejects = cs.AdmissionRejects
+		c.CacheDupFillsSuppressed = cs.DupFillsSuppressed
+		c.CacheInFlightFills = cs.InFlightFills
 	}
 	return c
 }
@@ -219,6 +330,7 @@ func (s *Searcher) RegisterMetrics(r *metrics.Registry, prefix string) {
 	r.RegisterFunc(prefix+"cancelled", func() any { return s.cancelled.Load() })
 	r.RegisterFunc(prefix+"deadline", func() any { return s.deadline.Load() })
 	r.RegisterFunc(prefix+"rejected", func() any { return s.rejected.Load() })
+	r.RegisterFunc(prefix+"shed", func() any { return s.shed.Load() })
 	r.RegisterFunc(prefix+"in_flight", func() any { return s.inFlight.Load() })
 	r.RegisterFunc(prefix+"postings", func() any { return s.postings.Load() })
 	r.RegisterFunc(prefix+"latency_total_ns", func() any { return s.latencyNs.Load() })
@@ -233,6 +345,58 @@ func (s *Searcher) RegisterMetrics(r *metrics.Registry, prefix string) {
 		r.RegisterFunc(prefix+"cache", func() any { return s.cfg.PostingCache.Snapshot() })
 		r.RegisterFunc(prefix+"cache_hit_rate", func() any { return s.Counters().CacheHitRate() })
 	}
+	if s.batch != nil {
+		s.batch.RegisterMetrics(r, prefix+"batch")
+	}
+}
+
+// waitRingSize is how many recent admission waits the shedding
+// estimator remembers; like the shard hedging ring, small and recent
+// beats large and stale under shifting load.
+const waitRingSize = 64
+
+// waitRing is a fixed ring of recently observed admission-queue waits.
+// Only queries that actually queued record a wait, so an idle searcher's
+// estimate decays to nothing as old waits rotate out.
+type waitRing struct {
+	mu  sync.Mutex
+	buf [waitRingSize]time.Duration
+	n   int // filled entries (≤ waitRingSize)
+	pos int // next write
+}
+
+func (w *waitRing) record(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.pos] = d
+	w.pos = (w.pos + 1) % waitRingSize
+	if w.n < waitRingSize {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0 < q ≤ 1) of the remembered waits,
+// or 0 when none have been recorded yet — shedding self-disables until
+// the queue has history.
+func (w *waitRing) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	n := w.n
+	var tmp [waitRingSize]time.Duration
+	copy(tmp[:n], w.buf[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	s := tmp[:n]
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return s[idx]
 }
 
 // stopReasonFor maps a context error to the corresponding stop reason.

@@ -2,6 +2,8 @@ package sparta_test
 
 import (
 	"context"
+	"errors"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -214,3 +216,175 @@ func (b *blockingAlg) SearchContext(ctx context.Context, q sparta.Query, opts sp
 }
 
 var _ topk.Algorithm = (*blockingAlg)(nil)
+
+// parkAlg parks each query until a token arrives on proceed (or its
+// context ends), so tests control queue timing one query at a time.
+type parkAlg struct {
+	started chan struct{}
+	proceed chan struct{}
+	calls   atomic.Int64
+}
+
+func (p *parkAlg) Name() string { return "park" }
+
+func (p *parkAlg) Search(q sparta.Query, opts sparta.Options) (sparta.TopK, sparta.Stats, error) {
+	return p.SearchContext(context.Background(), q, opts)
+}
+
+func (p *parkAlg) SearchContext(ctx context.Context, q sparta.Query, opts sparta.Options) (sparta.TopK, sparta.Stats, error) {
+	p.calls.Add(1)
+	p.started <- struct{}{}
+	select {
+	case <-p.proceed:
+	case <-ctx.Done():
+	}
+	return sparta.TopK{}, sparta.Stats{StopReason: "exhausted"}, nil
+}
+
+// TestSearcherLoadShedding drives the load-aware admission path: once
+// the observed queue wait exceeds a query's remaining context budget,
+// the searcher sheds it up front (ErrAdmissionShed, StopReason "shed")
+// instead of letting it time out in line, and the algorithm never runs.
+func TestSearcherLoadShedding(t *testing.T) {
+	p := &parkAlg{started: make(chan struct{}, 8), proceed: make(chan struct{})}
+	s := sparta.NewSearcher(p, sparta.SearcherConfig{MaxConcurrent: 1, ShedQuantile: 0.5})
+
+	var wg sync.WaitGroup
+	// A occupies the only slot.
+	wg.Add(1)
+	go func() { defer wg.Done(); s.Search(sparta.Query{1}, sparta.Options{K: 1}) }()
+	<-p.started
+
+	// B queues behind A long enough to seed the admission-wait ring.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, _, err := s.SearchContext(ctx, sparta.Query{1}, sparta.Options{K: 1}); err != nil {
+			t.Errorf("queued query: %v", err)
+		}
+	}()
+	time.Sleep(60 * time.Millisecond)
+	p.proceed <- struct{}{} // A returns; B admits with a ~60ms recorded wait
+	<-p.started
+	p.proceed <- struct{}{} // B returns
+	wg.Wait()
+
+	// C occupies the slot again.
+	wg.Add(1)
+	go func() { defer wg.Done(); s.Search(sparta.Query{1}, sparta.Options{K: 1}) }()
+	<-p.started
+
+	// D's remaining budget (5ms) is far under the observed queue wait:
+	// shed at admission without executing.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res, st, err := s.SearchContext(ctx, sparta.Query{1}, sparta.Options{K: 1})
+	if !errors.Is(err, sparta.ErrAdmissionShed) {
+		t.Fatalf("err = %v, want ErrAdmissionShed", err)
+	}
+	if st.StopReason != sparta.StopShed {
+		t.Errorf("StopReason = %q, want %q", st.StopReason, sparta.StopShed)
+	}
+	if len(res) != 0 {
+		t.Errorf("shed query returned %d results", len(res))
+	}
+
+	// A query without a deadline cannot be shed — it queues instead.
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		if _, _, err := s.Search(sparta.Query{1}, sparta.Options{K: 1}); err != nil {
+			t.Errorf("deadline-free query: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("deadline-free query returned while the slot was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.proceed <- struct{}{} // release C; the queued query admits
+	<-p.started
+	p.proceed <- struct{}{}
+	wg.Wait()
+
+	c := s.Counters()
+	if c.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", c.Shed)
+	}
+	if got := p.calls.Load(); got != 4 {
+		t.Errorf("algorithm ran %d times, want 4 (shed query never executed)", got)
+	}
+}
+
+// TestSearcherBatchingEndToEnd runs concurrent queries through a
+// Searcher with the coalescing layer enabled and checks the results
+// match an unbatched searcher, the batch counters move, and all I/O is
+// settled after Drain.
+func TestSearcherBatchingEndToEnd(t *testing.T) {
+	mem, disk := bigSlowIndex(t)
+	_ = mem
+	cache := sparta.NewPostingCache(8 << 20)
+	disk.SetPostingCache(cache)
+
+	plain := sparta.NewSearcher(sparta.New(disk), sparta.SearcherConfig{})
+	batched := sparta.NewSearcher(sparta.New(disk), sparta.SearcherConfig{
+		BatchWindow:     30 * time.Millisecond,
+		MaxBatch:        4,
+		BatchWarmBlocks: 2,
+		BatchWarmView:   disk,
+	})
+
+	const n = 4
+	qs := make([]sparta.Query, n)
+	for i := range qs {
+		qs[i] = popularQuery(3 + i%2) // heavy term overlap across members
+	}
+	opts := sparta.Options{K: 10, Exact: true, Threads: 1}
+
+	want := make([]sparta.TopK, n)
+	for i, q := range qs {
+		res, _, err := plain.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	got := make([]sparta.TopK, n)
+	var wg sync.WaitGroup
+	for i := range qs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _, err := batched.Search(qs[i], opts)
+			if err != nil {
+				t.Errorf("batched query %d: %v", i, err)
+				return
+			}
+			got[i] = res
+		}()
+	}
+	wg.Wait()
+	batched.Drain()
+
+	for i := range qs {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("query %d: batched result differs from unbatched", i)
+		}
+	}
+	bc := batched.BatchCounters()
+	if bc.BatchedQueries != n || bc.Coalesced == 0 {
+		t.Errorf("batch counters = %+v, want %d batched queries with coalescing", bc, n)
+	}
+	if owed := disk.Store().Unsettled(); owed != 0 {
+		t.Fatalf("%v of I/O charges unpaid after drain", owed)
+	}
+	if cs := cache.Snapshot(); cs.DupFillsSuppressed == 0 {
+		t.Logf("no duplicate fills suppressed (timing-dependent); hits=%d misses=%d", cs.Hits, cs.Misses)
+	}
+}

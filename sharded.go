@@ -10,6 +10,7 @@ import (
 	"context"
 	"time"
 
+	"sparta/internal/batchexec"
 	"sparta/internal/shardserve"
 )
 
@@ -34,6 +35,10 @@ type (
 	ShardRunStats = shardserve.ShardRunStats
 	// ShardCounters is one shard's aggregate serving counters.
 	ShardCounters = shardserve.ShardCounters
+	// BatchCounters is a snapshot of a batch executor's coalescing
+	// activity (SearcherConfig.BatchWindow / ShardGroupConfig.
+	// BatchWindow).
+	BatchCounters = batchexec.Counters
 )
 
 // Aggregate stop reasons reported by scatter/gather queries.
@@ -95,8 +100,21 @@ func (s *ShardedSearcher) SearchShards(ctx context.Context, q Query, opts Option
 func (s *ShardedSearcher) ShardCounters() []ShardCounters { return s.group.AllCounters() }
 
 // Unsettled sums the unpaid simulated-I/O debt across shard stores —
-// zero between queries.
+// zero between queries (after Drain, when batching is enabled).
 func (s *ShardedSearcher) Unsettled() time.Duration { return s.group.Unsettled() }
+
+// Drain blocks until every dispatched batch — searcher-level and
+// per-shard — has completed; afterwards all batch I/O is settled. Call
+// it with no searches in flight. A no-op when batching is disabled.
+func (s *ShardedSearcher) Drain() {
+	s.Searcher.Drain()
+	s.group.Drain()
+}
+
+// ShardBatchCounters aggregates the per-shard batch executors' counters
+// (ShardGroupConfig.BatchWindow); the zero value when per-shard
+// batching is disabled.
+func (s *ShardedSearcher) ShardBatchCounters() BatchCounters { return s.group.BatchCounters() }
 
 // RegisterMetrics registers both the searcher-level counters and the
 // per-shard counters in r under prefix.

@@ -97,6 +97,9 @@ type (
 const (
 	StopCancelled = topk.StopCancelled
 	StopDeadline  = topk.StopDeadline
+	// StopShed: load-aware admission dropped the query before execution
+	// (SearcherConfig.ShedQuantile); the error is ErrAdmissionShed.
+	StopShed = topk.StopShed
 )
 
 // New creates a Sparta instance over an index view.
