@@ -18,7 +18,9 @@
 // machine-readable BENCH_topk.json artifact consumed by CI. The
 // "throughput" subcommand (also not part of "all") runs the closed-loop
 // multi-client grid, batched vs sequential, and writes
-// BENCH_throughput.json.
+// BENCH_throughput.json. The "ingest" subcommand streams documents
+// into a live segmented index while query clients measure latency,
+// background compaction off versus on, and writes BENCH_ingest.json.
 package main
 
 import (
@@ -58,6 +60,8 @@ type runner struct {
 	batchWin  time.Duration
 	maxBatch  int
 	warmBlk   int
+	ingestOut string
+	ingestN   int
 	out       io.Writer
 	cw, cwx   *bench.Env
 	ram       *bench.Env
@@ -97,8 +101,11 @@ func main() {
 		clients  = flag.String("clients", "1,4,16,64", "closed-loop client grid of the throughput subcommand")
 		batchWin = flag.Duration("batchwindow", 200*time.Microsecond,
 			"query-coalescing window of the throughput subcommand's batched rows")
-		maxBatch = flag.Int("maxbatch", 16, "max queries per coalesced batch (throughput subcommand)")
-		warmBlk  = flag.Int("warmblocks", 2, "leading blocks warmed per term shared across a batch")
+		maxBatch   = flag.Int("maxbatch", 16, "max queries per coalesced batch (throughput subcommand)")
+		warmBlk    = flag.Int("warmblocks", 2, "leading blocks warmed per term shared across a batch")
+		ingestJSON = flag.String("ingestout", "BENCH_ingest.json",
+			"output path of the report the ingest subcommand writes")
+		ingestN = flag.Int("ingestdocs", 3000, "documents streamed in during the ingest subcommand's measurement window")
 	)
 	flag.Parse()
 
@@ -146,6 +153,8 @@ func main() {
 		batchWin:  *batchWin,
 		maxBatch:  *maxBatch,
 		warmBlk:   *warmBlk,
+		ingestOut: *ingestJSON,
+		ingestN:   *ingestN,
 		out:       os.Stdout,
 		sweepHigh: make(map[string][]bench.SweepPoint),
 	}
@@ -523,6 +532,27 @@ func (r *runner) run(name string) (string, error) {
 			return "", err
 		}
 		return rep.Summary() + "\nwrote " + r.tputOut, nil
+
+	case "ingest":
+		// The ingest-under-load artifact: query latency percentiles
+		// against a live segmented index during sustained ingest,
+		// background compaction off vs on.
+		env, err := r.envCW()
+		if err != nil {
+			return "", err
+		}
+		rep, err := env.RunIngestReport(bench.IngestConfig{
+			Docs:       r.ingestN,
+			MinQueries: maxInt(r.nQueries*20, 200),
+			Threads:    maxInt(r.threads/4, 1),
+		})
+		if err != nil {
+			return "", err
+		}
+		if err := rep.WriteJSON(r.ingestOut); err != nil {
+			return "", err
+		}
+		return rep.Summary() + "\nwrote " + r.ingestOut, nil
 
 	case "compression":
 		// Appendix: §5's justification for benchmarking uncompressed —

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	indexbuild -corpus data/cw -out data/cw/index
+//
+// With -live, the corpus is instead ingested through the segmented
+// live-index path (WAL, memtable flushes at -live-flush documents,
+// compaction) into a live directory that sparta.OpenLive and indexstat
+// understand — the offline way to produce a segmented index for
+// ingest-under-load experiments. Live ingest indexes with a neutral
+// document-quality prior.
 package main
 
 import (
@@ -21,6 +28,9 @@ import (
 	"sparta/internal/corpus"
 	"sparta/internal/diskindex"
 	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/liveindex"
+	"sparta/internal/model"
 )
 
 func main() {
@@ -32,6 +42,8 @@ func main() {
 		out       = flag.String("out", "", "index output directory (default <corpus>/index)")
 		shards    = flag.Int("shards", diskindex.DefaultShards, "sNRA document-id shards")
 		comp      = flag.Bool("compressed", false, "also write the varint-delta compressed form to <out>-compressed")
+		live      = flag.Bool("live", false, "ingest through the segmented live-index path instead of a one-shot build")
+		liveFlush = flag.Int("live-flush", 4096, "live-index memtable flush threshold (documents)")
 	)
 	flag.Parse()
 	if *corpusDir == "" {
@@ -49,6 +61,11 @@ func main() {
 	var spec corpus.Spec
 	if err := json.Unmarshal(raw, &spec); err != nil {
 		log.Fatalf("parsing corpus.json: %v", err)
+	}
+
+	if *live {
+		buildLive(spec, *out, *liveFlush)
+		return
 	}
 
 	log.Printf("indexing %s (%d docs)...", spec.Name, spec.Docs)
@@ -71,4 +88,40 @@ func main() {
 		}
 		log.Printf("wrote %s in %v", cdir, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// buildLive streams the corpus through the live-ingest path, leaving a
+// segmented directory (manifest, frozen segments, empty WAL).
+func buildLive(spec corpus.Spec, out string, flushDocs int) {
+	c := corpus.New(spec)
+	ramCfg := iomodel.RAMConfig()
+	l, err := liveindex.Open(out, liveindex.Config{IO: &ramCfg, FlushDocs: flushDocs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("live-ingesting %s (%d docs, flush every %d)...", spec.Name, spec.Docs, flushDocs)
+	start := time.Now()
+	for i := 0; i < spec.Docs; i++ {
+		if _, err := l.AppendBag(c.Doc(model.DocID(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		merged, err := l.Compact()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !merged {
+			break
+		}
+	}
+	segs := len(l.SegmentStats())
+	if err := l.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote live index %s: %d docs, %d segments (%v)",
+		out, spec.Docs, segs, time.Since(start).Round(time.Millisecond))
 }

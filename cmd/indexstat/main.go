@@ -8,6 +8,11 @@
 //
 //	indexstat -index data/cw/index
 //	indexstat -index data/cw/index -term 42     # one term in detail
+//
+// A live (segmented) index directory — one holding a live.json
+// manifest — prints per-segment statistics instead: generation,
+// document range, block count and byte size of every segment in the
+// current epoch.
 package main
 
 import (
@@ -15,11 +20,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"sparta/internal/codec"
 	"sparta/internal/diskindex"
 	"sparta/internal/iomodel"
+	"sparta/internal/liveindex"
 	"sparta/internal/model"
 	"sparta/internal/postings"
 )
@@ -36,6 +43,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if _, err := os.Stat(filepath.Join(*indexDir, liveindex.ManifestFile)); err == nil {
+		liveStats(*indexDir)
+		return
+	}
+
 	idx, err := diskindex.OpenDir(*indexDir, iomodel.RAMConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -123,6 +135,26 @@ func main() {
 	if comp > 0 {
 		fmt.Printf("varint-delta compression over the 50 longest lists: %.2fx\n",
 			float64(raw)/float64(comp))
+	}
+}
+
+// liveStats prints the per-segment breakdown of a segmented live
+// index directory.
+func liveStats(dir string) {
+	ramCfg := iomodel.RAMConfig()
+	l, err := liveindex.Open(dir, liveindex.Config{IO: &ramCfg, DisableCompaction: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+
+	fmt.Printf("live index: docs=%d terms=%d wal=%dB\n", l.NumDocs(), l.NumTerms(), l.WALBytes())
+	stats := l.SegmentStats()
+	fmt.Printf("segments: %d\n", len(stats))
+	fmt.Printf("  %-9s %-5s %-12s %-8s %-8s %s\n", "kind", "gen", "docs", "blocks", "bytes", "range")
+	for _, st := range stats {
+		fmt.Printf("  %-9s %-5d %-12d %-8d %-8d [%d,%d)\n",
+			st.Kind, st.Generation, st.Docs, st.Blocks, st.Bytes, st.Lo, st.Hi)
 	}
 }
 

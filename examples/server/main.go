@@ -22,21 +22,37 @@
 // shards_dropped), never blocks it. A disconnecting client cancels its
 // query through the request context.
 //
+// A fourth backend, algo=live, serves a WAL-backed segmented live
+// index that accepts writes while it serves:
+//
+//	POST /ingest?doc=<tokens>
+//
+// appends a document (comma- or space-separated tokens), which is
+// crash-durable and searchable by the time the request returns. The
+// memtable flushes into immutable on-disk segments in the background
+// and a compactor merges small segments, all without pausing queries
+// (they finish on their epoch snapshot).
+//
 // /stats is one metrics-registry snapshot: every searcher's serving
 // counters (including shed), every shard's health/cache counters
-// (including single-flight duplicate-fill suppression), and the
-// per-shard batch coalescing counters, flat JSON.
+// (including single-flight duplicate-fill suppression), the per-shard
+// batch coalescing counters, and the live index's segment lifecycle
+// gauges ("live.segments", "live.compactions", ...), flat JSON.
 //
 //	go run ./examples/server &
 //	curl 'localhost:8640/search?q=t12,t733,t5021&algo=sparta&mode=high'
+//	curl -X POST 'localhost:8640/ingest?doc=t12,t12,t733'
+//	curl 'localhost:8640/search?q=t12,t733&algo=live&mode=exact'
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -78,11 +94,25 @@ const (
 	// shedQuantile: shed a query at admission when its remaining context
 	// budget is below the median observed admission-queue wait.
 	shedQuantile = 0.5
+	// liveSeedDocs seeds the live backend with a prefix of the corpus so
+	// algo=live answers queries before the first /ingest arrives.
+	liveSeedDocs = 2_000
+	// liveFlushDocs is the live backend's memtable flush threshold.
+	liveFlushDocs = 1_000
 )
+
+// searcher is the query surface shared by the sharded searchers and
+// the single-index searcher over the live index.
+type searcher interface {
+	Name() string
+	SearchContext(ctx context.Context, q sparta.Query, opts sparta.Options) (sparta.TopK, sparta.Stats, error)
+	RegisterMetrics(r *sparta.MetricsRegistry, prefix string)
+}
 
 type server struct {
 	mem       *index.Index
-	searchers map[string]*sparta.ShardedSearcher
+	live      *sparta.LiveIndex
+	searchers map[string]searcher
 	registry  *sparta.MetricsRegistry
 }
 
@@ -115,13 +145,35 @@ func main() {
 		}
 		return sparta.NewShardedSearcher(g, scfg)
 	}
+
+	// The live backend: the same corpus generator feeds the first
+	// liveSeedDocs documents through the ingest path (so term ids line
+	// up with the static backends' dictionary), then /ingest takes over.
+	liveDir, err := os.MkdirTemp("", "sparta-live-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	live, err := sparta.OpenLive(liveDir, sparta.LiveConfig{FlushDocs: liveFlushDocs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("live-ingesting %d seed docs into %s...", liveSeedDocs, liveDir)
+	c := corpus.New(spec)
+	for i := 0; i < liveSeedDocs; i++ {
+		if _, err := live.AppendBag(c.Doc(model.DocID(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	s := &server{
 		mem:      mem,
+		live:     live,
 		registry: sparta.NewMetricsRegistry(),
-		searchers: map[string]*sparta.ShardedSearcher{
+		searchers: map[string]searcher{
 			"sparta": mk(func(v sparta.View) sparta.Algorithm { return core.New(v) }),
 			"pbmw":   mk(func(v sparta.View) sparta.Algorithm { return bmw.NewPBMW(v) }),
 			"pjass":  mk(func(v sparta.View) sparta.Algorithm { return jass.NewP(v) }),
+			"live":   sparta.NewSearcher(sparta.New(live), scfg),
 		},
 	}
 	s.registry.RegisterFunc("index.docs", func() any { return mem.NumDocs() })
@@ -130,9 +182,11 @@ func main() {
 	for name, sr := range s.searchers {
 		sr.RegisterMetrics(s.registry, "serve."+name)
 	}
+	live.RegisterMetrics(s.registry, "live")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	log.Printf("serving %d shards on http://%s  (try /search?q=t12,t733,t5021&algo=sparta&mode=high)",
 		numShards, listenAddr)
@@ -156,7 +210,23 @@ type resultEntry struct {
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q, err := parseQuery(r.URL.Query().Get("q"), s.mem.NumTerms())
+	algoName := r.URL.Query().Get("algo")
+	if algoName == "" {
+		algoName = "sparta"
+	}
+	alg, ok := s.searchers[algoName]
+	if !ok {
+		http.Error(w, "algo must be sparta|pbmw|pjass|live", http.StatusBadRequest)
+		return
+	}
+
+	// The live backend grows its own dictionary as documents arrive, so
+	// its term-id range is independent of the static build's.
+	numTerms := s.mem.NumTerms()
+	if algoName == "live" {
+		numTerms = s.live.NumTerms()
+	}
+	q, err := parseQuery(r.URL.Query().Get("q"), numTerms)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -167,16 +237,6 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "k must be 1..1000", http.StatusBadRequest)
 			return
 		}
-	}
-
-	algoName := r.URL.Query().Get("algo")
-	if algoName == "" {
-		algoName = "sparta"
-	}
-	alg, ok := s.searchers[algoName]
-	if !ok {
-		http.Error(w, "algo must be sparta|pbmw|pjass", http.StatusBadRequest)
-		return
 	}
 
 	opts := topk.Options{K: k}
@@ -237,6 +297,40 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+type ingestResponse struct {
+	Doc          uint32 `json:"doc"`
+	Docs         int    `json:"docs"`
+	Terms        int    `json:"terms"`
+	Segments     int    `json:"segments"`
+	MemtableDocs int    `json:"memtable_docs"`
+}
+
+// handleIngest appends one document to the live index. The document is
+// a bag of tokens ("doc" parameter, comma- or space-separated); new
+// tokens grow the live dictionary. The append is in the WAL and
+// searchable under algo=live when the response is written.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	raw := r.FormValue("doc")
+	if strings.TrimSpace(raw) == "" {
+		http.Error(w, "missing doc parameter", http.StatusBadRequest)
+		return
+	}
+	tokens := strings.FieldsFunc(raw, func(r rune) bool { return r == ',' || r == ' ' })
+	doc, err := s.live.AppendTokens(tokens)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ingestResponse{
+		Doc:          uint32(doc),
+		Docs:         s.live.NumDocs(),
+		Terms:        s.live.NumTerms(),
+		Segments:     len(s.live.SegmentStats()),
+		MemtableDocs: s.live.MemtableDocs(),
+	})
 }
 
 // handleStats serves the metrics registry: searcher-level serving

@@ -5,6 +5,7 @@ package algotest
 
 import (
 	"testing"
+	"time"
 
 	"sparta/internal/corpus"
 	"sparta/internal/index"
@@ -109,5 +110,24 @@ func AssertFullScores(tb testing.TB, name string, exact, got model.TopK) {
 		if want, ok := truth[r.Doc]; ok && want != r.Score {
 			tb.Errorf("%s: doc %d score %d, want %d", name, r.Doc, r.Score, want)
 		}
+	}
+}
+
+// Settleable is anything that reports unpaid simulated-I/O latency:
+// an iomodel.Store, a diskindex view's store, a shard group, a live
+// index. The serving invariant is that the debt is zero whenever no
+// query is in flight — on every completion path, including
+// cancellation and background-work interruption.
+type Settleable interface {
+	Unsettled() time.Duration
+}
+
+// AssertSettled fails the test if s still owes simulated I/O. name
+// labels the completion path being checked ("after query", "after
+// cancelled compaction", ...).
+func AssertSettled(tb testing.TB, name string, s Settleable) {
+	tb.Helper()
+	if owed := s.Unsettled(); owed != 0 {
+		tb.Fatalf("%s: unsettled simulated I/O: %v", name, owed)
 	}
 }

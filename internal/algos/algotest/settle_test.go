@@ -47,9 +47,7 @@ func TestEarlyTerminationPaysIOCharges(t *testing.T) {
 	if _, _, err := jass.NewP(disk).Search(q, topk.Options{K: 10, FracP: 0.05, Threads: 4}); err != nil {
 		t.Fatal(err)
 	}
-	if owed := store.Unsettled(); owed != 0 {
-		t.Fatalf("pJASS early stop left %v of I/O charges unpaid", owed)
-	}
+	algotest.AssertSettled(t, "pJASS early stop", store)
 
 	// A context cancelled mid-evaluation abandons whatever the workers
 	// held; the anytime contract returns a partial result, not an error,
@@ -61,9 +59,7 @@ func TestEarlyTerminationPaysIOCharges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if owed := store.Unsettled(); owed != 0 {
-		t.Fatalf("cancelled query (stop %q) left %v of I/O charges unpaid", st.StopReason, owed)
-	}
+	algotest.AssertSettled(t, "cancelled query ("+string(st.StopReason)+")", store)
 
 	if io := store.Snapshot(); io.SimulatedIO == 0 {
 		t.Fatal("test charged no simulated I/O; settlement was not exercised")

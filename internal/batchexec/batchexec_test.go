@@ -101,9 +101,7 @@ func TestBatchedMatchesSequential(t *testing.T) {
 							maxBatch, i, seq[i], got[i])
 					}
 				}
-				if owed := disk.Store().Unsettled(); owed != 0 {
-					t.Fatalf("maxBatch=%d: %v of I/O charges unpaid after drain", maxBatch, owed)
-				}
+				algotest.AssertSettled(t, fmt.Sprintf("maxBatch=%d after drain", maxBatch), disk.Store())
 			}
 		})
 	}
@@ -162,9 +160,7 @@ func TestCoalescingCounters(t *testing.T) {
 	if c.WarmedBlocks == 0 {
 		t.Error("warm-up pass performed no fills")
 	}
-	if owed := disk.Store().Unsettled(); owed != 0 {
-		t.Fatalf("%v of I/O charges unpaid after drain", owed)
-	}
+	algotest.AssertSettled(t, "after drain", disk.Store())
 }
 
 // TestZeroWindowPassesThrough pins the compatibility contract: the zero
@@ -251,9 +247,7 @@ func TestCancelMidBatchSettles(t *testing.T) {
 	wg.Wait()
 	ex.Drain()
 
-	if owed := store.Unsettled(); owed != 0 {
-		t.Fatalf("cancelled batch left %v of I/O charges unpaid", owed)
-	}
+	algotest.AssertSettled(t, "after cancelled batch", store)
 	if io := store.Snapshot(); io.SimulatedIO == 0 {
 		t.Fatal("test charged no simulated I/O; settlement was not exercised")
 	}
@@ -316,9 +310,7 @@ func TestLeaderCancelledDuringWindow(t *testing.T) {
 		t.Fatal("cancelled leader never returned")
 	}
 	ex.Drain()
-	if owed := disk.Store().Unsettled(); owed != 0 {
-		t.Fatalf("%v of I/O charges unpaid", owed)
-	}
+	algotest.AssertSettled(t, "after cancelled leader", disk.Store())
 	// Ensure a live member can still join and complete on the next batch.
 	if res, _, err := ex.SearchContext(context.Background(), q, opts); err != nil || len(res) == 0 {
 		t.Fatalf("post-cancel search: %d results, err %v", len(res), err)

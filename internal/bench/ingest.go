@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/corpus"
+	"sparta/internal/liveindex"
+	"sparta/internal/model"
+	"sparta/internal/topk"
+)
+
+// IngestRow is one ingest-under-load measurement: closed-loop query
+// clients running against a live index while a writer streams documents
+// in, with background compaction either enabled or disabled.
+type IngestRow struct {
+	Compaction bool `json:"compaction"`
+	// DocsIngested is the number of documents the writer appended during
+	// the measurement window (after the seed prefix).
+	DocsIngested int `json:"docs_ingested"`
+	// IngestDocsPerSec is the writer's sustained append rate — each
+	// append is WAL-durable and searchable when acknowledged.
+	IngestDocsPerSec float64 `json:"ingest_docs_per_sec"`
+	Queries          int     `json:"queries"`
+	QPS              float64 `json:"qps"`
+	// Query latency percentiles (milliseconds) while ingest runs.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// Lifecycle activity during the row.
+	Flushes     int64 `json:"flushes"`
+	Compactions int64 `json:"compactions"`
+	// SegmentsEnd is the epoch's segment count when the writer finished:
+	// with compaction off it grows with every flush; on, the compactor
+	// holds it down while queries keep serving.
+	SegmentsEnd int `json:"segments_end"`
+}
+
+// IngestReport is the machine-readable ingest-under-load artifact
+// (BENCH_ingest.json): query latency percentiles against a live
+// segmented index during sustained ingest, background compaction off
+// versus on.
+type IngestReport struct {
+	Corpus    string `json:"corpus"`
+	SeedDocs  int    `json:"seed_docs"`
+	Docs      int    `json:"docs"`
+	FlushDocs int    `json:"flush_docs"`
+	K         int    `json:"k"`
+	Threads   int    `json:"threads"`
+	Clients   int    `json:"clients"`
+	// CompactSegments is the frozen-segment count that wakes the
+	// compactor in the compaction-on row.
+	CompactSegments int         `json:"compact_segments"`
+	Rows            []IngestRow `json:"rows"`
+}
+
+// IngestConfig parameterizes RunIngestReport.
+type IngestConfig struct {
+	// SeedDocs pre-populates the index before measuring (default 1000),
+	// so queries face a realistic frozen+memtable segment mix from the
+	// first sample.
+	SeedDocs int
+	// Docs is the number of documents streamed in during the measurement
+	// window (default 3000).
+	Docs int
+	// FlushDocs is the memtable flush threshold (default 500 — small, so
+	// a row exercises several flushes and compactions).
+	FlushDocs int
+	// CompactSegments wakes the compactor (default 4).
+	CompactSegments int
+	// Clients is the closed-loop query client count (default 2).
+	Clients int
+	// MinQueries floors the per-row query count: clients keep issuing
+	// until the writer finishes AND this many queries completed
+	// (default 200).
+	MinQueries int
+	// Threads is the per-query intra-parallelism budget (default 2).
+	Threads int
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.SeedDocs <= 0 {
+		c.SeedDocs = 1000
+	}
+	if c.Docs <= 0 {
+		c.Docs = 3000
+	}
+	if c.FlushDocs <= 0 {
+		c.FlushDocs = 500
+	}
+	if c.CompactSegments <= 0 {
+		c.CompactSegments = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.MinQueries <= 0 {
+		c.MinQueries = 200
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	return c
+}
+
+// RunIngestReport measures serving quality under live ingest: a writer
+// streams the corpus through the append path (WAL, memtable flushes,
+// segment publishes) while closed-loop clients run exact queries
+// against the live index, once with background compaction disabled
+// (segments accumulate) and once enabled (the compactor merges behind
+// the writer). The exact results are byte-identical to a one-shot
+// build either way — the rows differ only in latency and segment
+// count, which is the point.
+func (e *Env) RunIngestReport(cfg IngestConfig) (IngestReport, error) {
+	cfg = cfg.withDefaults()
+	rep := IngestReport{
+		Corpus:          e.Spec.Name,
+		SeedDocs:        cfg.SeedDocs,
+		Docs:            cfg.Docs,
+		FlushDocs:       cfg.FlushDocs,
+		K:               e.Opts.K,
+		Threads:         cfg.Threads,
+		Clients:         cfg.Clients,
+		CompactSegments: cfg.CompactSegments,
+	}
+	for _, compaction := range []bool{false, true} {
+		row, err := e.ingestRow(cfg, compaction)
+		if err != nil {
+			return rep, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func (e *Env) ingestRow(cfg IngestConfig, compaction bool) (IngestRow, error) {
+	dir, err := os.MkdirTemp("", "sparta-ingest-")
+	if err != nil {
+		return IngestRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	io := e.IO
+	l, err := liveindex.Open(dir, liveindex.Config{
+		IO:                &io,
+		FlushDocs:         cfg.FlushDocs,
+		CompactSegments:   cfg.CompactSegments,
+		DisableCompaction: !compaction,
+	})
+	if err != nil {
+		return IngestRow{}, err
+	}
+	defer l.Close()
+
+	c := corpus.New(e.Spec)
+	total := cfg.SeedDocs + cfg.Docs
+	if total > e.Spec.Docs {
+		return IngestRow{}, fmt.Errorf("bench: ingest wants %d docs, corpus has %d", total, e.Spec.Docs)
+	}
+	for i := 0; i < cfg.SeedDocs; i++ {
+		if _, err := l.AppendBag(c.Doc(model.DocID(i))); err != nil {
+			return IngestRow{}, err
+		}
+	}
+	if err := l.Flush(); err != nil {
+		return IngestRow{}, err
+	}
+
+	// Queries draw from the corpus-wide Zipfian voice mix; terms the
+	// seed prefix has not yet surfaced fold back into the live
+	// dictionary's range so every query is well-formed at issue time.
+	seedTerms := l.NumTerms()
+	qs := e.Sets.VoiceMix(cfg.MinQueries, e.Opts.Seed+31)
+	for qi, q := range qs {
+		clamped := make(model.Query, len(q))
+		for i, t := range q {
+			clamped[i] = t % model.TermID(seedTerms)
+		}
+		qs[qi] = clamped
+	}
+	opts := topk.Options{K: e.Opts.K, Threads: cfg.Threads, Exact: true}
+	if err := opts.Validate(); err != nil {
+		return IngestRow{}, err
+	}
+
+	var (
+		ingestDone    atomic.Bool
+		ingestElapsed time.Duration
+		writerErr     error
+		issued        atomic.Int64
+		mu            sync.Mutex
+		lat           []time.Duration
+		wg            sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer ingestDone.Store(true)
+		start := time.Now()
+		for i := cfg.SeedDocs; i < total; i++ {
+			if _, err := l.AppendBag(c.Doc(model.DocID(i))); err != nil {
+				writerErr = err
+				return
+			}
+		}
+		ingestElapsed = time.Since(start)
+	}()
+
+	qStart := time.Now()
+	var qwg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				i := int(issued.Add(1)) - 1
+				if ingestDone.Load() && i >= cfg.MinQueries {
+					issued.Add(-1)
+					return
+				}
+				t0 := time.Now()
+				if _, _, err := l.Search(qs[i%len(qs)], opts); err != nil {
+					panic(fmt.Sprintf("bench: ingest query failed: %v", err))
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				lat = append(lat, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	qwg.Wait()
+	qElapsed := time.Since(qStart)
+	if writerErr != nil {
+		return IngestRow{}, writerErr
+	}
+
+	row := IngestRow{
+		Compaction:       compaction,
+		DocsIngested:     cfg.Docs,
+		IngestDocsPerSec: float64(cfg.Docs) / ingestElapsed.Seconds(),
+		Queries:          len(lat),
+		QPS:              float64(len(lat)) / qElapsed.Seconds(),
+		Flushes:          l.Flushes(),
+		Compactions:      l.Compactions(),
+		SegmentsEnd:      len(l.SegmentStats()),
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(p float64) time.Duration {
+		i := int(p*float64(len(lat))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lat[i]
+	}
+	row.MeanMs = ms(sum / time.Duration(len(lat)))
+	row.P50Ms, row.P95Ms, row.P99Ms = ms(pct(0.50)), ms(pct(0.95)), ms(pct(0.99))
+	return row, nil
+}
+
+// WriteJSON writes the report to path, indented for diffing.
+func (r IngestReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a human-readable digest of the report.
+func (r IngestReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ingest under load (%s: %d seed + %d streamed docs, flush every %d, k=%d, %d clients)\n",
+		r.Corpus, r.SeedDocs, r.Docs, r.FlushDocs, r.K, r.Clients)
+	fmt.Fprintf(&b, "%-12s %10s %9s %9s %9s %9s %8s %9s %9s\n",
+		"compaction", "docs/s", "qps", "p50_ms", "p95_ms", "p99_ms", "flushes", "compacts", "segs-end")
+	for _, x := range r.Rows {
+		mode := "off"
+		if x.Compaction {
+			mode = "on"
+		}
+		fmt.Fprintf(&b, "%-12s %10.0f %9.1f %9.2f %9.2f %9.2f %8d %9d %9d\n",
+			mode, x.IngestDocsPerSec, x.QPS, x.P50Ms, x.P95Ms, x.P99Ms,
+			x.Flushes, x.Compactions, x.SegmentsEnd)
+	}
+	return b.String()
+}

@@ -1,0 +1,24 @@
+// index.Segment implementation: a compressed build-once index is one
+// immutable segment covering the whole corpus, interchangeable with
+// the uncompressed form wherever a segment set is assembled.
+package cindex
+
+import (
+	"sparta/internal/index"
+	"sparta/internal/model"
+)
+
+var _ index.Segment = (*Index)(nil)
+
+// SegmentDocs implements index.Segment.
+func (x *Index) SegmentDocs() int { return x.numDocs }
+
+// SegmentRange implements index.Segment.
+func (x *Index) SegmentRange() (lo, hi model.DocID) { return 0, model.DocID(x.numDocs) }
+
+// SegmentBytes implements index.Segment: the compressed posting bytes
+// the simulated disk charges for.
+func (x *Index) SegmentBytes() int64 { return x.CompressedBytes() }
+
+// SegmentGeneration implements index.Segment.
+func (x *Index) SegmentGeneration() int { return 0 }

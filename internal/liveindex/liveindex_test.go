@@ -1,0 +1,524 @@
+package liveindex_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/bench"
+	"sparta/internal/corpus"
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/liveindex"
+	"sparta/internal/model"
+	"sparta/internal/topk"
+	"sparta/internal/xrand"
+)
+
+// exactAlgos is the exact-capable family (sNRA excluded, as in every
+// exactness test in this repository).
+var exactAlgos = []bench.AlgoID{
+	bench.AlgoRA, bench.AlgoNRA, bench.AlgoSelNRA, bench.AlgoMaxScore,
+	bench.AlgoWAND, bench.AlgoBMW, bench.AlgoJASS, bench.AlgoSparta,
+	bench.AlgoPRA, bench.AlgoPNRA, bench.AlgoPBMW, bench.AlgoPWAND,
+	bench.AlgoPJASS,
+}
+
+// testBags draws n document bags from a deterministic corpus with a
+// neutral quality prior (live ingest indexes without priors).
+func testBags(n int, seed uint64) [][]corpus.TermCount {
+	c := corpus.New(corpus.Spec{
+		Name: "live", Docs: n, Vocab: 180, ZipfS: 1.0,
+		MeanDocLen: 40, MinDocLen: 5, Seed: seed, QualitySigma: 0,
+	})
+	bags := make([][]corpus.TermCount, n)
+	for i := range bags {
+		bags[i] = c.Doc(model.DocID(i))
+	}
+	return bags
+}
+
+// buildFresh is the reference: a single-segment build-once index over
+// the first n bags.
+func buildFresh(bags [][]corpus.TermCount, n int) *index.Index {
+	b := index.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddBag(bags[i])
+	}
+	return b.Build()
+}
+
+func ramIO() *iomodel.Config {
+	cfg := iomodel.RAMConfig()
+	return &cfg
+}
+
+// slowIO charges enough simulated latency that an unsettled reader is
+// visible — the backdrop for the settlement tests.
+func slowIO() *iomodel.Config {
+	return &iomodel.Config{
+		BlockSize:   256,
+		CacheBlocks: 16,
+		SeqLatency:  100 * time.Microsecond,
+		RandLatency: 500 * time.Microsecond,
+		SleepBatch:  time.Microsecond,
+	}
+}
+
+func appendAll(tb testing.TB, l *liveindex.Live, bags [][]corpus.TermCount) {
+	tb.Helper()
+	for i, bag := range bags {
+		if _, err := l.AppendBag(bag); err != nil {
+			tb.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// assertMergedExact checks got against the brute-force reference:
+// scores byte-identical at every rank, documents identical above the
+// cutoff tie group (any tied document at the cutoff is admissible).
+func assertMergedExact(t *testing.T, name string, want, got model.TopK) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d\ngot  %v\nwant %v", name, len(got), len(want), got, want)
+	}
+	if len(want) == 0 {
+		return
+	}
+	cut := want[len(want)-1].Score
+	for i := range want {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d score %d, want %d\ngot  %v\nwant %v",
+				name, i, got[i].Score, want[i].Score, got, want)
+		}
+		if want[i].Score > cut && got[i].Doc != want[i].Doc {
+			t.Fatalf("%s: rank %d doc %d, want %d (score %d)\ngot  %v\nwant %v",
+				name, i, got[i].Doc, want[i].Doc, want[i].Score, got, want)
+		}
+	}
+}
+
+// assertIdentity runs every exact algorithm over the live index's
+// composite view, plus the live per-segment merge path, against the
+// fresh single-segment reference.
+func assertIdentity(t *testing.T, label string, l *liveindex.Live, fresh *index.Index, queries []model.Query) {
+	t.Helper()
+	if l.NumDocs() != fresh.NumDocs() {
+		t.Fatalf("%s: live has %d docs, fresh %d", label, l.NumDocs(), fresh.NumDocs())
+	}
+	for qi, q := range queries {
+		k := 10 + qi*5
+		want := topk.BruteForce(fresh, q, k)
+
+		// The composite view itself must reproduce full brute-force
+		// scoring byte-for-byte.
+		assertMergedExact(t, fmt.Sprintf("%s/bruteforce/q%d", label, qi),
+			want, topk.BruteForce(l, q, k))
+
+		for _, id := range exactAlgos {
+			alg := bench.MakeAlgorithm(id, l)
+			got, _, err := alg.Search(q, topk.Options{K: k, Exact: true, Threads: 2})
+			if err != nil {
+				t.Fatalf("%s/%s/q%d: %v", label, id, qi, err)
+			}
+			assertMergedExact(t, fmt.Sprintf("%s/%s/q%d", label, id, qi), want, got)
+		}
+
+		// The per-segment merge path (one algorithm per segment,
+		// topk.MergeTopK + topk.ResolveExact — the shard decomposition).
+		got, _, err := l.Search(q, topk.Options{K: k, Exact: true, Threads: 2})
+		if err != nil {
+			t.Fatalf("%s/segmerge/q%d: %v", label, qi, err)
+		}
+		assertMergedExact(t, fmt.Sprintf("%s/segmerge/q%d", label, qi), want, got)
+	}
+}
+
+// TestLiveIdentityAcrossLifecycle drives the index through every
+// lifecycle stage — memtable only, frozen+memtable, post-compaction —
+// and demands byte-identity with a fresh build at each point.
+func TestLiveIdentityAcrossLifecycle(t *testing.T) {
+	bags := testBags(900, 11)
+	dir := t.TempDir()
+	l, err := liveindex.Open(dir, liveindex.Config{
+		IO: ramIO(), FlushDocs: 1 << 20, DisableCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	fresh := buildFresh(bags, 900)
+	queries := []model.Query{
+		algotest.RandomQuery(fresh, 3, 101),
+		algotest.RandomQuery(fresh, 6, 103),
+	}
+
+	// Memtable only.
+	appendAll(t, l, bags[:150])
+	assertIdentity(t, "memtable", l, buildFresh(bags, 150), queries)
+
+	// One frozen segment + memtable tail.
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, bags[150:400])
+	assertIdentity(t, "frozen+mem", l, buildFresh(bags, 400), queries)
+
+	// Three frozen segments.
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, bags[400:650])
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.SegmentStats()); got != 3 {
+		t.Fatalf("segments = %d, want 3 frozen", got)
+	}
+	assertIdentity(t, "3frozen", l, buildFresh(bags, 650), queries)
+
+	// Compacted + fresh memtable tail.
+	merged, err := l.Compact()
+	if err != nil || !merged {
+		t.Fatalf("compact: merged=%v err=%v", merged, err)
+	}
+	appendAll(t, l, bags[650:900])
+	assertIdentity(t, "compacted+mem", l, fresh, queries)
+	algotest.AssertSettled(t, "end of lifecycle", l)
+}
+
+// TestLiveRandomInterleaving is the property test: a seeded random
+// interleaving of appends, flushes and compactions must end
+// byte-identical to the fresh build.
+func TestLiveRandomInterleaving(t *testing.T) {
+	for _, seed := range []uint64{3, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const n = 500
+			bags := testBags(n, seed)
+			rng := xrand.New(seed * 977)
+			l, err := liveindex.Open(t.TempDir(), liveindex.Config{
+				IO: ramIO(), FlushDocs: 1 << 20, DisableCompaction: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+
+			for i := 0; i < n; i++ {
+				if _, err := l.AppendBag(bags[i]); err != nil {
+					t.Fatal(err)
+				}
+				switch r := rng.Float64(); {
+				case r < 0.02:
+					if err := l.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				case r < 0.03:
+					if _, err := l.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			fresh := buildFresh(bags, n)
+			queries := []model.Query{
+				algotest.RandomQuery(fresh, 4, seed*13),
+				algotest.RandomQuery(fresh, 7, seed*17),
+			}
+			assertIdentity(t, "interleaved", l, fresh, queries)
+			algotest.AssertSettled(t, "after interleaving", l)
+		})
+	}
+}
+
+// TestLiveWALReplay covers the crash path: an index abandoned without
+// Close must reopen to the same corpus from manifest + WAL, including
+// with a torn record at the log's tail.
+func TestLiveWALReplay(t *testing.T) {
+	const n = 130
+	all := testBags(n+40, 23)
+	bags := all[:n]
+	dir := t.TempDir()
+	cfg := liveindex.Config{IO: ramIO(), FlushDocs: 50, DisableCompaction: true}
+
+	l1, err := liveindex.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l1, bags)
+	if l1.NumDocs() != n {
+		t.Fatalf("docs = %d, want %d", l1.NumDocs(), n)
+	}
+	// Crash: no Close, no flush of the 30-doc memtable tail.
+
+	l2, err := liveindex.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildFresh(bags, n)
+	queries := []model.Query{algotest.RandomQuery(fresh, 4, 5)}
+	assertIdentity(t, "reopened", l2, fresh, queries)
+
+	// The reopened index keeps ingesting where the crashed one stopped.
+	appendAll(t, l2, all[n:])
+	assertIdentity(t, "reopened+appended", l2, buildFresh(all, n+40), queries)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: garbage after the intact prefix must be ignored.
+	f, err := os.OpenFile(filepath.Join(dir, liveindex.WALFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{2, 0xff, 0xff, 0x00, 0x00, 0x13}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l3, err := liveindex.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.NumDocs() != n+40 {
+		t.Fatalf("docs after torn-tail reopen = %d, want %d", l3.NumDocs(), n+40)
+	}
+	assertIdentity(t, "torn-tail", l3, buildFresh(all, n+40), queries)
+}
+
+// TestLiveAppendTokens exercises the token path: dictionary growth,
+// deterministic id assignment, and identity with the builder's
+// AddTokens on the same stream.
+func TestLiveAppendTokens(t *testing.T) {
+	docs := [][]string{
+		{"the", "quick", "brown", "fox", "the"},
+		{"lazy", "dog", "the", "dog"},
+		{"quick", "quick", "fox", "jumps", "over", "lazy"},
+		{"sparta", "retrieval", "top", "k", "the", "fox"},
+	}
+	l, err := liveindex.Open(t.TempDir(), liveindex.Config{IO: ramIO(), DisableCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	b := index.NewBuilder()
+	for _, d := range docs {
+		if _, err := l.AppendTokens(d); err != nil {
+			t.Fatal(err)
+		}
+		b.AddTokens(d)
+	}
+	fresh := b.Build()
+
+	for _, name := range []string{"the", "fox", "sparta"} {
+		lt, lok := l.Lookup(name)
+		ft, fok := fresh.Lookup(name)
+		if lok != fok || lt != ft {
+			t.Fatalf("Lookup(%q) = (%d,%v), builder says (%d,%v)", name, lt, lok, ft, fok)
+		}
+	}
+	q := model.Query{0, 1, 2}
+	assertMergedExact(t, "tokens", topk.BruteForce(fresh, q, 4), topk.BruteForce(l, q, 4))
+}
+
+// TestLiveSettlement: frozen segments charge simulated I/O like any
+// on-disk index; the debt must be zero after every completion path.
+func TestLiveSettlement(t *testing.T) {
+	bags := testBags(400, 31)
+	l, err := liveindex.Open(t.TempDir(), liveindex.Config{
+		IO: slowIO(), FlushDocs: 100, DisableCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, bags)
+
+	fresh := buildFresh(bags, 400)
+	q := algotest.RandomQuery(fresh, 5, 71)
+
+	// Normal exact query over the composite view.
+	if _, _, err := bench.MakeAlgorithm(bench.AlgoSparta, l).Search(q, topk.Options{K: 10, Exact: true, Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
+	algotest.AssertSettled(t, "after exact query", l)
+
+	// Per-segment merge path.
+	if _, _, err := l.Search(q, topk.Options{K: 10, Exact: true, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	algotest.AssertSettled(t, "after segment-merged query", l)
+
+	// Pre-cancelled query: the anytime contract returns a partial
+	// result with the bill paid.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := l.SearchContext(ctx, q, topk.Options{K: 10, Exact: true, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	algotest.AssertSettled(t, "after cancelled query", l)
+}
+
+// TestLiveCompactionCancelSettled: a compaction abandoned by
+// cancellation settles its reads and leaves no partial segment —
+// Unsettled()==0 on the cancelled path is an acceptance criterion.
+func TestLiveCompactionCancelSettled(t *testing.T) {
+	bags := testBags(400, 41)
+	dir := t.TempDir()
+	l, err := liveindex.Open(dir, liveindex.Config{
+		IO: slowIO(), FlushDocs: 100, DisableCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, bags)
+	if got := len(l.SegmentStats()); got != 4 {
+		t.Fatalf("segments = %d, want 4", got)
+	}
+
+	// Already-cancelled context: the merge stops before writing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	merged, err := l.CompactContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged {
+		t.Fatal("cancelled compaction reported a merge")
+	}
+	algotest.AssertSettled(t, "after cancelled compaction", l)
+	if got := len(l.SegmentStats()); got != 4 {
+		t.Fatalf("segments after cancelled compaction = %d, want 4", got)
+	}
+
+	// Cancellation racing a running merge: whichever way it lands, the
+	// bill is settled and the index stays consistent.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel2()
+	}()
+	if _, err := l.CompactContext(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	algotest.AssertSettled(t, "after racing cancellation", l)
+
+	// No partial segment directories outside the manifest.
+	segsOnDisk := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "seg-") {
+			segsOnDisk[e.Name()] = true
+		}
+	}
+	for _, st := range l.SegmentStats() {
+		if st.Kind == "frozen" {
+			delete(segsOnDisk, fmt.Sprintf("seg-%06d", st.Generation))
+		}
+	}
+	if len(segsOnDisk) != 0 {
+		t.Fatalf("stray segment directories after cancelled compaction: %v", segsOnDisk)
+	}
+
+	// And the index still answers exactly.
+	fresh := buildFresh(bags, 400)
+	q := algotest.RandomQuery(fresh, 4, 43)
+	assertMergedExact(t, "post-cancel", topk.BruteForce(fresh, q, 10), topk.BruteForce(l, q, 10))
+}
+
+// TestLiveBackgroundCompactor: the automatic path — flush-triggered
+// kicks merge segments down while ingest continues, and identity
+// holds throughout.
+func TestLiveBackgroundCompactor(t *testing.T) {
+	const n = 600
+	bags := testBags(n, 53)
+	l, err := liveindex.Open(t.TempDir(), liveindex.Config{
+		IO: ramIO(), FlushDocs: 50, CompactSegments: 3, CompactMaxDocs: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, bags)
+
+	// The compactor runs behind ingest; wait for it to catch up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		frozen := 0
+		for _, st := range l.SegmentStats() {
+			if st.Kind == "frozen" {
+				frozen++
+			}
+		}
+		if frozen <= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor never caught up: %d frozen segments", frozen)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fresh := buildFresh(bags, n)
+	queries := []model.Query{algotest.RandomQuery(fresh, 5, 59)}
+	assertIdentity(t, "background-compacted", l, fresh, queries)
+	algotest.AssertSettled(t, "after background compaction", l)
+}
+
+// TestLiveSegmentStats sanity-checks the per-segment accounting the
+// stat tooling prints.
+func TestLiveSegmentStats(t *testing.T) {
+	bags := testBags(250, 61)
+	l, err := liveindex.Open(t.TempDir(), liveindex.Config{
+		IO: ramIO(), FlushDocs: 100, DisableCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, bags)
+
+	stats := l.SegmentStats()
+	if len(stats) != 3 {
+		t.Fatalf("segments = %d, want 2 frozen + 1 memtable", len(stats))
+	}
+	var lo model.DocID
+	total := 0
+	for i, st := range stats {
+		if st.Lo != lo {
+			t.Errorf("segment %d starts at %d, want %d (contiguous ranges)", i, st.Lo, lo)
+		}
+		if st.Docs != int(st.Hi-st.Lo) {
+			t.Errorf("segment %d: docs=%d, range %d", i, st.Docs, st.Hi-st.Lo)
+		}
+		if st.Bytes <= 0 {
+			t.Errorf("segment %d: bytes = %d", i, st.Bytes)
+		}
+		kind := "frozen"
+		if i == len(stats)-1 {
+			kind = "memtable"
+		}
+		if st.Kind != kind {
+			t.Errorf("segment %d kind = %q, want %q", i, st.Kind, kind)
+		}
+		if st.Kind == "frozen" && st.Blocks <= 0 {
+			t.Errorf("frozen segment %d reports %d blocks", i, st.Blocks)
+		}
+		lo = st.Hi
+		total += st.Docs
+	}
+	if total != 250 {
+		t.Errorf("segment docs sum to %d, want 250", total)
+	}
+}

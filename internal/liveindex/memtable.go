@@ -1,0 +1,168 @@
+// The mutable in-memory segment: an append-only memtable the ingest
+// batcher writes under the live index's lock, published to queries as
+// immutable snapshots. Posting slices are shared between the memtable
+// and its snapshots by immutable prefix: appends only ever write past
+// the published length (or reallocate), so readers of a snapshot never
+// observe a mutation.
+package liveindex
+
+import (
+	"slices"
+
+	"sparta/internal/corpus"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+)
+
+// tfPost is one raw posting: global document id, term frequency, and
+// the precomputed idf-independent weight component.
+type tfPost struct {
+	doc model.DocID
+	tf  uint32
+	w   float64
+}
+
+// memBlock is block-max metadata in raw-weight space; the epoch view
+// maps it to a score bound with the global idf.
+type memBlock struct {
+	last model.DocID
+	wmax float64
+}
+
+// memtable accumulates appended documents. All mutation happens under
+// the owning Live's lock; queries only ever see snapshots.
+type memtable struct {
+	lo      model.DocID // global id of the memtable's first document
+	docLens []int       // per local document
+	post    [][]tfPost  // per term, doc-ordered (documents arrive in id order)
+	dirty   map[model.TermID]struct{}
+
+	// Derived per-term structures, rebuilt lazily for dirty terms at
+	// snapshot time. Rebuilds allocate fresh slices, so snapshots taken
+	// earlier keep their consistent versions.
+	impact [][]tfPost
+	blocks [][]memBlock
+	wmax   []float64
+
+	bytes int64
+}
+
+func newMemtable(lo model.DocID) *memtable {
+	return &memtable{lo: lo, dirty: make(map[model.TermID]struct{})}
+}
+
+func (m *memtable) docs() int { return len(m.docLens) }
+
+// appendDoc indexes one document. doc must be the next global id
+// (m.lo + m.docs()); the bag must not repeat terms.
+func (m *memtable) appendDoc(doc model.DocID, bag []corpus.TermCount) {
+	length := 0
+	for _, tc := range bag {
+		length += int(tc.Count)
+	}
+	m.docLens = append(m.docLens, length)
+	for _, tc := range bag {
+		for int(tc.Term) >= len(m.post) {
+			m.post = append(m.post, nil)
+			m.impact = append(m.impact, nil)
+			m.blocks = append(m.blocks, nil)
+			m.wmax = append(m.wmax, 0)
+		}
+		m.post[tc.Term] = append(m.post[tc.Term], tfPost{
+			doc: doc, tf: tc.Count, w: rawWeight(tc.Count, length),
+		})
+		m.dirty[tc.Term] = struct{}{}
+		m.bytes += 24 // posting in both orders + block-meta amortized
+	}
+	m.bytes += 8 // docLens entry
+}
+
+// memSegment is an immutable snapshot of the memtable: the in-memory
+// segment a query epoch serves. Slices are shared with the memtable by
+// immutable prefix.
+type memSegment struct {
+	lo, hi  model.DocID
+	docLens []int
+	post    [][]tfPost
+	impact  [][]tfPost
+	blocks  [][]memBlock
+	wmax    []float64
+	bytes   int64
+}
+
+// snapshot rebuilds the derived structures of dirty terms and freezes
+// the current contents. nTerms is the live dictionary size; terms the
+// memtable has no postings for appear as empty lists.
+func (m *memtable) snapshot(nTerms int) *memSegment {
+	for t := range m.dirty {
+		list := m.post[t]
+		imp := make([]tfPost, len(list))
+		copy(imp, list)
+		sortImpact(imp)
+		m.impact[t] = imp
+		m.blocks[t] = buildMemBlocks(list)
+		m.wmax[t] = imp[0].w
+	}
+	clear(m.dirty)
+
+	seg := &memSegment{
+		lo:      m.lo,
+		hi:      m.lo + model.DocID(len(m.docLens)),
+		docLens: m.docLens[:len(m.docLens):len(m.docLens)],
+		post:    make([][]tfPost, nTerms),
+		impact:  make([][]tfPost, nTerms),
+		blocks:  make([][]memBlock, nTerms),
+		wmax:    make([]float64, nTerms),
+		bytes:   m.bytes,
+	}
+	n := min(nTerms, len(m.post))
+	copy(seg.post, m.post[:n])
+	copy(seg.impact, m.impact[:n])
+	copy(seg.blocks, m.blocks[:n])
+	copy(seg.wmax, m.wmax[:n])
+	return seg
+}
+
+// sortImpact orders a list by weight descending, document id
+// ascending on ties — the impact order every segment form shares.
+func sortImpact(list []tfPost) {
+	slices.SortFunc(list, func(a, b tfPost) int {
+		switch {
+		case a.w > b.w:
+			return -1
+		case a.w < b.w:
+			return 1
+		case a.doc < b.doc:
+			return -1
+		case a.doc > b.doc:
+			return 1
+		}
+		return 0
+	})
+}
+
+func buildMemBlocks(list []tfPost) []memBlock {
+	n := (len(list) + postings.BlockSize - 1) / postings.BlockSize
+	blocks := make([]memBlock, n)
+	for b := 0; b < n; b++ {
+		start := b * postings.BlockSize
+		end := min(start+postings.BlockSize, len(list))
+		meta := memBlock{last: list[end-1].doc}
+		for _, p := range list[start:end] {
+			if p.w > meta.wmax {
+				meta.wmax = p.w
+			}
+		}
+		blocks[b] = meta
+	}
+	return blocks
+}
+
+func (s *memSegment) docs() int { return len(s.docLens) }
+
+func (s *memSegment) localDF(t model.TermID) int {
+	if int(t) >= len(s.post) {
+		return 0
+	}
+	return len(s.post[t])
+}

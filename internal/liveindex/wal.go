@@ -1,0 +1,186 @@
+// Write-ahead log for the memtable. Every acknowledged append is
+// durable here before it is applied; on reopen the log is replayed to
+// rebuild the memtable exactly. Records are framed
+//
+//	[kind u8][len u32][payload len bytes][crc32 u32]
+//
+// with the IEEE crc over kind+len+payload. Replay stops at the first
+// torn or corrupt record — a crash mid-write loses only the append
+// that was never acknowledged, never an earlier one (appends fsync
+// before acking).
+//
+// Two record kinds:
+//
+//	walTerm: [term u32][name...]          — dictionary growth; term must
+//	                                        equal the dictionary length
+//	walDoc:  [doc u32][npairs u32]        — one document's bag
+//	         ([term u32][count u32])...
+//
+// Document records carry global ids so replay after a crash between
+// "segment flushed" and "log truncated" can skip documents the
+// manifest already accounts for (records with doc < the manifest's
+// WALStart).
+package liveindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"sparta/internal/corpus"
+	"sparta/internal/model"
+)
+
+const (
+	walTerm = byte(1)
+	walDoc  = byte(2)
+)
+
+type wal struct {
+	f    *os.File
+	size int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("liveindex: opening wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("liveindex: %w", err)
+	}
+	return &wal{f: f, size: st.Size()}, nil
+}
+
+func (w *wal) Close() error { return w.f.Close() }
+
+// appendRecord frames, writes and accounts one record; the caller
+// batches records and calls Sync once per commit.
+func (w *wal) appendRecord(kind byte, payload []byte) error {
+	buf := make([]byte, 0, 5+len(payload)+4)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return fmt.Errorf("liveindex: wal append: %w", err)
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+func (w *wal) appendTerm(t model.TermID, name string) error {
+	payload := make([]byte, 0, 4+len(name))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(t))
+	payload = append(payload, name...)
+	return w.appendRecord(walTerm, payload)
+}
+
+func (w *wal) appendDoc(doc model.DocID, bag []corpus.TermCount) error {
+	payload := make([]byte, 0, 8+8*len(bag))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(doc))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(bag)))
+	for _, tc := range bag {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(tc.Term))
+		payload = binary.LittleEndian.AppendUint32(payload, tc.Count)
+	}
+	return w.appendRecord(walDoc, payload)
+}
+
+func (w *wal) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("liveindex: wal sync: %w", err)
+	}
+	return nil
+}
+
+// Reset truncates the log after a flush has made its contents
+// redundant (the manifest records the flushed segment first, so a
+// crash between the two loses nothing).
+func (w *wal) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("liveindex: wal truncate: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("liveindex: wal sync: %w", err)
+	}
+	w.size = 0
+	return nil
+}
+
+// walRecord is one replayed record.
+type walRecord struct {
+	kind byte
+	term model.TermID // walTerm
+	name string       // walTerm
+	doc  model.DocID  // walDoc
+	bag  []corpus.TermCount
+}
+
+// replay reads every intact record from the start of the log. A torn
+// or corrupt tail ends replay silently — those bytes belong to a write
+// that was never acknowledged. It returns the records and the byte
+// offset of the intact prefix.
+func replayWAL(path string) ([]walRecord, int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("liveindex: reading wal: %w", err)
+	}
+	var recs []walRecord
+	off := int64(0)
+	for int(off)+9 <= len(raw) {
+		kind := raw[off]
+		plen := binary.LittleEndian.Uint32(raw[off+1:])
+		end := off + 5 + int64(plen) + 4
+		if end > int64(len(raw)) {
+			break // torn tail
+		}
+		body := raw[off : off+5+int64(plen)]
+		want := binary.LittleEndian.Uint32(raw[off+5+int64(plen):])
+		if crc32.ChecksumIEEE(body) != want {
+			break // corrupt tail
+		}
+		payload := body[5:]
+		switch kind {
+		case walTerm:
+			if len(payload) < 4 {
+				return nil, 0, fmt.Errorf("liveindex: wal term record too short at %d", off)
+			}
+			recs = append(recs, walRecord{
+				kind: walTerm,
+				term: model.TermID(binary.LittleEndian.Uint32(payload)),
+				name: string(payload[4:]),
+			})
+		case walDoc:
+			if len(payload) < 8 {
+				return nil, 0, fmt.Errorf("liveindex: wal doc record too short at %d", off)
+			}
+			np := binary.LittleEndian.Uint32(payload[4:])
+			if int64(len(payload)) != 8+8*int64(np) {
+				return nil, 0, fmt.Errorf("liveindex: wal doc record length mismatch at %d", off)
+			}
+			bag := make([]corpus.TermCount, np)
+			for i := range bag {
+				bag[i] = corpus.TermCount{
+					Term:  model.TermID(binary.LittleEndian.Uint32(payload[8+8*i:])),
+					Count: binary.LittleEndian.Uint32(payload[12+8*i:]),
+				}
+			}
+			recs = append(recs, walRecord{
+				kind: walDoc,
+				doc:  model.DocID(binary.LittleEndian.Uint32(payload)),
+				bag:  bag,
+			})
+		default:
+			return nil, 0, fmt.Errorf("liveindex: unknown wal record kind %d at %d", kind, off)
+		}
+		off = end
+	}
+	return recs, off, nil
+}

@@ -587,46 +587,11 @@ func (g *Group) accountHealth(sh *shardState, err error) {
 
 // resolveExact replaces every merged candidate's (possibly lower-bound)
 // score with its true score, resolved by per-term random accesses
-// against the owning shard's view, then re-ranks. The candidate set is
-// the union of all per-shard lists — a superset of the global top-k
-// for exact per-shard evaluation, since a document's shard-local rank
-// never exceeds its global rank. Returns the resolved top-k and the
-// number of random accesses charged.
+// against the owning shard's view, then re-ranks. The resolution logic
+// is topk.ResolveExact, shared with the live segmented index, whose
+// per-segment lists merge the same way.
 func (g *Group) resolveExact(ctx context.Context, q model.Query, parts []model.TopK, k int) (model.TopK, int64) {
-	var ra int64
-	resolved := make(model.TopK, 0, len(parts)*8)
-	for i, part := range parts {
-		if len(part) == 0 {
-			continue
-		}
-		v := g.shards[i].View
-		var settler postings.Settler
-		if b, ok := v.(postings.ExecBinder); ok {
-			bound := b.BindExec(ctx, nil, nil, nil)
-			if s, ok := bound.(postings.Settler); ok {
-				settler = s
-			}
-			v = bound
-		}
-		for _, r := range part {
-			var s model.Score
-			for _, t := range q {
-				if ts, ok := v.RandomAccess(t, r.Doc); ok {
-					s += ts
-				}
-				ra++
-			}
-			resolved = append(resolved, model.Result{Doc: r.Doc, Score: s})
-		}
-		if settler != nil {
-			settler.SettleAll()
-		}
-	}
-	resolved.Sort()
-	if len(resolved) > k {
-		resolved = resolved[:k]
-	}
-	return resolved, ra
+	return topk.ResolveExact(ctx, q, parts, func(i int) postings.View { return g.shards[i].View }, k)
 }
 
 // ShardCounters is a point-in-time snapshot of one shard's aggregate

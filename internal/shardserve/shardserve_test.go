@@ -214,9 +214,7 @@ func TestForcedDeadlineExpiry(t *testing.T) {
 		}
 		wi++
 	}
-	if g.Unsettled() != 0 {
-		t.Fatalf("unsettled I/O after query: %v", g.Unsettled())
-	}
+	algotest.AssertSettled(t, "after query", g)
 	if c := g.Counters(bad); c.DeadlineMisses != 1 {
 		t.Fatalf("shard %d deadline misses = %d, want 1", bad, c.DeadlineMisses)
 	}
@@ -493,9 +491,7 @@ func TestSearchShardsRespectsGlobalCancel(t *testing.T) {
 		t.Fatalf("StopReason = %q, want %q", st.StopReason, topk.StopCancelled)
 	}
 	algotest.AssertPartialTopK(t, "cancelled", got, 10)
-	if g.Unsettled() != 0 {
-		t.Fatalf("unsettled I/O: %v", g.Unsettled())
-	}
+	algotest.AssertSettled(t, "after cancelled query", g)
 }
 
 // TestBatchedGroupMatchesUnbatched runs concurrent queries through a
@@ -556,9 +552,7 @@ func TestBatchedGroupMatchesUnbatched(t *testing.T) {
 		assertMergedExact(t, fmt.Sprintf("batched/q%d", i),
 			topk.BruteForce(x, q, k), results[i].res)
 	}
-	if owed := g.Unsettled(); owed != 0 {
-		t.Fatalf("%v of I/O charges unpaid after drain", owed)
-	}
+	algotest.AssertSettled(t, "after batch drain", g)
 	bc := g.BatchCounters()
 	// Every query visits every shard, so each shard's executor batched n
 	// queries: n*p in total across the group.

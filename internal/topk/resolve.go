@@ -1,0 +1,63 @@
+// Exact-score resolution for merged partial results — shared by the
+// scatter/gather serving layer (internal/shardserve) and the live
+// segmented index (internal/liveindex), which merge per-part top-k
+// lists the same way and need the same final exactness step.
+
+package topk
+
+import (
+	"context"
+
+	"sparta/internal/model"
+	"sparta/internal/postings"
+)
+
+// ResolveExact replaces every merged candidate's (possibly lower-bound)
+// score with its true score, resolved by per-term random accesses
+// against the part's own view, then re-ranks and truncates to k. The
+// candidate set is the union of all per-part lists — a superset of the
+// global top-k for exact per-part evaluation, since a document's
+// part-local rank never exceeds its global rank (parts cover disjoint
+// document ranges).
+//
+// viewOf returns part i's view. Views that charge simulated I/O
+// (postings.ExecBinder) are bound to ctx for the lookups and settled
+// before the call returns, so resolution can never leave I/O debt
+// outstanding. Returns the resolved top-k and the number of random
+// accesses charged.
+func ResolveExact(ctx context.Context, q model.Query, parts []model.TopK, viewOf func(part int) postings.View, k int) (model.TopK, int64) {
+	var ra int64
+	resolved := make(model.TopK, 0, len(parts)*8)
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		v := viewOf(i)
+		var settler postings.Settler
+		if b, ok := v.(postings.ExecBinder); ok {
+			bound := b.BindExec(ctx, nil, nil, nil)
+			if s, ok := bound.(postings.Settler); ok {
+				settler = s
+			}
+			v = bound
+		}
+		for _, r := range part {
+			var s model.Score
+			for _, t := range q {
+				if ts, ok := v.RandomAccess(t, r.Doc); ok {
+					s += ts
+				}
+				ra++
+			}
+			resolved = append(resolved, model.Result{Doc: r.Doc, Score: s})
+		}
+		if settler != nil {
+			settler.SettleAll()
+		}
+	}
+	resolved.Sort()
+	if len(resolved) > k {
+		resolved = resolved[:k]
+	}
+	return resolved, ra
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sparta"
+	"sparta/internal/algos/algotest"
 	"sparta/internal/corpus"
 	"sparta/internal/diskindex"
 	"sparta/internal/index"
@@ -381,9 +382,7 @@ func TestSearcherBatchingEndToEnd(t *testing.T) {
 	if bc.BatchedQueries != n || bc.Coalesced == 0 {
 		t.Errorf("batch counters = %+v, want %d batched queries with coalescing", bc, n)
 	}
-	if owed := disk.Store().Unsettled(); owed != 0 {
-		t.Fatalf("%v of I/O charges unpaid after drain", owed)
-	}
+	algotest.AssertSettled(t, "after drain", disk.Store())
 	if cs := cache.Snapshot(); cs.DupFillsSuppressed == 0 {
 		t.Logf("no duplicate fills suppressed (timing-dependent); hits=%d misses=%d", cs.Hits, cs.Misses)
 	}

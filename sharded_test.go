@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sparta"
+	"sparta/internal/algos/algotest"
 	"sparta/internal/corpus"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
@@ -55,9 +56,7 @@ func TestShardedSearcherMatchesExact(t *testing.T) {
 	if sc := s.ShardCounters(); len(sc) != 4 || sc[0].Queries != 1 {
 		t.Fatalf("shard counters = %+v, want 4 shards with 1 query each", sc)
 	}
-	if s.Unsettled() != 0 {
-		t.Fatalf("unsettled I/O between queries: %v", s.Unsettled())
-	}
+	algotest.AssertSettled(t, "between queries", s)
 
 	// The per-shard breakdown path.
 	_, sst, err := s.SearchShards(context.Background(), q, sparta.Options{K: k, Exact: true})
@@ -106,9 +105,7 @@ func TestShardedSearcherTimeoutStillAnswers(t *testing.T) {
 	if len(got) > 10 {
 		t.Fatalf("got %d results, want <= k", len(got))
 	}
-	if s.Unsettled() != 0 {
-		t.Fatalf("unsettled I/O after deadline-dropped shards: %v", s.Unsettled())
-	}
+	algotest.AssertSettled(t, "after deadline-dropped shards", s)
 }
 
 func TestSearcherRejectsUnattachedCache(t *testing.T) {
