@@ -7,8 +7,9 @@
 // charged views — compaction pays simulated I/O like any reader and
 // settles it on every exit path, including cancellation — and builds
 // the merged raw postings outside the lock. Source data is immutable,
-// and the ingester only ever appends to the end of the frozen list
-// while the compactor is the only remover, so the picked run stays
+// the ingester only ever appends to the end of the frozen list, and
+// compactMu serializes all compactions (background and explicit) so
+// the in-flight merge is the only remover — the picked run stays
 // valid (and adjacent) until the splice.
 //
 // Old segment directories are removed only after the new epoch is
@@ -71,8 +72,14 @@ func (l *Live) pickRunLocked() (lo, hi int, ok bool) {
 
 // compactOnce merges one qualifying run. It reports whether a merge
 // happened. A cancelled context stops the merge mid-read with all
-// simulated I/O settled and the partial output removed.
+// simulated I/O settled and the partial output removed. compactMu
+// makes this the only compaction in flight — the background compactor
+// and explicit Compact() calls serialize rather than merging
+// overlapping runs.
 func (l *Live) compactOnce(ctx context.Context) (bool, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+
 	l.mu.Lock()
 	runLo, runHi, ok := l.pickRunLocked()
 	if !ok {
@@ -109,7 +116,8 @@ func (l *Live) compactOnce(ctx context.Context) (bool, error) {
 
 	l.mu.Lock()
 	// The run is still at [runLo, runHi): the ingester only appends
-	// past the end and this goroutine is the only remover.
+	// past the end and, under compactMu, this merge is the only
+	// remover. The identity check guards the invariant anyway.
 	for i, fz := range l.frozen[runLo:runHi] {
 		if fz != run[i] {
 			l.mu.Unlock()

@@ -159,6 +159,12 @@ type Live struct {
 	compactDone   chan struct{}
 	compactCancel context.CancelFunc
 
+	// compactMu serializes compactions: explicit Compact() calls can
+	// race the background compactor, and two merges picking overlapping
+	// runs would both try to remove the same segments. Held for the
+	// whole pick-merge-splice span, never while holding mu.
+	compactMu sync.Mutex
+
 	// Lifecycle counters (metrics.go surfaces them).
 	appendedDocs      atomic.Int64
 	flushes           atomic.Int64
@@ -242,7 +248,7 @@ func Open(dir string, cfg Config) (*Live, error) {
 	// records below WALStart belong to an already-flushed segment
 	// (crash between manifest update and WAL truncate) — both skip.
 	l.mem = newMemtable(l.walStart)
-	recs, _, err := replayWAL(filepath.Join(dir, WALFile))
+	recs, walEnd, err := replayWAL(filepath.Join(dir, WALFile))
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +274,10 @@ func Open(dir string, cfg Config) (*Live, error) {
 		}
 	}
 
-	l.w, err = openWAL(filepath.Join(dir, WALFile))
+	// Open the log at the intact-prefix offset: openWAL truncates any
+	// torn tail so new appends never land after garbage bytes that
+	// would wall off their replay.
+	l.w, err = openWAL(filepath.Join(dir, WALFile), walEnd)
 	if err != nil {
 		return nil, err
 	}
@@ -498,16 +507,27 @@ func (l *Live) flushLocked() error {
 	if err != nil {
 		return err
 	}
-	l.nextGen++
-	l.frozen = append(l.frozen, fz)
-	l.trackStore(fz.inner.Store())
+	// Stage the post-flush state, then persist it. On failure the
+	// in-memory splice rolls back so the memtable is never published
+	// alongside a frozen segment covering the same [lo,hi) range —
+	// epoch ranges must stay disjoint. nextGen is not rolled back: the
+	// generation is burned so a retry never rewrites a directory a
+	// partially written manifest may already reference; either the
+	// manifest accounts for the orphan dir or Open's stray sweep
+	// removes it.
+	prevFrozen, prevWALStart := l.frozen, l.walStart
+	l.nextGen = gen + 1
+	l.frozen = append(append(make([]*frozenSeg, 0, len(prevFrozen)+1), prevFrozen...), fz)
 	l.walStart = seg.hi
-	if err := l.writeManifestLocked(); err != nil {
+	err = l.writeManifestLocked()
+	if err == nil {
+		err = l.w.Reset()
+	}
+	if err != nil {
+		l.frozen, l.walStart = prevFrozen, prevWALStart
 		return err
 	}
-	if err := l.w.Reset(); err != nil {
-		return err
-	}
+	l.trackStore(fz.inner.Store())
 	l.mem = newMemtable(seg.hi)
 	l.flushes.Add(1)
 	l.lastFlushUnixNano.Store(time.Now().UnixNano())
@@ -596,8 +616,9 @@ func (l *Live) Flush() error {
 	return nil
 }
 
-// Compact runs one compaction pass synchronously (independent of the
-// background compactor) and reports whether it merged anything.
+// Compact runs one compaction pass synchronously and reports whether
+// it merged anything. It serializes with the background compactor —
+// only one merge is ever in flight.
 func (l *Live) Compact() (bool, error) {
 	return l.compactOnce(context.Background())
 }

@@ -285,11 +285,87 @@ func TestLiveWALReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer l3.Close()
 	if l3.NumDocs() != n+40 {
 		t.Fatalf("docs after torn-tail reopen = %d, want %d", l3.NumDocs(), n+40)
 	}
 	assertIdentity(t, "torn-tail", l3, buildFresh(all, n+40), queries)
+
+	// Appends acknowledged after a torn-tail reopen must survive the
+	// next reopen: Open truncates the garbage tail, so the new records
+	// land contiguous with the intact prefix instead of behind bytes
+	// that would wall off their replay.
+	extra := testBags(12, 99)
+	appendAll(t, l3, extra)
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	combined := append(append([][]corpus.TermCount{}, all...), extra...)
+	l4, err := liveindex.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l4.Close()
+	if l4.NumDocs() != len(combined) {
+		t.Fatalf("docs after post-torn-append reopen = %d, want %d", l4.NumDocs(), len(combined))
+	}
+	assertIdentity(t, "post-torn-append", l4, buildFresh(combined, len(combined)), queries)
+}
+
+// TestLiveFlushFailureRollback injects a manifest-write failure
+// mid-flush (after the frozen segment hit disk) and demands the flush
+// roll back cleanly: the published epoch must never hold the flushed
+// documents twice — once in the frozen segment and once in the
+// memtable — and a retried flush must succeed.
+func TestLiveFlushFailureRollback(t *testing.T) {
+	const n = 60
+	bags := testBags(n, 31)
+	dir := t.TempDir()
+	cfg := liveindex.Config{IO: ramIO(), FlushDocs: 1000, DisableCompaction: true}
+	l, err := liveindex.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, bags)
+
+	// A directory squatting on the manifest's tmp path makes the
+	// atomic write fail after flushLocked has already written and
+	// opened the frozen segment.
+	tmp := filepath.Join(dir, liveindex.ManifestFile+".tmp")
+	if err := os.Mkdir(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err == nil {
+		t.Fatal("flush with blocked manifest write succeeded, want error")
+	}
+
+	fresh := buildFresh(bags, n)
+	queries := []model.Query{
+		algotest.RandomQuery(fresh, 4, 11),
+		algotest.RandomQuery(fresh, 7, 13),
+	}
+	assertIdentity(t, "after failed flush", l, fresh, queries)
+
+	// Unblocked, the retried flush succeeds and identity still holds.
+	if err := os.Remove(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentity(t, "after retried flush", l, fresh, queries)
+	algotest.AssertSettled(t, "after flush rollback", l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the orphaned segment directory from the failed attempt is
+	// unreferenced by the manifest and must not confuse recovery.
+	l2, err := liveindex.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	assertIdentity(t, "reopened after rollback", l2, fresh, queries)
 }
 
 // TestLiveAppendTokens exercises the token path: dictionary growth,
@@ -474,6 +550,46 @@ func TestLiveBackgroundCompactor(t *testing.T) {
 	queries := []model.Query{algotest.RandomQuery(fresh, 5, 59)}
 	assertIdentity(t, "background-compacted", l, fresh, queries)
 	algotest.AssertSettled(t, "after background compaction", l)
+}
+
+// TestLiveConcurrentCompact hammers explicit Compact() from several
+// goroutines while the background compactor runs behind ingest.
+// Compactions serialize on compactMu, so none may fail with the
+// overlapping-run splice error, and identity holds afterwards.
+func TestLiveConcurrentCompact(t *testing.T) {
+	const n = 600
+	bags := testBags(n, 67)
+	l, err := liveindex.Open(t.TempDir(), liveindex.Config{
+		IO: ramIO(), FlushDocs: 50, CompactSegments: 3, CompactMaxDocs: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				if _, err := l.Compact(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	appendAll(t, l, bags)
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent Compact: %v", err)
+		}
+	}
+
+	fresh := buildFresh(bags, n)
+	queries := []model.Query{algotest.RandomQuery(fresh, 5, 71)}
+	assertIdentity(t, "concurrent-compact", l, fresh, queries)
+	algotest.AssertSettled(t, "after concurrent compaction", l)
 }
 
 // TestLiveSegmentStats sanity-checks the per-segment accounting the

@@ -42,7 +42,13 @@ type wal struct {
 	size int64
 }
 
-func openWAL(path string) (*wal, error) {
+// openWAL opens the log for appending. size is the intact-prefix
+// offset replay established; any bytes past it are a torn or corrupt
+// tail from a crashed write and are truncated away, so new
+// acknowledged appends land contiguous with the intact prefix. Without
+// the truncate, replay on the next reopen would stop at the garbage
+// again and silently drop every durable record appended after it.
+func openWAL(path string, size int64) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("liveindex: opening wal: %w", err)
@@ -52,7 +58,17 @@ func openWAL(path string) (*wal, error) {
 		f.Close()
 		return nil, fmt.Errorf("liveindex: %w", err)
 	}
-	return &wal{f: f, size: st.Size()}, nil
+	if st.Size() > size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("liveindex: truncating wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("liveindex: wal sync: %w", err)
+		}
+	}
+	return &wal{f: f, size: size}, nil
 }
 
 func (w *wal) Close() error { return w.f.Close() }
@@ -104,10 +120,13 @@ func (w *wal) Reset() error {
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("liveindex: wal truncate: %w", err)
 	}
+	// The file is empty now; account for it even if the sync below
+	// fails, or a later append would write past a phantom tail of
+	// zeros that replay treats as corruption.
+	w.size = 0
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("liveindex: wal sync: %w", err)
 	}
-	w.size = 0
 	return nil
 }
 
