@@ -21,6 +21,10 @@
 // BENCH_throughput.json. The "ingest" subcommand streams documents
 // into a live segmented index while query clients measure latency,
 // background compaction off versus on, and writes BENCH_ingest.json.
+// The "faults" subcommand serves the exact query log through a
+// replicated group under a seeded fault schedule — the error-rate ×
+// replica-count availability grid, one dark replica when R>1 — and
+// writes BENCH_faults.json.
 package main
 
 import (
@@ -62,6 +66,9 @@ type runner struct {
 	warmBlk   int
 	ingestOut string
 	ingestN   int
+	faultsOut string
+	faultRate []float64
+	faultReps []int
 	out       io.Writer
 	cw, cwx   *bench.Env
 	ram       *bench.Env
@@ -105,13 +112,27 @@ func main() {
 		warmBlk    = flag.Int("warmblocks", 2, "leading blocks warmed per term shared across a batch")
 		ingestJSON = flag.String("ingestout", "BENCH_ingest.json",
 			"output path of the report the ingest subcommand writes")
-		ingestN = flag.Int("ingestdocs", 3000, "documents streamed in during the ingest subcommand's measurement window")
+		ingestN    = flag.Int("ingestdocs", 3000, "documents streamed in during the ingest subcommand's measurement window")
+		faultsJSON = flag.String("faultsout", "BENCH_faults.json",
+			"output path of the report the faults subcommand writes")
+		faultRates = flag.String("faultrates", "0,0.05,0.10,0.20",
+			"per-attempt transient error rates of the faults subcommand's grid")
+		faultReps = flag.String("faultreplicas", "1,2,3",
+			"replica counts of the faults subcommand's grid")
 	)
 	flag.Parse()
 
 	clientGrid, err := parseInts(*clients)
 	if err != nil {
 		log.Fatalf("-clients: %v", err)
+	}
+	rateGrid, err := parseRates(*faultRates)
+	if err != nil {
+		log.Fatalf("-faultrates: %v", err)
+	}
+	repGrid, err := parseInts(*faultReps)
+	if err != nil {
+		log.Fatalf("-faultreplicas: %v", err)
 	}
 
 	base := corpus.DefaultSpec()
@@ -155,6 +176,9 @@ func main() {
 		warmBlk:   *warmBlk,
 		ingestOut: *ingestJSON,
 		ingestN:   *ingestN,
+		faultsOut: *faultsJSON,
+		faultRate: rateGrid,
+		faultReps: repGrid,
 		out:       os.Stdout,
 		sweepHigh: make(map[string][]bench.SweepPoint),
 	}
@@ -201,6 +225,22 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// parseRates parses a comma-separated list of probabilities in [0,1).
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("error rates must be in [0,1), got %g", p)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // parseInts parses a comma-separated list of positive integers.
@@ -553,6 +593,25 @@ func (r *runner) run(name string) (string, error) {
 			return "", err
 		}
 		return rep.Summary() + "\nwrote " + r.ingestOut, nil
+
+	case "faults":
+		// The chaos-serving artifact: availability and exactness of the
+		// replicated scatter/gather layer across the error-rate ×
+		// replica-count grid, a seeded fault schedule on every replica
+		// and a permanently dark one on shard 0 when there is a spare.
+		env, err := r.envCW()
+		if err != nil {
+			return "", err
+		}
+		rep, err := env.RunFaultsBenchReport(maxInt(r.nQueries*5, 50), r.threads,
+			r.shardP, r.faultRate, r.faultReps, r.envOpts.Seed)
+		if err != nil {
+			return "", err
+		}
+		if err := rep.WriteJSON(r.faultsOut); err != nil {
+			return "", err
+		}
+		return rep.Summary() + "\nwrote " + r.faultsOut, nil
 
 	case "compression":
 		// Appendix: §5's justification for benchmarking uncompressed —

@@ -8,11 +8,17 @@
 //
 //	indexstat -index data/cw/index
 //	indexstat -index data/cw/index -term 42     # one term in detail
+//	indexstat -index data/cw/shards -verify     # check manifest digests
 //
 // A live (segmented) index directory — one holding a live.json
 // manifest — prints per-segment statistics instead: generation,
 // document range, block count and byte size of every segment in the
 // current epoch.
+//
+// -verify recomputes every file's SHA-256 digest and the per-shard (or
+// per-segment) Merkle root against the manifest and reports every
+// mismatch — it works on sharded sets (shards.json) and live
+// directories (live.json); single-index directories carry no digests.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"sparta/internal/codec"
 	"sparta/internal/diskindex"
@@ -29,6 +36,7 @@ import (
 	"sparta/internal/liveindex"
 	"sparta/internal/model"
 	"sparta/internal/postings"
+	"sparta/internal/shardserve"
 )
 
 func main() {
@@ -37,11 +45,16 @@ func main() {
 	var (
 		indexDir = flag.String("index", "", "index directory (required)")
 		termID   = flag.Int("term", -1, "inspect a single term id")
+		verify   = flag.Bool("verify", false, "verify index files against their manifest digests")
 	)
 	flag.Parse()
 	if *indexDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *verify {
+		runVerify(*indexDir)
+		return
 	}
 	if _, err := os.Stat(filepath.Join(*indexDir, liveindex.ManifestFile)); err == nil {
 		liveStats(*indexDir)
@@ -136,6 +149,42 @@ func main() {
 		fmt.Printf("varint-delta compression over the 50 longest lists: %.2fx\n",
 			float64(raw)/float64(comp))
 	}
+}
+
+// runVerify recomputes manifest digests for a sharded set or a live
+// directory and prints a per-file mismatch report. Exit status 1 on
+// any disagreement.
+func runVerify(dir string) {
+	var (
+		kind string
+		err  error
+	)
+	switch {
+	case statOK(filepath.Join(dir, liveindex.ManifestFile)):
+		kind, err = "live index", liveindex.VerifyDir(dir)
+	case statOK(filepath.Join(dir, shardserve.ManifestFile)):
+		kind = "shard set"
+		if m, merr := shardserve.ReadManifest(dir); merr == nil {
+			kind = fmt.Sprintf("shard set (%d shards)", len(m.Shards))
+		}
+		err = shardserve.VerifySet(dir)
+	default:
+		log.Fatalf("%s: no %s or %s manifest — only sharded sets and live directories carry digests",
+			dir, shardserve.ManifestFile, liveindex.ManifestFile)
+	}
+	if err != nil {
+		fmt.Printf("%s: %s FAILED verification:\n", dir, kind)
+		for _, line := range strings.Split(err.Error(), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s verified OK — every file matches its manifest digest\n", dir, kind)
+}
+
+func statOK(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // liveStats prints the per-segment breakdown of a segmented live

@@ -4,8 +4,8 @@
 // sharded index.
 //
 // On startup it builds a small synthetic index, partitions it into
-// document-range shards (each with its own simulated store and
-// decoded-block cache), and serves
+// document-range shards — each backed by independent replicas with
+// their own simulated stores and decoded-block caches — and serves
 //
 //	GET /search?q=<terms>&k=10&algo=sparta|pbmw|pjass&mode=exact|high
 //	GET /stats
@@ -35,9 +35,11 @@
 //
 // /stats is one metrics-registry snapshot: every searcher's serving
 // counters (including shed), every shard's health/cache counters
-// (including single-flight duplicate-fill suppression), the per-shard
-// batch coalescing counters, and the live index's segment lifecycle
-// gauges ("live.segments", "live.compactions", ...), flat JSON.
+// (including single-flight duplicate-fill suppression and the
+// per-replica breaker states, retries, and promotions of the failover
+// machinery), the per-shard batch coalescing counters, and the live
+// index's segment lifecycle gauges ("live.segments",
+// "live.compactions", ...), flat JSON.
 //
 //	go run ./examples/server &
 //	curl 'localhost:8640/search?q=t12,t733,t5021&algo=sparta&mode=high'
@@ -72,6 +74,12 @@ const (
 	poolSize   = 12
 	// numShards is the scatter/gather width.
 	numShards = 4
+	// numReplicas backs every shard with independent replicas: hedges
+	// race a different replica instead of re-asking the straggler,
+	// transient errors fail over with backoff, and a shard whose
+	// primary goes dark promotes a verified replica. Per-replica
+	// breaker state shows up under /stats as shard.<i>.replicas.
+	numReplicas = 2
 	// queryTimeout is the serving SLA (§5.3 cites the 250 ms
 	// interactive budget); queries hitting it return partial results
 	// with stop reason "deadline".
@@ -129,6 +137,7 @@ func main() {
 		ShardTimeout:   shardTimeout,
 		BudgetFraction: 0.9, // leave headroom for merge + resolution
 		Hedge:          sparta.ShardHedgeConfig{Enabled: true},
+		Replicas:       numReplicas,
 		TripAfter:      3,
 		BatchWindow:    batchWindow,
 		MaxBatch:       maxBatch,

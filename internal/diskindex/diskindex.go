@@ -112,6 +112,15 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 	return open(manifest, dict, post, cfg)
 }
 
+// OpenEncoded opens an index over already-encoded file bytes (the
+// triple Encode returns) with a fresh simulated store configured by
+// cfg. Replica sets use it to open N independently charged copies of
+// one shard without paying the encode N times; the byte slices are
+// aliased, not copied, so callers must not mutate them afterwards.
+func OpenEncoded(manifest, dict, post []byte, cfg iomodel.Config) (*Index, error) {
+	return open(manifest, dict, post, cfg)
+}
+
 func open(manifestBytes, dictBytes, postBytes []byte, cfg iomodel.Config) (*Index, error) {
 	var m Manifest
 	if err := json.Unmarshal(manifestBytes, &m); err != nil {

@@ -53,6 +53,10 @@ type Config struct {
 	// CacheStripes segments the cache to reduce lock contention
 	// (default 16). 1 gives a single exact global LRU.
 	CacheStripes int
+	// StuckLatency is the charge of a fetch a FaultHook declares stuck
+	// (default 50ms) — long enough that a bound reader's deadline, not
+	// the disk, decides when the wait ends.
+	StuckLatency time.Duration
 }
 
 // DefaultConfig mimics a mid-range SSD behind a deliberately small page
@@ -89,11 +93,23 @@ type Stats struct {
 // share of the capacity (segmented LRU, as OS page caches do).
 const defaultCacheStripes = 16
 
+// FaultHook is consulted on every physical block fetch (a page-cache
+// miss). It returns extra simulated latency to charge on top of the
+// configured sequential/random cost, and whether the fetch is stuck —
+// a stuck fetch charges Config.StuckLatency, so a reader bound to a
+// context waits until its deadline or cancellation cuts the wait short
+// (the natural shape of a hung disk read), while an unbound reader
+// sleeps the stuck charge out. Hooks must be safe for concurrent use
+// and, for reproducible fault schedules, should be pure functions of
+// (file, block) — see package faultinject.
+type FaultHook func(file int, block int64) (extra time.Duration, stuck bool)
+
 // Store is a simulated disk with a shared page cache.
 type Store struct {
 	cfg    Config
 	files  []fileRegion
 	stripe []cacheStripe
+	fault  atomic.Pointer[FaultHook]
 
 	blocksRead atomic.Int64
 	cacheHits  atomic.Int64
@@ -143,6 +159,9 @@ func NewStore(cfg Config) *Store {
 	if cfg.CacheStripes <= 0 {
 		cfg.CacheStripes = defaultCacheStripes
 	}
+	if cfg.StuckLatency <= 0 {
+		cfg.StuckLatency = 50 * time.Millisecond
+	}
 	s := &Store{cfg: cfg, stripe: make([]cacheStripe, cfg.CacheStripes)}
 	per := cfg.CacheBlocks / cfg.CacheStripes
 	if per < 1 {
@@ -157,6 +176,17 @@ func NewStore(cfg Config) *Store {
 
 // Config returns the store's configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// SetFaultHook installs (or, with nil, removes) the store's fault
+// hook. Installing a hook mid-query is safe; in-flight readers pick it
+// up on their next physical fetch.
+func (s *Store) SetFaultHook(h FaultHook) {
+	if h == nil {
+		s.fault.Store(nil)
+		return
+	}
+	s.fault.Store(&h)
+}
 
 // AddFile registers an immutable byte region under name and returns its
 // handle. The bytes are aliased, not copied.
@@ -427,6 +457,13 @@ func (r *Reader) touchBlock(b int64) {
 	} else {
 		s.randReads.Add(1)
 		lat = s.cfg.RandLatency
+	}
+	if hp := s.fault.Load(); hp != nil {
+		extra, stuck := (*hp)(r.file, b)
+		lat += extra
+		if stuck {
+			lat += s.cfg.StuckLatency
+		}
 	}
 	if lat == 0 {
 		return

@@ -113,6 +113,10 @@ func (l *Live) compactOnce(ctx context.Context) (bool, error) {
 		os.RemoveAll(segDir)
 		return false, err
 	}
+	if fz.files, fz.root, err = digestFrozen(segDir); err != nil {
+		os.RemoveAll(segDir)
+		return false, err
+	}
 
 	l.mu.Lock()
 	// The run is still at [runLo, runHi): the ingester only appends

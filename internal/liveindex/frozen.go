@@ -29,6 +29,7 @@ import (
 	"sparta/internal/diskindex"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
+	"sparta/internal/merkle"
 	"sparta/internal/model"
 	"sparta/internal/postings"
 )
@@ -51,6 +52,31 @@ type frozenSeg struct {
 	inner   *diskindex.Index
 	dfs     []int32 // local df per term (dictionary cache)
 	nBlocks int     // total block-max blocks, for stats
+	// files/root are the flush-time digests recorded in the live
+	// manifest and re-verified before the segment is served (empty for
+	// segments inherited from a v1 manifest).
+	files []merkle.FileDigest
+	root  string
+}
+
+// segmentFiles are the on-disk artifacts of one frozen segment, in
+// manifest (and Merkle leaf) order.
+var segmentFiles = []string{
+	diskindex.ManifestFile, diskindex.DictFile, diskindex.PostingsFile, segLensFile,
+}
+
+// digestFrozen hashes a frozen segment's files into manifest digests
+// plus their Merkle root.
+func digestFrozen(dir string) ([]merkle.FileDigest, string, error) {
+	files := make([]merkle.FileDigest, 0, len(segmentFiles))
+	for _, name := range segmentFiles {
+		fd, err := merkle.HashFile(dir, name)
+		if err != nil {
+			return nil, "", fmt.Errorf("liveindex: digesting segment: %w", err)
+		}
+		files = append(files, fd)
+	}
+	return files, merkle.Root(files), nil
 }
 
 func (s *frozenSeg) docs() int { return int(s.hi - s.lo) }

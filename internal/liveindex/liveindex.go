@@ -17,6 +17,7 @@ package liveindex
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"sparta/internal/corpus"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
+	"sparta/internal/merkle"
 	"sparta/internal/model"
 	"sparta/internal/postings"
 	"sparta/internal/topk"
@@ -43,7 +45,12 @@ const (
 	// WALFile is the memtable's write-ahead log.
 	WALFile = "wal.log"
 
-	manifestVersion = 1
+	// Manifest versions: v1 trusted segment directories blindly; v2
+	// records per-file SHA-256 digests plus a per-segment Merkle root,
+	// verified before a segment is served. v1 manifests remain readable
+	// (legacy, unverified); newly written manifests are always v2.
+	manifestVersion   = 1
+	manifestVersionV2 = 2
 )
 
 // Config parameterizes a live index. The zero value serves.
@@ -110,6 +117,38 @@ type segManifest struct {
 	Lo   model.DocID `json:"lo"`
 	Hi   model.DocID `json:"hi"`
 	Docs int         `json:"docs"`
+	// Files are the segment's index files with flush-time SHA-256
+	// digests; MerkleRoot folds them into one provable identity
+	// (empty in v1 manifests).
+	Files      []merkle.FileDigest `json:"files,omitempty"`
+	MerkleRoot string              `json:"merkle_root,omitempty"`
+}
+
+// VerifyDir recomputes every frozen segment's file digests and Merkle
+// root against the live.json manifest without opening the index, and
+// reports every disagreement (cmd/indexstat -verify). Verifying a v1
+// manifest (no digests) is an error: absence of digests must read as
+// "unverifiable", not "valid".
+func VerifyDir(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return fmt.Errorf("liveindex: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("liveindex: parsing %s: %w", ManifestFile, err)
+	}
+	var errs []error
+	for _, sm := range man.Segments {
+		if len(sm.Files) == 0 {
+			errs = append(errs, fmt.Errorf("segment %s: manifest carries no digests (v1); flush or compact to upgrade", sm.Dir))
+			continue
+		}
+		if err := merkle.VerifyDir(filepath.Join(dir, sm.Dir), sm.Files, sm.MerkleRoot); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // appendReq is one document waiting for the ingest batcher.
@@ -197,8 +236,9 @@ func Open(dir string, cfg Config) (*Live, error) {
 		if err := json.Unmarshal(raw, &man); err != nil {
 			return nil, fmt.Errorf("liveindex: parsing %s: %w", ManifestFile, err)
 		}
-		if man.Version != manifestVersion {
-			return nil, fmt.Errorf("liveindex: manifest version %d, want %d", man.Version, manifestVersion)
+		if man.Version != manifestVersion && man.Version != manifestVersionV2 {
+			return nil, fmt.Errorf("liveindex: manifest version %d, want %d or %d",
+				man.Version, manifestVersion, manifestVersionV2)
 		}
 	case os.IsNotExist(err):
 		man = manifest{Version: manifestVersion, NextGen: 1}
@@ -224,10 +264,20 @@ func Open(dir string, cfg Config) (*Live, error) {
 	known := make(map[string]bool, len(man.Segments))
 	for _, sm := range man.Segments {
 		known[sm.Dir] = true
-		fz, err := openFrozen(filepath.Join(dir, sm.Dir), sm.Gen, sm.Lo, sm.Hi, *cfg.IO)
+		segDir := filepath.Join(dir, sm.Dir)
+		// Verify before trusting: a segment whose bytes disagree with
+		// its flush-time digests fails the open rather than serving
+		// corrupted postings.
+		if len(sm.Files) > 0 {
+			if err := merkle.VerifyDir(segDir, sm.Files, sm.MerkleRoot); err != nil {
+				return nil, fmt.Errorf("liveindex: segment %s failed verification: %w", sm.Dir, err)
+			}
+		}
+		fz, err := openFrozen(segDir, sm.Gen, sm.Lo, sm.Hi, *cfg.IO)
 		if err != nil {
 			return nil, err
 		}
+		fz.files, fz.root = sm.Files, sm.MerkleRoot
 		l.frozen = append(l.frozen, fz)
 		l.trackStore(fz.inner.Store())
 	}
@@ -507,6 +557,12 @@ func (l *Live) flushLocked() error {
 	if err != nil {
 		return err
 	}
+	// Digest the freshly written files so the manifest can attest to
+	// them: reopening (and any future promotion of a copy) verifies the
+	// bytes on disk against these before serving.
+	if fz.files, fz.root, err = digestFrozen(filepath.Join(l.dir, segDir)); err != nil {
+		return err
+	}
 	// Stage the post-flush state, then persist it. On failure the
 	// in-memory splice rolls back so the memtable is never published
 	// alongside a frozen segment covering the same [lo,hi) range —
@@ -537,10 +593,11 @@ func (l *Live) flushLocked() error {
 func segDirName(gen int) string { return fmt.Sprintf("seg-%06d", gen) }
 
 func (l *Live) writeManifestLocked() error {
-	man := manifest{Version: manifestVersion, NextGen: l.nextGen, WALStart: l.walStart}
+	man := manifest{Version: manifestVersionV2, NextGen: l.nextGen, WALStart: l.walStart}
 	for _, fz := range l.frozen {
 		man.Segments = append(man.Segments, segManifest{
 			Dir: filepath.Base(fz.dir), Gen: fz.gen, Lo: fz.lo, Hi: fz.hi, Docs: fz.docs(),
+			Files: fz.files, MerkleRoot: fz.root,
 		})
 	}
 	rawMan, err := json.MarshalIndent(man, "", "  ")

@@ -1,0 +1,148 @@
+package merkle
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFiles(t *testing.T, dir string, files map[string]string) []FileDigest {
+	t.Helper()
+	var out []FileDigest
+	for _, name := range []string{"manifest.json", "dict.bin", "postings.bin"} {
+		data, ok := files[name]
+		if !ok {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, HashBytes(name, []byte(data)))
+	}
+	return out
+}
+
+func TestHashBytesMatchesHashFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.bin"), []byte("hello postings"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mem := HashBytes("a.bin", []byte("hello postings"))
+	disk, err := HashFile(dir, "a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem != disk {
+		t.Fatalf("in-memory digest %+v != on-disk digest %+v", mem, disk)
+	}
+	if mem.Bytes != 14 {
+		t.Fatalf("Bytes = %d, want 14", mem.Bytes)
+	}
+}
+
+func TestLeafBindsNameAndLength(t *testing.T) {
+	a := HashBytes("a.bin", []byte("data"))
+	b := HashBytes("b.bin", []byte("data"))
+	if a.SHA256 == b.SHA256 {
+		t.Fatal("same content under different names hashed identically: rename undetectable")
+	}
+	// A name/content boundary shift must not collide either.
+	c := HashBytes("ab", []byte("cd"))
+	d := HashBytes("abc", []byte("d"))
+	if c.SHA256 == d.SHA256 {
+		t.Fatal("leaf hash does not delimit name from content")
+	}
+}
+
+func TestRootProperties(t *testing.T) {
+	files := []FileDigest{
+		HashBytes("a", []byte("1")),
+		HashBytes("b", []byte("2")),
+		HashBytes("c", []byte("3")),
+	}
+	root := Root(files)
+	if root == "" {
+		t.Fatal("empty root for non-empty file set")
+	}
+	if Root(files) != root {
+		t.Fatal("root not deterministic")
+	}
+	// Single leaf: root is the leaf.
+	if Root(files[:1]) != files[0].SHA256 {
+		t.Fatal("single-leaf root != leaf digest")
+	}
+	// Order is part of the identity.
+	swapped := []FileDigest{files[1], files[0], files[2]}
+	if Root(swapped) == root {
+		t.Fatal("reordered file set produced the same root")
+	}
+	// Content change propagates.
+	changed := []FileDigest{files[0], HashBytes("b", []byte("2!")), files[2]}
+	if Root(changed) == root {
+		t.Fatal("changed leaf did not change the root")
+	}
+	if Root(nil) != "" {
+		t.Fatal("empty set should have empty root")
+	}
+}
+
+func TestVerifyDirDetectsEveryKindOfDamage(t *testing.T) {
+	dir := t.TempDir()
+	files := writeFiles(t, dir, map[string]string{
+		"manifest.json": `{"v":1}`,
+		"dict.bin":      "dict-bytes",
+		"postings.bin":  "posting-bytes-here",
+	})
+	root := Root(files)
+	if err := VerifyDir(dir, files, root); err != nil {
+		t.Fatalf("pristine dir failed verification: %v", err)
+	}
+
+	// Flip one byte of one file: named in the error.
+	p := filepath.Join(dir, "postings.bin")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[3] ^= 0xff
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyDir(dir, files, root)
+	if err == nil || !strings.Contains(err.Error(), "postings.bin") {
+		t.Fatalf("corrupted postings.bin not reported: %v", err)
+	}
+	raw[3] ^= 0xff
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing file.
+	if err := os.Remove(filepath.Join(dir, "dict.bin")); err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyDir(dir, files, root)
+	if err == nil || !strings.Contains(err.Error(), "dict.bin") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing dict.bin not reported: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dict.bin"), []byte("dict-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered root.
+	if err := VerifyDir(dir, files, "feedfacecafe"); err == nil {
+		t.Fatal("wrong merkle root accepted")
+	}
+
+	// All mismatches reported, not just the first.
+	for _, name := range []string{"manifest.json", "dict.bin"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = VerifyDir(dir, files, root)
+	if err == nil || !strings.Contains(err.Error(), "manifest.json") || !strings.Contains(err.Error(), "dict.bin") {
+		t.Fatalf("want both damaged files reported, got: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ package shardserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"sparta/internal/diskindex"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
+	"sparta/internal/merkle"
 	"sparta/internal/model"
 	"sparta/internal/plcache"
 	"sparta/internal/postings"
@@ -22,6 +24,15 @@ import (
 // ManifestFile is the shard-set manifest written next to the per-shard
 // index directories.
 const ManifestFile = "shards.json"
+
+// Manifest versions: v1 trusted the shard directories blindly; v2
+// records per-file SHA-256 digests and a per-shard Merkle root, and
+// OpenDir / replica promotion verify them before serving. v1 sets are
+// still readable (legacy, unverified).
+const (
+	manifestV1 = 1
+	manifestV2 = 2
+)
 
 // Manifest describes a built shard set.
 type Manifest struct {
@@ -36,7 +47,15 @@ type ShardManifest struct {
 	LoDoc    uint32 `json:"lo_doc"`
 	HiDoc    uint32 `json:"hi_doc"`
 	Postings int64  `json:"postings"`
+	// Files are the shard's index files with their build-time SHA-256
+	// digests; MerkleRoot folds them into one provable identity
+	// (empty in v1 manifests).
+	Files      []merkle.FileDigest `json:"files,omitempty"`
+	MerkleRoot string              `json:"merkle_root,omitempty"`
 }
+
+// Verified reports whether the shard carries digests to check.
+func (sm ShardManifest) Verified() bool { return len(sm.Files) > 0 }
 
 // ShardView is one opened shard: the disk-modeled view plus the store
 // and optional cache that belong to it.
@@ -96,17 +115,48 @@ func NewFromViews(cfg Config, factory Factory, views []ShardView) (*Group, error
 // simulated store (cfg.IO, default iomodel.DefaultConfig) with an
 // optional per-shard cache (cfg.CacheBytes), and serves them with
 // factory's algorithm — the one-call path tests and single-process
-// experiments use.
+// experiments use. With cfg.Replicas > 1 each shard is encoded once
+// and opened that many times (diskindex.OpenEncoded over the shared
+// bytes), every replica getting its own independently charged store
+// and cache.
 func FromIndex(x *index.Index, p int, factory Factory, cfg Config) (*Group, error) {
 	io := iomodel.DefaultConfig()
 	if cfg.IO != nil {
 		io = *cfg.IO
 	}
-	views, err := PartitionViews(x, p, io, cfg.CacheBytes)
-	if err != nil {
-		return nil, err
+	if cfg.Replicas <= 1 {
+		views, err := PartitionViews(x, p, io, cfg.CacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		return NewFromViews(cfg, factory, views)
 	}
-	return NewFromViews(cfg, factory, views)
+	if p <= 0 {
+		return nil, fmt.Errorf("shardserve: shard count must be positive, got %d", p)
+	}
+	shards := make([]Shard, p)
+	for s, part := range x.Partition(p) {
+		manifest, dict, post, err := diskindex.Encode(part, diskindex.DefaultShards)
+		if err != nil {
+			return nil, fmt.Errorf("shardserve: encoding shard %d: %w", s, err)
+		}
+		lo, hi := postings.ShardRange(x.NumDocs(), s, p)
+		reps := make([]Replica, cfg.Replicas)
+		for r := range reps {
+			di, err := diskindex.OpenEncoded(manifest, dict, post, io)
+			if err != nil {
+				return nil, fmt.Errorf("shardserve: opening shard %d replica %d: %w", s, r, err)
+			}
+			reps[r] = Replica{View: di, Alg: factory(di), Store: di.Store()}
+			if cfg.CacheBytes > 0 {
+				c := plcache.NewWithBudget(cfg.CacheBytes)
+				di.SetPostingCache(c)
+				reps[r].Cache = c
+			}
+		}
+		shards[s] = Shard{Replicas: reps, Lo: lo, Hi: hi}
+	}
+	return New(cfg, shards...)
 }
 
 // WriteDir partitions x into p shards and writes each as a diskindex
@@ -123,18 +173,30 @@ func WriteDir(x *index.Index, p, innerShards int, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shardserve: creating %s: %w", dir, err)
 	}
-	m := Manifest{Version: 1, NumDocs: x.NumDocs()}
+	m := Manifest{Version: manifestV2, NumDocs: x.NumDocs()}
 	for s, part := range x.Partition(p) {
 		sub := fmt.Sprintf("shard-%04d", s)
 		if err := diskindex.WriteDir(part, innerShards, filepath.Join(dir, sub)); err != nil {
 			return fmt.Errorf("shardserve: writing shard %d: %w", s, err)
 		}
+		// Hash every index file back from disk — the digests attest to
+		// the bytes actually written, not the bytes we meant to write.
+		var files []merkle.FileDigest
+		for _, name := range []string{diskindex.ManifestFile, diskindex.DictFile, diskindex.PostingsFile} {
+			fd, err := merkle.HashFile(filepath.Join(dir, sub), name)
+			if err != nil {
+				return fmt.Errorf("shardserve: digesting shard %d: %w", s, err)
+			}
+			files = append(files, fd)
+		}
 		lo, hi := postings.ShardRange(x.NumDocs(), s, p)
 		m.Shards = append(m.Shards, ShardManifest{
-			Dir:      sub,
-			LoDoc:    uint32(lo),
-			HiDoc:    uint32(hi),
-			Postings: part.TotalPostings(),
+			Dir:        sub,
+			LoDoc:      uint32(lo),
+			HiDoc:      uint32(hi),
+			Postings:   part.TotalPostings(),
+			Files:      files,
+			MerkleRoot: merkle.Root(files),
 		})
 	}
 	b, err := json.MarshalIndent(m, "", "  ")
@@ -144,40 +206,94 @@ func WriteDir(x *index.Index, p, innerShards int, dir string) error {
 	return os.WriteFile(filepath.Join(dir, ManifestFile), append(b, '\n'), 0o644)
 }
 
-// OpenDir opens a shard set written by WriteDir: each shard gets its
-// own simulated store (cfg.IO) and optional cache (cfg.CacheBytes),
-// and factory's algorithm serves it.
-func OpenDir(dir string, factory Factory, cfg Config) (*Group, error) {
+// ReadManifest reads and validates the shards.json manifest of a
+// built shard set.
+func ReadManifest(dir string) (Manifest, error) {
 	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
 	if err != nil {
-		return nil, fmt.Errorf("shardserve: %w", err)
+		return Manifest{}, fmt.Errorf("shardserve: %w", err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(b, &m); err != nil {
-		return nil, fmt.Errorf("shardserve: parsing %s: %w", ManifestFile, err)
+		return Manifest{}, fmt.Errorf("shardserve: parsing %s: %w", ManifestFile, err)
 	}
-	if m.Version != 1 {
-		return nil, fmt.Errorf("shardserve: unsupported manifest version %d", m.Version)
+	if m.Version != manifestV1 && m.Version != manifestV2 {
+		return Manifest{}, fmt.Errorf("shardserve: unsupported manifest version %d", m.Version)
 	}
 	if len(m.Shards) == 0 {
-		return nil, fmt.Errorf("shardserve: manifest lists no shards")
+		return Manifest{}, fmt.Errorf("shardserve: manifest lists no shards")
+	}
+	return m, nil
+}
+
+// VerifySet recomputes every shard's file digests and Merkle root
+// against the shards.json manifest and reports every disagreement
+// (cmd/indexstat -verify). Verifying a v1 set (no digests) is an
+// error: absence of digests must read as "unverifiable", not "valid".
+func VerifySet(dir string) error {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for s, sm := range m.Shards {
+		if !sm.Verified() {
+			errs = append(errs, fmt.Errorf("shard %d (%s): manifest carries no digests (v1 set); rebuild to verify", s, sm.Dir))
+			continue
+		}
+		if err := merkle.VerifyDir(filepath.Join(dir, sm.Dir), sm.Files, sm.MerkleRoot); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// OpenDir opens a shard set written by WriteDir: each shard gets
+// cfg.Replicas (default 1) independently opened backends, each with
+// its own simulated store (cfg.IO) and optional cache
+// (cfg.CacheBytes), served by factory's algorithm. Shards carrying
+// manifest digests are verified before the bytes are trusted — a
+// corrupted shard fails the open rather than serving wrong results —
+// and every replica keeps a Verify hook, re-run before that replica
+// can be promoted to primary.
+func OpenDir(dir string, factory Factory, cfg Config) (*Group, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
 	}
 	io := iomodel.DefaultConfig()
 	if cfg.IO != nil {
 		io = *cfg.IO
 	}
-	views := make([]ShardView, len(m.Shards))
-	for s, sm := range m.Shards {
-		di, err := diskindex.OpenDir(filepath.Join(dir, sm.Dir), io)
-		if err != nil {
-			return nil, fmt.Errorf("shardserve: opening shard %d: %w", s, err)
-		}
-		views[s] = ShardView{View: di, Store: di.Store(), Lo: model.DocID(sm.LoDoc), Hi: model.DocID(sm.HiDoc)}
-		if cfg.CacheBytes > 0 {
-			c := plcache.NewWithBudget(cfg.CacheBytes)
-			di.SetPostingCache(c)
-			views[s].Cache = c
-		}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 1
 	}
-	return NewFromViews(cfg, factory, views)
+	shards := make([]Shard, len(m.Shards))
+	for s, sm := range m.Shards {
+		shardDir := filepath.Join(dir, sm.Dir)
+		var verify func() error
+		if sm.Verified() {
+			files, root := sm.Files, sm.MerkleRoot
+			verify = func() error { return merkle.VerifyDir(shardDir, files, root) }
+			if err := verify(); err != nil {
+				return nil, fmt.Errorf("shardserve: shard %d failed verification: %w", s, err)
+			}
+		}
+		reps := make([]Replica, replicas)
+		for r := range reps {
+			di, err := diskindex.OpenDir(shardDir, io)
+			if err != nil {
+				return nil, fmt.Errorf("shardserve: opening shard %d replica %d: %w", s, r, err)
+			}
+			reps[r] = Replica{View: di, Alg: factory(di), Store: di.Store(), Verify: verify}
+			if cfg.CacheBytes > 0 {
+				c := plcache.NewWithBudget(cfg.CacheBytes)
+				di.SetPostingCache(c)
+				reps[r].Cache = c
+			}
+		}
+		shards[s] = Shard{Replicas: reps, Lo: model.DocID(sm.LoDoc), Hi: model.DocID(sm.HiDoc)}
+	}
+	return New(cfg, shards...)
 }

@@ -71,15 +71,18 @@ type Factory func(view postings.View) topk.Algorithm
 type Shard struct {
 	// Name labels the shard in stats and metrics ("shard3" if empty).
 	Name string
-	// View is the shard's index view (required).
+	// Replicas are the shard's opened backend copies; Replicas[0]
+	// starts as the primary. When empty, one replica is assembled from
+	// the legacy single-backend fields below.
+	Replicas []Replica
+	// View is the shard's index view (required when Replicas is empty).
 	View postings.View
-	// Alg evaluates queries over View (required). It must be safe for
-	// concurrent use, as every Algorithm in this repository is.
+	// Alg evaluates queries over View (required when Replicas is
+	// empty). It must be safe for concurrent use, as every Algorithm in
+	// this repository is.
 	Alg topk.Algorithm
-	// Replica, when non-nil, receives hedged retries instead of Alg —
-	// model it as a second opened copy of the shard. Nil re-issues to
-	// Alg itself (same index, new attempt), which is the in-process
-	// stand-in for a replica.
+	// Replica, when non-nil, becomes a second replica sharing View —
+	// the legacy hedge target, kept for callers predating Replicas.
 	Replica topk.Algorithm
 	// Store, when non-nil, is the shard's simulated storage; the group
 	// uses it for settlement accounting (Unsettled) and cache metrics.
@@ -130,13 +133,35 @@ type Config struct {
 	// Hedge tunes straggler hedging.
 	Hedge HedgeConfig
 
-	// TripAfter trips a shard's breaker after that many consecutive
-	// errors; tripped shards are skipped (and counted dropped). Zero
-	// disables the breaker.
+	// Replicas is the number of backend copies FromIndex / OpenDir open
+	// per shard (default 1). Ignored by New, which receives explicit
+	// replicas.
+	Replicas int
+
+	// TripAfter trips a replica's breaker after that many consecutive
+	// errors; a shard is skipped (and counted dropped) only when every
+	// replica is excluded. Zero disables the breaker.
 	TripAfter int
-	// ProbeEvery sends every ProbeEvery-th query through a tripped
-	// shard as a half-open probe (default 16).
+	// ProbeEvery converts every ProbeEvery-th query arriving at an open
+	// replica breaker into a half-open probe (default 16).
 	ProbeEvery int
+	// MaxProbes caps the half-open probes concurrently in flight per
+	// replica (default 1); admission is CAS-serialized, so a thundering
+	// herd admits exactly this many.
+	MaxProbes int
+
+	// RetryMax caps transient-error retries per shard query; each retry
+	// goes to the next untried replica, and a budget larger than the
+	// replica count wraps around for a fresh round (transient errors are
+	// transient; the backoff has been paid). 0 means replicas-1 (try
+	// every copy once); negative disables retries.
+	RetryMax int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// retry up to RetryBackoffMax, always inside the shard's deadline
+	// budget (defaults 200µs / 5ms; negative RetryBackoff disables the
+	// wait).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 
 	// NoExactResolve skips the post-merge score-resolution pass for
 	// exact queries. Resolution costs ~P×K×|q| random accesses; without
@@ -167,6 +192,10 @@ const latWindow = 64
 // shardState is a Shard plus the group's per-shard serving state.
 type shardState struct {
 	Shard
+	// replicas are the shard's backends; primary indexes the one that
+	// takes normal traffic (promoted away from dark/corrupt replicas).
+	replicas []*replicaState
+	primary  atomic.Int32
 
 	queries        atomic.Int64
 	errs           atomic.Int64
@@ -174,10 +203,11 @@ type shardState struct {
 	hedges         atomic.Int64
 	hedgeWins      atomic.Int64
 	skips          atomic.Int64
-
-	consecErrs atomic.Int64
-	tripped    atomic.Bool
-	probeTick  atomic.Int64
+	retries        atomic.Int64
+	promotions     atomic.Int64
+	verifyFailures atomic.Int64
+	lastVerifyErr  atomic.Pointer[error]
+	promoteMu      sync.Mutex
 
 	latMu  sync.Mutex
 	lat    [latWindow]time.Duration
@@ -248,41 +278,80 @@ func New(cfg Config, shards ...Shard) (*Group, error) {
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 16
 	}
+	if cfg.MaxProbes <= 0 {
+		cfg.MaxProbes = 1
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 200 * time.Microsecond
+	}
+	if cfg.RetryBackoff < 0 {
+		cfg.RetryBackoff = 0
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 5 * time.Millisecond
+	}
 	g := &Group{cfg: cfg, shards: make([]*shardState, len(shards))}
 	for i, sh := range shards {
-		if sh.View == nil || sh.Alg == nil {
-			return nil, fmt.Errorf("shardserve: shard %d needs View and Alg", i)
+		reps := sh.Replicas
+		if len(reps) == 0 {
+			// Legacy single-backend shard: replica 0 from the flat
+			// fields, plus the old hedge target as a second replica
+			// sharing the view.
+			if sh.View == nil || sh.Alg == nil {
+				return nil, fmt.Errorf("shardserve: shard %d needs View and Alg", i)
+			}
+			reps = []Replica{{View: sh.View, Alg: sh.Alg, Store: sh.Store, Cache: sh.Cache}}
+			if sh.Replica != nil {
+				reps = append(reps, Replica{View: sh.View, Alg: sh.Replica, Store: sh.Store})
+			}
 		}
 		if sh.Name == "" {
 			sh.Name = fmt.Sprintf("shard%d", i)
 		}
-		if sh.Cache != nil && !sh.Cache.Attached() {
-			return nil, fmt.Errorf("shardserve: shard %d (%s): cache supplied but not attached to its view", i, sh.Name)
+		st := &shardState{Shard: sh}
+		for ri, rep := range reps {
+			if rep.View == nil || rep.Alg == nil {
+				return nil, fmt.Errorf("shardserve: shard %d replica %d needs View and Alg", i, ri)
+			}
+			if rep.Name == "" {
+				rep.Name = fmt.Sprintf("r%d", ri)
+			}
+			if rep.Cache != nil && !rep.Cache.Attached() {
+				return nil, fmt.Errorf("shardserve: shard %d (%s) replica %d: cache supplied but not attached to its view", i, sh.Name, ri)
+			}
+			rs := &replicaState{Replica: rep, alg: rep.Alg, hedgeAlg: rep.Alg}
+			if cfg.BatchWindow > 0 {
+				// Per-shard coalescing: concurrent queries fanning out
+				// to this replica batch here. Hedged retries stay
+				// latency-critical through the unwrapped algorithm — a
+				// hedge never waits out a collection window.
+				bcfg := batchexec.Config{
+					Window:     cfg.BatchWindow,
+					MaxBatch:   cfg.MaxBatch,
+					WarmBlocks: cfg.BatchWarmBlocks,
+				}
+				if w, ok := rep.View.(postings.TermWarmer); ok {
+					bcfg.Warmer = w
+				}
+				ex := batchexec.New(rep.Alg, bcfg)
+				rs.alg = ex
+				g.batchers = append(g.batchers, ex)
+			}
+			st.replicas = append(st.replicas, rs)
 		}
-		if cfg.BatchWindow > 0 {
-			// Per-shard coalescing: concurrent queries fanning out to
-			// this shard batch here. Hedged retries must stay
-			// latency-critical, so when no explicit replica exists the
-			// unwrapped algorithm becomes one — a hedge never waits out
-			// a collection window.
-			if sh.Replica == nil {
-				sh.Replica = sh.Alg
-			}
-			bcfg := batchexec.Config{
-				Window:     cfg.BatchWindow,
-				MaxBatch:   cfg.MaxBatch,
-				WarmBlocks: cfg.BatchWarmBlocks,
-			}
-			if w, ok := sh.View.(postings.TermWarmer); ok {
-				bcfg.Warmer = w
-			}
-			ex := batchexec.New(sh.Alg, bcfg)
-			sh.Alg = ex
-			g.batchers = append(g.batchers, ex)
-		}
-		g.shards[i] = &shardState{Shard: sh}
+		// Mirror replica 0 into the legacy flat fields so ShardInfo and
+		// older call sites keep seeing a single-backend shard.
+		st.Shard.Replicas = reps
+		st.Shard.View = reps[0].View
+		st.Shard.Alg = reps[0].Alg
+		st.Shard.Store = reps[0].Store
+		st.Shard.Cache = reps[0].Cache
+		g.shards[i] = st
 	}
-	g.name = fmt.Sprintf("Sharded[%s×%d]", g.shards[0].Alg.Name(), len(g.shards))
+	g.name = fmt.Sprintf("Sharded[%s×%d]", g.shards[0].replicas[0].alg.Name(), len(g.shards))
+	if r := len(g.shards[0].replicas); r > 1 {
+		g.name = fmt.Sprintf("Sharded[%s×%d×r%d]", g.shards[0].replicas[0].alg.Name(), len(g.shards), r)
+	}
 	return g, nil
 }
 
@@ -292,13 +361,19 @@ func (g *Group) NumShards() int { return len(g.shards) }
 // ShardInfo returns shard i's descriptor.
 func (g *Group) ShardInfo(i int) Shard { return g.shards[i].Shard }
 
-// Unsettled sums the unpaid simulated-I/O debt across all shard stores
-// — zero after every query, including dropped and hedged shards.
+// Unsettled sums the unpaid simulated-I/O debt across every replica
+// store of every shard — zero after every query, including dropped,
+// hedged, and retried attempts. Stores shared between replicas (the
+// legacy hedge arrangement) count once.
 func (g *Group) Unsettled() time.Duration {
 	var d time.Duration
+	seen := make(map[*iomodel.Store]bool)
 	for _, sh := range g.shards {
-		if sh.Store != nil {
-			d += sh.Store.Unsettled()
+		for _, r := range sh.replicas {
+			if r.Store != nil && !seen[r.Store] {
+				seen[r.Store] = true
+				d += r.Store.Unsettled()
+			}
 		}
 	}
 	return d
@@ -331,8 +406,14 @@ type ShardRunStats struct {
 	// Results is the number of results the shard contributed to the
 	// merge.
 	Results int
-	// Skipped: the shard's breaker was open and this query did not
-	// probe it.
+	// Replica is the index of the replica that produced Stats (-1 when
+	// the shard was skipped).
+	Replica int
+	// Retries counts transient-error retries this query spent on the
+	// shard (each on the next untried replica).
+	Retries int
+	// Skipped: every replica was excluded (open breakers without a
+	// probe slot, or corrupt artifacts) and no attempt ran.
 	Skipped bool
 	// Hedged: a hedged retry was launched; HedgeWon: it finished first.
 	Hedged   bool
@@ -352,6 +433,8 @@ type ShardedStats struct {
 	// retry during this query.
 	Hedges    int
 	HedgeWins int
+	// Retries counts transient-error replica retries during this query.
+	Retries int
 }
 
 // SearchShards evaluates q over every shard concurrently and merges
@@ -392,11 +475,6 @@ func (g *Group) SearchShards(ctx context.Context, q model.Query, opts topk.Optio
 	for i := 0; i < n; i++ {
 		sh := g.shards[i]
 		sh.queries.Add(1)
-		if g.skipTripped(sh) {
-			sh.skips.Add(1)
-			runs[i] = ShardRunStats{Shard: i, Name: sh.Name, Skipped: true, Dropped: true}
-			continue
-		}
 		wg.Add(1)
 		go func(i int, sh *shardState) {
 			defer wg.Done()
@@ -432,6 +510,7 @@ func (g *Group) SearchShards(ctx context.Context, q model.Query, opts topk.Optio
 		if r.HedgeWon {
 			out.HedgeWins++
 		}
+		out.Retries += r.Retries
 	}
 	agg.Duration = time.Since(start)
 	switch {
@@ -449,13 +528,27 @@ func (g *Group) SearchShards(ctx context.Context, q model.Query, opts topk.Optio
 	return merged, out, nil
 }
 
-// runShard evaluates q on one shard under its deadline, hedging a
-// second attempt when the first outlives the shard's latency quantile.
-// Both attempts are always joined before returning, so every attempt's
-// I/O settlement (ExecState.Finish → SettleAll) has completed by the
-// time the shard reports.
+// attempt is one replica evaluation's outcome.
+type attempt struct {
+	res   model.TopK
+	st    topk.Stats
+	err   error
+	hedge bool
+	rep   int
+	probe bool
+}
+
+// runShard evaluates q on one shard under its deadline. Attempts go to
+// the shard's replicas: the primary first, hedging a second attempt on
+// a *different* replica when the first outlives the shard's latency
+// quantile, and retrying transient errors on the next untried replica
+// with capped exponential backoff inside the deadline budget. Every
+// launched attempt is joined before returning, so every attempt's I/O
+// settlement (ExecState.Finish → SettleAll) has completed by the time
+// the shard reports. The shard is skipped only when every replica is
+// excluded.
 func (g *Group) runShard(ctx context.Context, i int, sh *shardState, q model.Query, opts topk.Options) (model.TopK, ShardRunStats) {
-	run := ShardRunStats{Shard: i, Name: sh.Name}
+	run := ShardRunStats{Shard: i, Name: sh.Name, Replica: -1}
 	sctx := ctx
 	if d := g.shardDeadline(i, ctx); d > 0 {
 		var cancel context.CancelFunc
@@ -463,24 +556,109 @@ func (g *Group) runShard(ctx context.Context, i int, sh *shardState, q model.Que
 		defer cancel()
 	}
 
-	type attempt struct {
-		res   model.TopK
-		st    topk.Stats
-		err   error
-		hedge bool
+	started := time.Now()
+	tried := make([]bool, len(sh.replicas))
+	retries := g.retryBudget(sh)
+	backoff := g.cfg.RetryBackoff
+	var winner attempt
+	attempted := false
+	for {
+		r, probe := g.pickReplica(sh, tried)
+		if r < 0 && attempted && winner.err != nil && retries > 0 && sctx.Err() == nil {
+			// Every replica has been tried, the last answer was an error,
+			// and retry budget remains: start a fresh round. The tried
+			// mask only dedupes within a round — corrupt replicas and
+			// open breakers stay excluded by pickReplica itself, so a
+			// fruitless reset falls straight through to the break below.
+			for ti := range tried {
+				tried[ti] = false
+			}
+			r, probe = g.pickReplica(sh, tried)
+		}
+		if r < 0 {
+			break
+		}
+		attempted = true
+		tried[r] = true
+		winner = g.raceAttempt(sctx, sh, r, probe, tried, q, opts, &run)
+		if winner.err == nil || retries <= 0 || sctx.Err() != nil {
+			break
+		}
+		// Transient error: back off (capped, inside the shard budget)
+		// and re-ask the next replica.
+		retries--
+		sh.retries.Add(1)
+		run.Retries++
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-sctx.Done():
+				t.Stop()
+			}
+			backoff *= 2
+			if backoff > g.cfg.RetryBackoffMax {
+				backoff = g.cfg.RetryBackoffMax
+			}
+		}
+		if sctx.Err() != nil {
+			break
+		}
 	}
+	if !attempted {
+		sh.skips.Add(1)
+		run.Skipped, run.Dropped = true, true
+		g.maybePromote(sh)
+		return nil, run
+	}
+
+	run.Stats = winner.st
+	run.Err = winner.err
+	run.Results = len(winner.res)
+	run.Replica = winner.rep
+	run.HedgeWon = winner.hedge
+	if winner.hedge {
+		sh.hedgeWins.Add(1)
+	}
+	anytimeStop := winner.st.StopReason == topk.StopCancelled || winner.st.StopReason == topk.StopDeadline
+	run.Dropped = winner.err != nil || anytimeStop
+	if winner.st.StopReason == topk.StopDeadline {
+		sh.deadlineMisses.Add(1)
+	}
+	if winner.err != nil {
+		sh.errs.Add(1)
+	}
+	if !run.Dropped {
+		sh.recordLatency(time.Since(started))
+	}
+	g.maybePromote(sh)
+	if winner.err != nil {
+		// A failed shard contributes nothing; its error is recorded in
+		// the run stats, not propagated (skip-and-degrade).
+		return nil, run
+	}
+	return winner.res, run
+}
+
+// raceAttempt runs one round on replica r, hedging on a different
+// healthy replica when the attempt outlives the hedge delay. The loser
+// is cancelled AND joined, and both outcomes feed the replicas'
+// breakers (the abandoned loser releases its probe slot but carries no
+// health signal — a run cut off mid-flight says nothing about the
+// replica).
+func (g *Group) raceAttempt(sctx context.Context, sh *shardState, r int, probe bool, tried []bool, q model.Query, opts topk.Options, run *ShardRunStats) attempt {
 	ch := make(chan attempt, 2)
-	launch := func(alg topk.Algorithm, actx context.Context, hedge bool) {
+	launch := func(actx context.Context, rep int, alg topk.Algorithm, isProbe, hedge bool) {
+		sh.replicas[rep].queries.Add(1)
 		go func() {
 			res, st, err := alg.SearchContext(actx, q, opts)
-			ch <- attempt{res: res, st: st, err: err, hedge: hedge}
+			ch <- attempt{res: res, st: st, err: err, hedge: hedge, rep: rep, probe: isProbe}
 		}()
 	}
 
-	started := time.Now()
 	pctx, pcancel := context.WithCancel(sctx)
 	defer pcancel()
-	launch(sh.Alg, pctx, false)
+	launch(pctx, r, sh.replicas[r].alg, probe, false)
 
 	var winner attempt
 	if g.cfg.Hedge.Enabled {
@@ -495,11 +673,12 @@ func (g *Group) runShard(ctx context.Context, i int, sh *shardState, q model.Que
 		case <-timer.C:
 			hctx, hcancel := context.WithCancel(sctx)
 			defer hcancel()
-			replica := sh.Replica
-			if replica == nil {
-				replica = sh.Alg
+			hrep, halg := r, sh.replicas[r].hedgeAlg
+			if h := g.pickHedge(sh, r, tried); h >= 0 {
+				tried[h] = true
+				hrep, halg = h, sh.replicas[h].hedgeAlg
 			}
-			launch(replica, hctx, true)
+			launch(hctx, hrep, halg, false, true)
 			sh.hedges.Add(1)
 			run.Hedged = true
 			winner = <-ch
@@ -507,34 +686,41 @@ func (g *Group) runShard(ctx context.Context, i int, sh *shardState, q model.Que
 			// settles its I/O before it lands here.
 			pcancel()
 			hcancel()
-			<-ch
+			g.account(sh, <-ch, true)
 		}
 	} else {
 		winner = <-ch
 	}
+	g.account(sh, winner, false)
+	return winner
+}
 
-	run.Stats = winner.st
-	run.Err = winner.err
-	run.Results = len(winner.res)
-	run.HedgeWon = winner.hedge
-	if winner.hedge {
-		sh.hedgeWins.Add(1)
+// account feeds one attempt's outcome to its replica's breaker and
+// error counters. An abandoned attempt (the joined hedge loser) only
+// counts if it genuinely failed before being cancelled.
+func (g *Group) account(sh *shardState, a attempt, abandoned bool) {
+	rs := sh.replicas[a.rep]
+	switch {
+	case a.err != nil:
+		rs.errs.Add(1)
+		rs.br.report(g.cfg.TripAfter, a.probe, attemptFailure)
+	case abandoned:
+		rs.br.report(g.cfg.TripAfter, a.probe, attemptAbandoned)
+	default:
+		rs.br.report(g.cfg.TripAfter, a.probe, attemptSuccess)
 	}
-	anytimeStop := winner.st.StopReason == topk.StopCancelled || winner.st.StopReason == topk.StopDeadline
-	run.Dropped = winner.err != nil || anytimeStop
-	if winner.st.StopReason == topk.StopDeadline {
-		sh.deadlineMisses.Add(1)
+}
+
+// retryBudget is the shard's transient-error retry allowance for one
+// query.
+func (g *Group) retryBudget(sh *shardState) int {
+	if g.cfg.RetryMax < 0 {
+		return 0
 	}
-	g.accountHealth(sh, winner.err)
-	if !run.Dropped {
-		sh.recordLatency(time.Since(started))
+	if g.cfg.RetryMax == 0 {
+		return len(sh.replicas) - 1
 	}
-	if winner.err != nil {
-		// A failed shard contributes nothing; its error is recorded in
-		// the run stats, not propagated (skip-and-degrade).
-		return nil, run
-	}
-	return winner.res, run
+	return g.cfg.RetryMax
 }
 
 // shardDeadline derives shard i's time budget: the tighter of the
@@ -563,35 +749,31 @@ func (g *Group) shardDeadline(i int, ctx context.Context) time.Duration {
 	return d
 }
 
-// skipTripped reports whether a tripped shard should be skipped for
-// this query (true) or probed half-open (false).
-func (g *Group) skipTripped(sh *shardState) bool {
-	if g.cfg.TripAfter <= 0 || !sh.tripped.Load() {
-		return false
-	}
-	return sh.probeTick.Add(1)%int64(g.cfg.ProbeEvery) != 0
-}
-
-// accountHealth updates the shard's breaker after an attempt.
-func (g *Group) accountHealth(sh *shardState, err error) {
-	if err != nil {
-		sh.errs.Add(1)
-		if g.cfg.TripAfter > 0 && sh.consecErrs.Add(1) >= int64(g.cfg.TripAfter) {
-			sh.tripped.Store(true)
-		}
-		return
-	}
-	sh.consecErrs.Store(0)
-	sh.tripped.Store(false)
-}
-
 // resolveExact replaces every merged candidate's (possibly lower-bound)
 // score with its true score, resolved by per-term random accesses
-// against the owning shard's view, then re-ranks. The resolution logic
-// is topk.ResolveExact, shared with the live segmented index, whose
-// per-segment lists merge the same way.
+// against the owning shard's current primary replica, then re-ranks.
+// The resolution logic is topk.ResolveExact, shared with the live
+// segmented index, whose per-segment lists merge the same way.
 func (g *Group) resolveExact(ctx context.Context, q model.Query, parts []model.TopK, k int) (model.TopK, int64) {
-	return topk.ResolveExact(ctx, q, parts, func(i int) postings.View { return g.shards[i].View }, k)
+	return topk.ResolveExact(ctx, q, parts, func(i int) postings.View {
+		sh := g.shards[i]
+		return sh.replicas[sh.primary.Load()].View
+	}, k)
+}
+
+// ReplicaCounters is one replica's health and traffic snapshot — the
+// exported face of the failover state machine.
+type ReplicaCounters struct {
+	Replica int    `json:"replica"`
+	Name    string `json:"name"`
+	Queries int64  `json:"queries"`
+	Errors  int64  `json:"errors"`
+	// State is the replica's breaker state: "closed", "open",
+	// "half-open", or "corrupt" (failed artifact verification,
+	// permanently excluded).
+	State string `json:"state"`
+	// Primary marks the replica currently taking normal traffic.
+	Primary bool `json:"primary"`
 }
 
 // ShardCounters is a point-in-time snapshot of one shard's aggregate
@@ -605,7 +787,20 @@ type ShardCounters struct {
 	Hedges         int64  `json:"hedges"`
 	HedgeWins      int64  `json:"hedge_wins"`
 	Skips          int64  `json:"skips"`
-	Tripped        bool   `json:"tripped"`
+	// Retries counts transient-error replica retries; Promotions counts
+	// primary failovers; VerifyFailures counts replicas refused (and
+	// excluded) because their artifacts failed digest verification.
+	Retries         int64  `json:"retries"`
+	Promotions      int64  `json:"promotions"`
+	VerifyFailures  int64  `json:"verify_failures"`
+	LastVerifyError string `json:"last_verify_error,omitempty"`
+	// Primary is the index of the replica taking normal traffic;
+	// Replicas is the per-replica breakdown.
+	Primary  int               `json:"primary"`
+	Replicas []ReplicaCounters `json:"replicas"`
+	// Tripped reports whether the current primary's breaker is not
+	// closed (legacy single-backend view of health).
+	Tripped bool `json:"tripped"`
 	// Cache counters mirror the shard's decoded-block cache (zero when
 	// none is attached).
 	CacheHits             int64 `json:"cache_hits"`
@@ -625,6 +820,7 @@ type ShardCounters struct {
 // Counters returns shard i's counter snapshot.
 func (g *Group) Counters(i int) ShardCounters {
 	sh := g.shards[i]
+	primary := int(sh.primary.Load())
 	c := ShardCounters{
 		Shard:          i,
 		Name:           sh.Name,
@@ -634,17 +830,42 @@ func (g *Group) Counters(i int) ShardCounters {
 		Hedges:         sh.hedges.Load(),
 		HedgeWins:      sh.hedgeWins.Load(),
 		Skips:          sh.skips.Load(),
-		Tripped:        sh.tripped.Load(),
+		Retries:        sh.retries.Load(),
+		Promotions:     sh.promotions.Load(),
+		VerifyFailures: sh.verifyFailures.Load(),
+		Primary:        primary,
+		Tripped:        !sh.replicas[primary].healthy(),
 	}
-	if sh.Cache != nil {
-		cs := sh.Cache.Snapshot()
-		c.CacheHits, c.CacheMisses, c.CacheBytes = cs.Hits, cs.Misses, cs.Bytes
-		c.CacheAdmissionRejects = cs.AdmissionRejects
-		c.CacheDupFillsSuppressed = cs.DupFillsSuppressed
-		c.CacheInFlightFills = cs.InFlightFills
+	if ep := sh.lastVerifyErr.Load(); ep != nil {
+		c.LastVerifyError = (*ep).Error()
 	}
-	if sh.Store != nil {
-		c.UnsettledNs = int64(sh.Store.Unsettled())
+	// Cache and store figures aggregate over replicas, counting shared
+	// backends (the legacy hedge arrangement) once.
+	seenCache := make(map[*plcache.Cache]bool)
+	seenStore := make(map[*iomodel.Store]bool)
+	for ri, r := range sh.replicas {
+		c.Replicas = append(c.Replicas, ReplicaCounters{
+			Replica: ri,
+			Name:    r.Replica.Name,
+			Queries: r.queries.Load(),
+			Errors:  r.errs.Load(),
+			State:   r.stateName(),
+			Primary: ri == primary,
+		})
+		if r.Cache != nil && !seenCache[r.Cache] {
+			seenCache[r.Cache] = true
+			cs := r.Cache.Snapshot()
+			c.CacheHits += cs.Hits
+			c.CacheMisses += cs.Misses
+			c.CacheBytes += cs.Bytes
+			c.CacheAdmissionRejects += cs.AdmissionRejects
+			c.CacheDupFillsSuppressed += cs.DupFillsSuppressed
+			c.CacheInFlightFills += cs.InFlightFills
+		}
+		if r.Store != nil && !seenStore[r.Store] {
+			seenStore[r.Store] = true
+			c.UnsettledNs += int64(r.Store.Unsettled())
+		}
 	}
 	return c
 }

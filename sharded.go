@@ -33,8 +33,20 @@ type (
 	ShardedStats = shardserve.ShardedStats
 	// ShardRunStats is one shard's contribution to one query.
 	ShardRunStats = shardserve.ShardRunStats
-	// ShardCounters is one shard's aggregate serving counters.
+	// ShardCounters is one shard's aggregate serving counters,
+	// including the per-replica breakdown and failover state.
 	ShardCounters = shardserve.ShardCounters
+	// ShardReplica is one replica backend of a shard: its view,
+	// algorithm, store, and optional integrity-verification hook
+	// consulted before the replica can be promoted to primary.
+	ShardReplica = shardserve.Replica
+	// ReplicaCounters is one replica's serving counters and breaker
+	// state ("closed", "open", "half-open", or "corrupt").
+	ReplicaCounters = shardserve.ReplicaCounters
+	// ShardSetManifest is the verified shards.json manifest of a shard
+	// set built by WriteDir/cmd/shardbuild: per-file SHA-256 digests
+	// and a per-shard Merkle root.
+	ShardSetManifest = shardserve.Manifest
 	// BatchCounters is a snapshot of a batch executor's coalescing
 	// activity (SearcherConfig.BatchWindow / ShardGroupConfig.
 	// BatchWindow).
@@ -64,10 +76,17 @@ func ShardIndex(x *Index, p int, factory ShardFactory, cfg ShardGroupConfig) (*S
 }
 
 // OpenShardDir opens a shard set built by cmd/shardbuild (or
-// shardserve.WriteDir).
+// shardserve.WriteDir), verifying every file against the manifest's
+// digests before serving.
 func OpenShardDir(dir string, factory ShardFactory, cfg ShardGroupConfig) (*ShardGroup, error) {
 	return shardserve.OpenDir(dir, factory, cfg)
 }
+
+// VerifyShardDir recomputes every file digest and per-shard Merkle
+// root of a shard set built by WriteDir/cmd/shardbuild and reports
+// every mismatch (nil when the set is intact). `indexstat -verify` is
+// the command-line form.
+func VerifyShardDir(dir string) error { return shardserve.VerifySet(dir) }
 
 // ShardedSearcher is a Searcher over a ShardGroup: the single-index
 // serving concerns (timeout, admission, aggregate counters) wrap the
