@@ -64,6 +64,8 @@ type runner struct {
 	batchWin  time.Duration
 	maxBatch  int
 	warmBlk   int
+	fused     bool
+	microOut  string
 	ingestOut string
 	ingestN   int
 	faultsOut string
@@ -108,8 +110,12 @@ func main() {
 		clients  = flag.String("clients", "1,4,16,64", "closed-loop client grid of the throughput subcommand")
 		batchWin = flag.Duration("batchwindow", 200*time.Microsecond,
 			"query-coalescing window of the throughput subcommand's batched rows")
-		maxBatch   = flag.Int("maxbatch", 16, "max queries per coalesced batch (throughput subcommand)")
-		warmBlk    = flag.Int("warmblocks", 2, "leading blocks warmed per term shared across a batch")
+		maxBatch = flag.Int("maxbatch", 16, "max queries per coalesced batch (throughput subcommand)")
+		warmBlk  = flag.Int("warmblocks", 2, "leading blocks warmed per term shared across a batch")
+		fused    = flag.Bool("fused", true,
+			"add fused-execution rows to the throughput grid (one traversal per shared term scores the whole batch)")
+		microJSON = flag.String("microout", "BENCH_fused_micro.json",
+			"output path of the fusion micro-benchmark (blocks decoded per query, traversals per term) the throughput subcommand writes")
 		ingestJSON = flag.String("ingestout", "BENCH_ingest.json",
 			"output path of the report the ingest subcommand writes")
 		ingestN    = flag.Int("ingestdocs", 3000, "documents streamed in during the ingest subcommand's measurement window")
@@ -174,6 +180,8 @@ func main() {
 		batchWin:  *batchWin,
 		maxBatch:  *maxBatch,
 		warmBlk:   *warmBlk,
+		fused:     *fused,
+		microOut:  *microJSON,
 		ingestOut: *ingestJSON,
 		ingestN:   *ingestN,
 		faultsOut: *faultsJSON,
@@ -554,7 +562,10 @@ func (r *runner) run(name string) (string, error) {
 	case "throughput":
 		// The multi-query serving artifact: closed-loop clients over the
 		// Zipfian voice mix, sequential vs batched (coalescing window +
-		// shared warm-up + single-flight block fills).
+		// shared warm-up + single-flight block fills) vs fused (one
+		// traversal per shared term scores the whole batch), plus the
+		// fusion micro-benchmark (blocks decoded per query, traversals
+		// per term).
 		env, err := r.envCW()
 		if err != nil {
 			return "", err
@@ -567,11 +578,19 @@ func (r *runner) run(name string) (string, error) {
 			Window:           r.batchWin,
 			MaxBatch:         r.maxBatch,
 			WarmBlocks:       r.warmBlk,
+			Fused:            r.fused,
 		})
 		if err := rep.WriteJSON(r.tputOut); err != nil {
 			return "", err
 		}
-		return rep.Summary() + "\nwrote " + r.tputOut, nil
+		wrote := "\nwrote " + r.tputOut
+		if r.fused {
+			if err := rep.Micro().WriteJSON(r.microOut); err != nil {
+				return "", err
+			}
+			wrote += "\nwrote " + r.microOut
+		}
+		return rep.Summary() + wrote, nil
 
 	case "ingest":
 		// The ingest-under-load artifact: query latency percentiles

@@ -60,6 +60,52 @@ type Config struct {
 	// Warmer runs the warm-up pass — normally the batch's disk-resident
 	// view. Nil disables warm-up (single-flight fills still apply).
 	Warmer postings.TermWarmer
+	// Fused, when non-nil, hands every multi-member batch to the fused
+	// multi-query engine (package fusedexec): terms shared by ≥ 2
+	// members are traversed once, scoring every subscribed member in a
+	// single pass; singleton terms and unfusable members run through
+	// the wrapped algorithm inside the runner. Fused batches skip the
+	// warm-up pass — the fused traversal is itself the shared pass, and
+	// its fills go through the hot single-flight cache gate. Nil (the
+	// default) keeps the per-member execution path.
+	Fused FusedRunner
+}
+
+// BatchMember is one query of a closed batch handed to a FusedRunner.
+type BatchMember struct {
+	// Ctx is the member's own context: its cancellation or deadline
+	// affects this member only (fate isolation).
+	Ctx context.Context
+	// Query and Opts are the member's submission, verbatim.
+	Query model.Query
+	Opts  topk.Options
+
+	r        *request
+	once     sync.Once
+	finished atomic.Bool
+}
+
+// Finish delivers the member's result and releases its submitter.
+// A FusedRunner must call it exactly once per member on every path;
+// extra calls are ignored, so defensive cleanup paths may finish again
+// safely.
+func (m *BatchMember) Finish(res model.TopK, st topk.Stats, err error) {
+	m.once.Do(func() {
+		m.r.res, m.r.st, m.r.err = res, st, err
+		m.finished.Store(true)
+		close(m.r.done)
+	})
+}
+
+// FusedRunner executes all members of one closed batch jointly. RunBatch
+// must call each member's Finish before it returns (members may finish
+// individually, long before the whole batch completes) and must not
+// retain members afterwards. Implementations are responsible for the
+// same settlement contract as the per-member path: when RunBatch
+// returns, every simulated-I/O charge its traversals accrued has been
+// settled.
+type FusedRunner interface {
+	RunBatch(members []*BatchMember)
 }
 
 // withDefaults normalizes zero values.
@@ -89,6 +135,13 @@ type Counters struct {
 	SharedTerms int64 `json:"shared_terms"`
 	// WarmedBlocks counts block fills performed by warm-up passes.
 	WarmedBlocks int64 `json:"warmed_blocks"`
+	// WarmSkippedTerms counts shared terms not warmed because every
+	// subscriber's remaining deadline budget was below the observed
+	// per-block warm fill latency — the blocks would have been charged
+	// for members that stop before reading them.
+	WarmSkippedTerms int64 `json:"warm_skipped_terms"`
+	// FusedBatches counts batches executed through the fused runner.
+	FusedBatches int64 `json:"fused_batches"`
 }
 
 // MeanBatch returns BatchedQueries/Batches, or 0 before any batch.
@@ -119,6 +172,9 @@ type Executor struct {
 	maxBatch     atomic.Int64
 	sharedTerms  atomic.Int64
 	warmedBlocks atomic.Int64
+	warmSkipped  atomic.Int64
+	fusedBatches atomic.Int64
+	warmBlockNs  atomic.Int64 // EWMA of per-block warm fill latency
 }
 
 var _ topk.Algorithm = (*Executor)(nil)
@@ -225,8 +281,28 @@ func (e *Executor) dispatch(b *batch) {
 			break
 		}
 	}
+	if n >= 2 && e.cfg.Fused != nil {
+		e.fusedBatches.Add(1)
+		members := make([]*BatchMember, len(b.reqs))
+		for i, r := range b.reqs {
+			members[i] = &BatchMember{Ctx: r.ctx, Query: r.q, Opts: r.opts, r: r}
+		}
+		e.active.Add(1)
+		go func() {
+			defer e.active.Done()
+			e.cfg.Fused.RunBatch(members)
+			// Defensive: a runner that missed a member must not leave its
+			// submitter blocked forever.
+			for _, m := range members {
+				if !m.finished.Load() {
+					m.Finish(e.alg.SearchContext(m.Ctx, m.Query, m.Opts))
+				}
+			}
+		}()
+		return
+	}
 	if n >= 2 && e.cfg.Warmer != nil && e.cfg.WarmBlocks > 0 {
-		if shared := sharedTerms(b.reqs); len(shared) > 0 {
+		if shared := e.warmableTerms(b.reqs); len(shared) > 0 {
 			e.sharedTerms.Add(int64(len(shared)))
 			// Warm concurrently with the members: their cursors join the
 			// warm pass's in-flight fills through the single-flight gate
@@ -236,7 +312,12 @@ func (e *Executor) dispatch(b *batch) {
 			e.active.Add(1)
 			go func() {
 				defer e.active.Done()
-				e.warmedBlocks.Add(int64(e.cfg.Warmer.WarmTerms(warmCtx, shared, e.cfg.WarmBlocks)))
+				start := time.Now()
+				filled := e.cfg.Warmer.WarmTerms(warmCtx, shared, e.cfg.WarmBlocks)
+				e.warmedBlocks.Add(int64(filled))
+				if filled > 0 {
+					e.observeWarmLatency(time.Since(start) / time.Duration(filled))
+				}
 			}()
 		}
 	}
@@ -251,25 +332,74 @@ func (e *Executor) dispatch(b *batch) {
 	}
 }
 
-// sharedTerms returns the terms queried by at least two distinct
-// members of the batch — the overlap the warm-up pass covers.
-func sharedTerms(reqs []*request) []model.TermID {
-	counts := make(map[model.TermID]int)
+// observeWarmLatency folds one warm pass's mean per-block fill latency
+// into the running estimate (EWMA, α = 1/4) that warmableTerms compares
+// deadline budgets against.
+func (e *Executor) observeWarmLatency(perBlock time.Duration) {
+	for {
+		old := e.warmBlockNs.Load()
+		next := int64(perBlock)
+		if old > 0 {
+			next = old + (int64(perBlock)-old)/4
+		}
+		if e.warmBlockNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// warmableTerms returns the terms queried by at least two distinct
+// members of the batch — the overlap the warm-up pass covers — minus
+// terms whose every subscriber carries a deadline budget below the
+// observed per-block warm fill latency: those subscribers stop at their
+// deadlines before their cursors could reach the warmed blocks, so
+// warming only charges the store for blocks nobody reads. A subscriber
+// without a deadline keeps its terms unconditionally warmable, and
+// until a warm pass has been timed the estimate is zero and nothing is
+// skipped.
+func (e *Executor) warmableTerms(reqs []*request) []model.TermID {
+	est := time.Duration(e.warmBlockNs.Load())
+	now := time.Now()
+	type sub struct {
+		n         int
+		unbounded bool
+		best      time.Duration // max remaining budget among bounded subscribers
+	}
+	subs := make(map[model.TermID]*sub)
 	for _, r := range reqs {
+		budget, bounded := time.Duration(0), false
+		if dl, ok := r.ctx.Deadline(); ok {
+			budget, bounded = dl.Sub(now), true
+		}
 		seen := make(map[model.TermID]struct{}, len(r.q))
 		for _, t := range r.q {
 			if _, dup := seen[t]; dup {
 				continue
 			}
 			seen[t] = struct{}{}
-			counts[t]++
+			s := subs[t]
+			if s == nil {
+				s = &sub{}
+				subs[t] = s
+			}
+			s.n++
+			if !bounded {
+				s.unbounded = true
+			} else if budget > s.best {
+				s.best = budget
+			}
 		}
 	}
 	var out []model.TermID
-	for t, n := range counts {
-		if n >= 2 {
-			out = append(out, t)
+	for t, s := range subs {
+		if s.n < 2 {
+			continue
 		}
+		if est > 0 && !s.unbounded && s.best < est {
+			e.warmSkipped.Add(1)
+			continue
+		}
+		out = append(out, t)
 	}
 	return out
 }
@@ -280,6 +410,11 @@ func sharedTerms(reqs []*request) []model.TermID {
 // all batch I/O is settled, so Store.Unsettled() == 0.
 func (e *Executor) Drain() { e.active.Wait() }
 
+// FusedRunner returns the configured fused runner (nil when the fused
+// path is disabled) — aggregation layers use it to reach the engine's
+// own counters.
+func (e *Executor) FusedRunner() FusedRunner { return e.cfg.Fused }
+
 // Counters returns a snapshot of the executor's batching counters.
 func (e *Executor) Counters() Counters {
 	return Counters{
@@ -289,6 +424,8 @@ func (e *Executor) Counters() Counters {
 		MaxBatchObserved: e.maxBatch.Load(),
 		SharedTerms:      e.sharedTerms.Load(),
 		WarmedBlocks:     e.warmedBlocks.Load(),
+		WarmSkippedTerms: e.warmSkipped.Load(),
+		FusedBatches:     e.fusedBatches.Load(),
 	}
 }
 
@@ -302,4 +439,16 @@ func (e *Executor) RegisterMetrics(r *metrics.Registry, prefix string) {
 	r.RegisterFunc(prefix+".mean_batch", func() any { return e.Counters().MeanBatch() })
 	r.RegisterFunc(prefix+".shared_terms", func() any { return e.sharedTerms.Load() })
 	r.RegisterFunc(prefix+".warmed_blocks", func() any { return e.warmedBlocks.Load() })
+	r.RegisterFunc(prefix+".warm_skipped_terms", func() any { return e.warmSkipped.Load() })
+	if e.cfg.Fused != nil {
+		r.RegisterFunc(prefix+".fused_batches", func() any { return e.fusedBatches.Load() })
+		// The fused engine exports its own counters (fused_terms,
+		// fused_members, detach_early, fused_blocks_saved, ...) under the
+		// same prefix when it can.
+		if m, ok := e.cfg.Fused.(interface {
+			RegisterMetrics(*metrics.Registry, string)
+		}); ok {
+			m.RegisterMetrics(r, prefix)
+		}
+	}
 }

@@ -273,6 +273,90 @@ func (c *cancelAfterIO) IOFetch(time.Duration) {
 	}
 }
 
+// TestWarmSkipsDeadlineStarvedTerms pins the warm-up budget check: once
+// a warm pass has been timed, a batch whose every subscriber carries a
+// deadline budget below the observed per-block fill latency skips
+// warming its shared terms (the subscribers would stop before their
+// cursors reach the warmed blocks), while unbounded batches keep
+// warming.
+func TestWarmSkipsDeadlineStarvedTerms(t *testing.T) {
+	x := algotest.SmallIndex(t, 13)
+	// Real sleeps, slow enough that a per-block warm fill measurably
+	// costs hundreds of microseconds.
+	cfg := iomodel.Config{
+		BlockSize:   4096,
+		CacheBlocks: 4,
+		SeqLatency:  300 * time.Microsecond,
+		RandLatency: 300 * time.Microsecond,
+		SleepBatch:  50 * time.Microsecond,
+	}
+	disk, err := diskindex.FromIndex(x, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.SetPostingCache(plcache.NewWithBudget(4 << 20))
+
+	const n = 2
+	ex := batchexec.New(bench.MakeAlgorithm(bench.AlgoSparta, disk), batchexec.Config{
+		Window:     100 * time.Millisecond,
+		MaxBatch:   n,
+		WarmBlocks: 2,
+		Warmer:     disk,
+	})
+	q := algotest.RandomQuery(x, 4, 21)
+	opts := topk.Options{K: 5, Exact: true, Threads: 1}
+
+	// Training batch: no deadlines, so the warm pass runs and its
+	// per-block latency is observed.
+	runBatch := func(ctx context.Context) {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, _, err := ex.SearchContext(ctx, q, opts); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		ex.Drain()
+	}
+	runBatch(context.Background())
+	trained := ex.Counters()
+	if trained.WarmedBlocks == 0 {
+		t.Fatal("training batch warmed nothing; the latency estimate was never observed")
+	}
+	if trained.WarmSkippedTerms != 0 {
+		t.Fatalf("training batch skipped %d terms; nothing should skip before a deadline-bounded batch", trained.WarmSkippedTerms)
+	}
+
+	// Starved batches: every member's remaining budget (~100µs, enough
+	// to survive the collection window but far below the observed
+	// ~300µs per-block fill latency) makes its shared terms unwarmable.
+	// The members themselves stop at their deadlines with anytime
+	// partials (nil error), which is fine — the property under test is
+	// the warm pass, not the members. A member whose deadline fires
+	// before its partner joins launches alone (batches of one never
+	// consider warming), so retry until a two-member batch forms.
+	var c batchexec.Counters
+	for attempt := 0; attempt < 20; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Microsecond)
+		runBatch(ctx)
+		cancel()
+		if c = ex.Counters(); c.WarmSkippedTerms > 0 {
+			break
+		}
+	}
+	if c.WarmSkippedTerms == 0 {
+		t.Error("deadline-starved batches skipped no shared terms")
+	}
+	if c.WarmedBlocks != trained.WarmedBlocks {
+		t.Errorf("deadline-starved batch warmed %d blocks", c.WarmedBlocks-trained.WarmedBlocks)
+	}
+	algotest.AssertSettled(t, "after starved batch", disk.Store())
+}
+
 // TestLeaderCancelledDuringWindow pins the collection-window edge: a
 // leader whose context dies while collecting still launches the batch,
 // returns its (pre-cancelled, empty-or-partial) result, and any joined

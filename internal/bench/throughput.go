@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sparta/internal/batchexec"
+	"sparta/internal/fusedexec"
 	"sparta/internal/plcache"
 )
 
@@ -22,6 +23,10 @@ type ThroughputRow struct {
 	// next query as soon as the previous one returns).
 	Clients int  `json:"clients"`
 	Batched bool `json:"batched"`
+	// Fused marks rows whose batches ran through the fused multi-query
+	// engine (one traversal per shared term scores the whole batch);
+	// Batched is also true for them.
+	Fused   bool `json:"fused,omitempty"`
 	Queries int  `json:"queries"`
 	// QPS is completed queries per wall-clock second.
 	QPS float64 `json:"qps"`
@@ -46,6 +51,18 @@ type ThroughputRow struct {
 	Coalesced     int64   `json:"coalesced"`
 	SharedTerms   int64   `json:"shared_terms"`
 	WarmedBlocks  int64   `json:"warmed_blocks"`
+	// Micro counters of the fusion comparison (populated in every mode):
+	// BlocksPerQuery is decoded-block cache fills per query — the decode
+	// work actually performed; TraversalsPerTerm is posting-list
+	// traversal passes per distinct term of the row's query log. Without
+	// fusion every query traverses each of its terms itself; fusion
+	// collapses a shared term's subscribers into one traversal.
+	BlocksPerQuery    float64 `json:"blocks_per_query"`
+	TraversalsPerTerm float64 `json:"traversals_per_term"`
+	// Fused-engine counters (zero outside fused rows).
+	FusedMembers     int64 `json:"fused_members,omitempty"`
+	DetachEarly      int64 `json:"detach_early,omitempty"`
+	FusedBlocksSaved int64 `json:"fused_blocks_saved,omitempty"`
 }
 
 // ThroughputReport is the machine-readable multi-query throughput
@@ -64,6 +81,10 @@ type ThroughputReport struct {
 	QueriesPerClient int             `json:"queries_per_client"`
 	Sequential       []ThroughputRow `json:"sequential"`
 	Batched          []ThroughputRow `json:"batched"`
+	// Fused is the third mode of the grid (empty unless
+	// ThroughputConfig.Fused): batching plus the fused multi-query
+	// engine, measured on the same query log as its row pair.
+	Fused []ThroughputRow `json:"fused,omitempty"`
 }
 
 // ThroughputConfig parameterizes RunThroughputReport.
@@ -87,6 +108,10 @@ type ThroughputConfig struct {
 	Window     time.Duration
 	MaxBatch   int
 	WarmBlocks int
+	// Fused adds a third row set per client count: batching with the
+	// fused multi-query engine (package fusedexec) executing every
+	// closed batch.
+	Fused bool
 }
 
 func (c ThroughputConfig) withDefaults() ThroughputConfig {
@@ -142,22 +167,38 @@ func (e *Env) RunThroughputReport(tun Tuning, cfg ThroughputConfig) ThroughputRe
 
 	warm := cfg
 	warm.QueriesPerClient = 16
-	e.throughputRow(tun, warm, 4, true, uint64(len(cfg.Clients)))
+	e.throughputRow(tun, warm, 4, tputBatched, uint64(len(cfg.Clients)))
 
+	modes := []tputMode{tputSequential, tputBatched}
+	if cfg.Fused {
+		modes = append(modes, tputFused)
+	}
 	for i, c := range cfg.Clients {
-		for _, batched := range []bool{false, true} {
-			row := e.throughputRow(tun, cfg, c, batched, uint64(i))
-			if batched {
-				rep.Batched = append(rep.Batched, row)
-			} else {
+		for _, mode := range modes {
+			row := e.throughputRow(tun, cfg, c, mode, uint64(i))
+			switch mode {
+			case tputSequential:
 				rep.Sequential = append(rep.Sequential, row)
+			case tputBatched:
+				rep.Batched = append(rep.Batched, row)
+			case tputFused:
+				rep.Fused = append(rep.Fused, row)
 			}
 		}
 	}
 	return rep
 }
 
-func (e *Env) throughputRow(tun Tuning, cfg ThroughputConfig, clients int, batched bool, seedSalt uint64) ThroughputRow {
+// tputMode selects a throughput row's execution path.
+type tputMode int
+
+const (
+	tputSequential tputMode = iota // no batching
+	tputBatched                    // coalescing + warm-up + single-flight
+	tputFused                      // coalescing + fused multi-query engine
+)
+
+func (e *Env) throughputRow(tun Tuning, cfg ThroughputConfig, clients int, mode tputMode, seedSalt uint64) ThroughputRow {
 	cache := plcache.NewWithBudget(cfg.CacheBytes)
 	e.Disk.SetPostingCache(cache)
 	e.FlushAndReset()
@@ -185,13 +226,19 @@ func (e *Env) throughputRow(tun Tuning, cfg ThroughputConfig, clients int, batch
 
 	alg := MakeAlgorithm(cfg.Algo, e.Disk)
 	var ex *batchexec.Executor
-	if batched {
-		ex = batchexec.New(alg, batchexec.Config{
+	var eng *fusedexec.Engine
+	if mode != tputSequential {
+		bcfg := batchexec.Config{
 			Window:     cfg.Window,
 			MaxBatch:   cfg.MaxBatch,
 			WarmBlocks: cfg.WarmBlocks,
 			Warmer:     e.Disk,
-		})
+		}
+		if mode == tputFused {
+			eng = fusedexec.New(alg, e.Disk)
+			bcfg.Fused = eng
+		}
+		ex = batchexec.New(alg, bcfg)
 		alg = ex
 	}
 
@@ -225,7 +272,8 @@ func (e *Env) throughputRow(tun Tuning, cfg ThroughputConfig, clients int, batch
 
 	row := ThroughputRow{
 		Clients: clients,
-		Batched: batched,
+		Batched: mode != tputSequential,
+		Fused:   mode == tputFused,
 		Queries: total,
 		QPS:     float64(total) / elapsed.Seconds(),
 	}
@@ -260,6 +308,36 @@ func (e *Env) throughputRow(tun Tuning, cfg ThroughputConfig, clients int, batch
 		row.SharedTerms = bc.SharedTerms
 		row.WarmedBlocks = bc.WarmedBlocks
 	}
+
+	// Micro counters: decode work per query and traversal passes per
+	// distinct term of the row's log. Every mode decodes through the
+	// fresh row cache, so fills (misses) are the decode work performed.
+	row.BlocksPerQuery = float64(cs.Misses) / float64(total)
+	distinct := make(map[uint32]struct{})
+	var termRefs int64
+	for _, q := range qs {
+		for _, t := range q {
+			distinct[uint32(t)] = struct{}{}
+		}
+		termRefs += int64(len(q))
+	}
+	traversals := termRefs // unfused: every query walks each of its terms
+	if eng != nil {
+		fc := eng.Counters()
+		row.FusedMembers = fc.FusedMembers
+		row.DetachEarly = fc.DetachEarly
+		row.FusedBlocksSaved = fc.BlocksSaved
+		// Fused traversals: the engine's own passes (shared jobs +
+		// singleton walks) plus its fallback members' terms, plus the
+		// terms of queries that never reached the engine (batches of
+		// one), estimated at the log's mean query length.
+		skipped := int64(total) - fc.FusedMembers - fc.FallbackMembers
+		traversals = fc.TermTraversals + fc.FallbackTerms +
+			skipped*termRefs/int64(total)
+	}
+	if len(distinct) > 0 {
+		row.TraversalsPerTerm = float64(traversals) / float64(len(distinct))
+	}
 	return row
 }
 
@@ -278,24 +356,86 @@ func (r ThroughputReport) Summary() string {
 	fmt.Fprintf(&b, "throughput grid (%s: %d docs, %s high, window %v, max batch %d, cache %d MB, %d q/client)\n",
 		r.Corpus, r.Docs, r.Algorithm, time.Duration(r.BatchWindowNs), r.MaxBatch,
 		r.CacheBudgetBytes>>20, r.QueriesPerClient)
-	fmt.Fprintf(&b, "%-8s %8s %9s %9s %9s %9s %8s %10s %10s %8s\n",
-		"clients", "batch", "qps", "mean_ms", "p95_ms", "p99_ms", "plc-hit", "dup-fills", "mean-batch", "warmed")
+	fmt.Fprintf(&b, "%-8s %8s %9s %9s %9s %9s %8s %10s %10s %8s %8s %8s\n",
+		"clients", "batch", "qps", "mean_ms", "p95_ms", "p99_ms", "plc-hit", "dup-fills", "mean-batch", "blk/q", "trav/t", "detach")
 	row := func(x ThroughputRow) {
 		mode := "off"
 		if x.Batched {
 			mode = "on"
 		}
-		fmt.Fprintf(&b, "%-8d %8s %9.1f %9.2f %9.2f %9.2f %8.3f %10d %10.1f %8d\n",
+		if x.Fused {
+			mode = "fused"
+		}
+		fmt.Fprintf(&b, "%-8d %8s %9.1f %9.2f %9.2f %9.2f %8.3f %10d %10.1f %8.1f %8.2f %8d\n",
 			x.Clients, mode, x.QPS, x.MeanMs, x.P95Ms, x.P99Ms,
-			x.PostingCacheHitRate, x.DupFillsSuppressed, x.MeanBatchSize, x.WarmedBlocks)
+			x.PostingCacheHitRate, x.DupFillsSuppressed, x.MeanBatchSize,
+			x.BlocksPerQuery, x.TraversalsPerTerm, x.DetachEarly)
 	}
 	// The arrays are parallel (same client grid); print each client
-	// count's pair adjacently so the mode comparison reads down the page.
+	// count's modes adjacently so the comparison reads down the page.
 	for i := range r.Sequential {
 		row(r.Sequential[i])
 		if i < len(r.Batched) {
 			row(r.Batched[i])
 		}
+		if i < len(r.Fused) {
+			row(r.Fused[i])
+		}
 	}
 	return b.String()
+}
+
+// MicroReport distills the fusion micro-benchmark out of the grid:
+// decode work per query and traversal passes per distinct term, per
+// client count and mode, on the Zipfian voice mix. Committed alongside
+// the throughput artifact (BENCH_fused_micro.json).
+type MicroReport struct {
+	Corpus    string           `json:"corpus"`
+	Algorithm string           `json:"algorithm"`
+	K         int              `json:"k"`
+	Rows      []MicroReportRow `json:"rows"`
+}
+
+// MicroReportRow is one (client count, mode) micro measurement.
+type MicroReportRow struct {
+	Clients           int     `json:"clients"`
+	Mode              string  `json:"mode"` // sequential | batched | fused
+	Queries           int     `json:"queries"`
+	BlocksPerQuery    float64 `json:"blocks_per_query"`
+	TraversalsPerTerm float64 `json:"traversals_per_term"`
+	FusedMembers      int64   `json:"fused_members,omitempty"`
+	DetachEarly       int64   `json:"detach_early,omitempty"`
+	FusedBlocksSaved  int64   `json:"fused_blocks_saved,omitempty"`
+}
+
+// Micro extracts the MicroReport from a finished throughput report.
+func (r ThroughputReport) Micro() MicroReport {
+	m := MicroReport{Corpus: r.Corpus, Algorithm: r.Algorithm, K: r.K}
+	add := func(mode string, rows []ThroughputRow) {
+		for _, x := range rows {
+			m.Rows = append(m.Rows, MicroReportRow{
+				Clients:           x.Clients,
+				Mode:              mode,
+				Queries:           x.Queries,
+				BlocksPerQuery:    x.BlocksPerQuery,
+				TraversalsPerTerm: x.TraversalsPerTerm,
+				FusedMembers:      x.FusedMembers,
+				DetachEarly:       x.DetachEarly,
+				FusedBlocksSaved:  x.FusedBlocksSaved,
+			})
+		}
+	}
+	add("sequential", r.Sequential)
+	add("batched", r.Batched)
+	add("fused", r.Fused)
+	return m
+}
+
+// WriteJSON writes the micro report to path, indented for diffing.
+func (m MicroReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -14,6 +14,7 @@
 package cindex
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -293,6 +294,86 @@ func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) 
 		}
 	}
 	return 0, false
+}
+
+var _ postings.BlockWalker = (*Index)(nil)
+
+// DocBlockMeta implements postings.BlockWalker. The compressed block
+// directory stores offsets and byte lengths alongside the (last, max)
+// pair, so the uniform view is materialized per call; it is small
+// (df/64 entries) and RAM-only.
+func (x *Index) DocBlockMeta(t model.TermID) []postings.BlockMeta {
+	if int(t) >= len(x.terms) {
+		return nil
+	}
+	tm := &x.terms[t]
+	out := make([]postings.BlockMeta, len(tm.docBlocks))
+	for i, b := range tm.docBlocks {
+		out[i] = postings.BlockMeta{Last: b.last, Max: b.max}
+	}
+	return out
+}
+
+// WalkDocBlocks implements postings.BlockWalker over the compressed
+// doc-ordered blocks: one reader, one View + decode per miss, fills
+// through the single-flight gate with hot or cold admission per the hot
+// flag. The reader is settled before returning.
+func (x *Index) WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sink func(block int, post []model.Posting) bool) (blocks, fills int) {
+	if int(t) >= len(x.terms) {
+		return 0, 0
+	}
+	tm := &x.terms[t]
+	if tm.df == 0 {
+		return 0, 0
+	}
+	rd := x.store.NewReader(x.postFile)
+	rd.Bind(ctx, nil, nil)
+	defer rd.Settle()
+	cache := x.cache.Load()
+	var scratch []model.Posting
+	for i := range tm.docBlocks {
+		if ctx.Err() != nil {
+			break
+		}
+		b := tm.docBlocks[i]
+		var post []model.Posting
+		if cache != nil {
+			fill := func() ([]model.Posting, error) {
+				buf := rd.View(b.off, int64(b.byteLen))
+				// Decode into a fresh slice the cache retains — never into
+				// the owned scratch, which this walk reuses.
+				post, err := codec.DecodeDocBlock(b.base, buf, int(b.count), nil)
+				if err != nil {
+					panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
+				}
+				return post, nil
+			}
+			key := plcache.Key{Term: t, Kind: plcache.KindDoc, Block: int32(i)}
+			var did bool
+			if hot {
+				post, did, _ = cache.GetOrFillHot(key, fill)
+			} else {
+				post, did, _ = cache.GetOrFill(key, fill)
+			}
+			if did {
+				fills++
+			}
+		} else {
+			buf := rd.View(b.off, int64(b.byteLen))
+			var err error
+			scratch, err = codec.DecodeDocBlock(b.base, buf, int(b.count), scratch)
+			if err != nil {
+				panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
+			}
+			post = scratch
+			fills++
+		}
+		blocks++
+		if !sink(i, post) {
+			break
+		}
+	}
+	return blocks, fills
 }
 
 // docCursor walks compressed doc-ordered blocks.

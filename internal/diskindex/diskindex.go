@@ -317,6 +317,91 @@ func (x *Index) warmTerm(rd *iomodel.Reader, cache *plcache.Cache, t model.TermI
 	return filled
 }
 
+var _ postings.BlockWalker = (*Index)(nil)
+
+// DocBlockMeta implements postings.BlockWalker: the resident block
+// directory of t's doc-ordered region, shared read-only.
+func (x *Index) DocBlockMeta(t model.TermID) []postings.BlockMeta {
+	if int(t) >= len(x.blocks) {
+		return nil
+	}
+	return x.blocks[t]
+}
+
+// WalkDocBlocks implements postings.BlockWalker: one reader walks t's
+// doc-ordered region block-at-a-time, serving each block to sink from
+// the decoded-block cache when possible (single-flight, hot or cold
+// admission per the hot flag) and charging one bulk View per miss. The
+// reader is settled before returning, so a walk can never leave I/O
+// debt outstanding regardless of how early sink stops it.
+func (x *Index) WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sink func(block int, post []model.Posting) bool) (blocks, fills int) {
+	if int(t) >= len(x.dict) {
+		return 0, 0
+	}
+	e := x.dict[t]
+	if e.df == 0 {
+		return 0, 0
+	}
+	rd := x.store.NewReader(x.postFile)
+	rd.Bind(ctx, nil, nil)
+	defer rd.Settle()
+	cache := x.cache.Load()
+	var scratch *[]model.Posting
+	defer func() {
+		if scratch != nil {
+			blockPool.Put(scratch)
+		}
+	}()
+	nb := (int(e.df) + postings.BlockSize - 1) / postings.BlockSize
+	for i := 0; i < nb; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		count := postings.BlockSize
+		if i == nb-1 {
+			count = int(e.df) - i*postings.BlockSize
+		}
+		off := int64(e.docOff) + int64(i)*blockBytes
+		var post []model.Posting
+		if cache != nil {
+			fill := func() ([]model.Posting, error) {
+				raw := rd.View(off, int64(count)*postingSize)
+				buf := make([]model.Posting, count) // retained by the cache; never pooled
+				for j := 0; j < count; j++ {
+					buf[j] = decodePosting(raw[j*postingSize:])
+				}
+				return buf, nil
+			}
+			key := plcache.Key{Term: t, Kind: plcache.KindDoc, Block: int32(i)}
+			var did bool
+			if hot {
+				post, did, _ = cache.GetOrFillHot(key, fill)
+			} else {
+				post, did, _ = cache.GetOrFill(key, fill)
+			}
+			if did {
+				fills++
+			}
+		} else {
+			raw := rd.View(off, int64(count)*postingSize)
+			if scratch == nil {
+				scratch = blockPool.Get().(*[]model.Posting)
+			}
+			buf := (*scratch)[:count]
+			for j := 0; j < count; j++ {
+				buf[j] = decodePosting(raw[j*postingSize:])
+			}
+			post = buf
+			fills++
+		}
+		blocks++
+		if !sink(i, post) {
+			break
+		}
+	}
+	return blocks, fills
+}
+
 // Manifest returns the index metadata.
 func (x *Index) Manifest() Manifest { return x.manifest }
 

@@ -186,6 +186,52 @@ type TermWarmer interface {
 	WarmTerms(ctx context.Context, terms []model.TermID, blocks int) int
 }
 
+// BlockWalker is the multi-sink traversal hook of the fused multi-query
+// execution layer (package fusedexec): one walk over a term's
+// doc-ordered posting blocks can feed any number of per-query score
+// accumulators, where a DocCursor serves exactly one. Disk-resident
+// views implement it next to their cursors; in-memory views simply
+// don't, and the fused path falls back to per-member cursors.
+type BlockWalker interface {
+	// DocBlockMeta returns the RAM-resident block directory (last doc id
+	// and quantized max score per block) of t's doc-ordered posting
+	// region — the same skip data DocCursor pruning reads. The slice is
+	// shared and must not be mutated; it may be freshly allocated per
+	// call (compressed views materialize it from their own metadata).
+	DocBlockMeta(t model.TermID) []BlockMeta
+	// WalkDocBlocks traverses t's doc-ordered posting blocks in order,
+	// invoking sink once per block with the block index and the decoded
+	// postings. The posting slice is valid only during the sink call —
+	// it may alias a shared cache entry or a reused scratch buffer —
+	// and must not be retained or mutated. sink returns false to stop
+	// the traversal early (all subscribers detached). hot selects hot
+	// cache admission for fills (plcache GetOrFillHot): the fused path
+	// uses it because a block it decodes serves several queries at
+	// once, exactly the reuse the two-touch cold filter exists to
+	// predict. The walk stops early when ctx is done; every charged
+	// reader it opens is settled before it returns. It reports the
+	// blocks visited and the fills (block fetch+decodes) it performed
+	// itself — blocks served from the decoded-block cache or an
+	// in-flight fill are visited, not filled.
+	WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sink func(block int, post []model.Posting) bool) (blocks, fills int)
+}
+
+// SuffixMax returns suffix[i] = max over blocks[i:] of BlockMeta.Max —
+// the upper bound on any single posting's score in block i or later.
+// The fused executor's detach rule compares a member's threshold
+// against it: once θ exceeds detachedUB + weight·suffix[i], no document
+// first seen at or after block i can reach the member's top-k.
+func SuffixMax(blocks []BlockMeta) []model.Score {
+	out := make([]model.Score, len(blocks)+1)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		out[i] = out[i+1]
+		if blocks[i].Max > out[i] {
+			out[i] = blocks[i].Max
+		}
+	}
+	return out
+}
+
 // ShardRange returns the half-open document-id range [lo, hi) of shard
 // number `shard` out of nShards over a corpus of numDocs documents.
 // Ranges are contiguous and of near-equal size, partitioning the id

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"sparta/internal/batchexec"
+	"sparta/internal/fusedexec"
 	"sparta/internal/iomodel"
 	"sparta/internal/metrics"
 	"sparta/internal/model"
@@ -183,6 +184,15 @@ type Config struct {
 	// negative disables warm-up). Warm-up runs only on shard views that
 	// implement postings.TermWarmer (the disk-modeled ones).
 	BatchWarmBlocks int
+	// FusedExec runs each closed shard batch through the fused
+	// multi-query executor (package fusedexec): terms shared by two or
+	// more batch members are traversed once, scoring every subscriber in
+	// a single pass, with per-member detach and exact resolution keeping
+	// results byte-identical to sequential execution. Requires
+	// BatchWindow > 0; replicas whose view does not support block
+	// walking (postings.BlockWalker) keep the plain per-member batch
+	// path.
+	FusedExec bool
 }
 
 // latWindow is the per-shard completion-latency ring used for the
@@ -332,6 +342,9 @@ func New(cfg Config, shards ...Shard) (*Group, error) {
 				}
 				if w, ok := rep.View.(postings.TermWarmer); ok {
 					bcfg.Warmer = w
+				}
+				if cfg.FusedExec && fusedexec.Supported(rep.View) {
+					bcfg.Fused = fusedexec.New(rep.Alg, rep.View)
 				}
 				ex := batchexec.New(rep.Alg, bcfg)
 				rs.alg = ex
@@ -893,6 +906,14 @@ func (g *Group) RegisterMetrics(r *metrics.Registry, prefix string) {
 	if len(g.batchers) > 0 {
 		r.RegisterFunc(prefix+"batch", func() any { return g.BatchCounters() })
 	}
+	if g.cfg.FusedExec {
+		c := g.FusedCounters
+		r.RegisterFunc(prefix+"batch.fused_terms", func() any { return c().FusedTerms })
+		r.RegisterFunc(prefix+"batch.fused_members", func() any { return c().FusedMembers })
+		r.RegisterFunc(prefix+"batch.detach_early", func() any { return c().DetachEarly })
+		r.RegisterFunc(prefix+"batch.fused_blocks_saved", func() any { return c().BlocksSaved })
+		r.RegisterFunc(prefix+"batch.fused", func() any { return c() })
+	}
 }
 
 // BatchCounters aggregates the per-shard batch executors' counters
@@ -909,6 +930,33 @@ func (g *Group) BatchCounters() batchexec.Counters {
 		}
 		c.SharedTerms += bc.SharedTerms
 		c.WarmedBlocks += bc.WarmedBlocks
+		c.WarmSkippedTerms += bc.WarmSkippedTerms
+		c.FusedBatches += bc.FusedBatches
+	}
+	return c
+}
+
+// FusedCounters aggregates the per-replica fused engines' counters
+// (zero value when FusedExec is disabled or no replica supports it).
+func (g *Group) FusedCounters() fusedexec.Counters {
+	var c fusedexec.Counters
+	for _, b := range g.batchers {
+		eng, ok := b.FusedRunner().(*fusedexec.Engine)
+		if !ok {
+			continue
+		}
+		fc := eng.Counters()
+		c.Batches += fc.Batches
+		c.FusedMembers += fc.FusedMembers
+		c.FallbackMembers += fc.FallbackMembers
+		c.FusedTerms += fc.FusedTerms
+		c.SingleTerms += fc.SingleTerms
+		c.DetachEarly += fc.DetachEarly
+		c.BlocksWalked += fc.BlocksWalked
+		c.BlocksSaved += fc.BlocksSaved
+		c.TermTraversals += fc.TermTraversals
+		c.FallbackTerms += fc.FallbackTerms
+		c.ResolveRA += fc.ResolveRA
 	}
 	return c
 }

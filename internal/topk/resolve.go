@@ -12,6 +12,38 @@ import (
 	"sparta/internal/postings"
 )
 
+// ResolveTopK recomputes the exact score of every candidate document
+// by per-term random access against v and returns the canonical top-k
+// (descending score, ascending doc id, truncated to k) plus the number
+// of random accesses charged. The fused multi-query executor (package
+// fusedexec) calls it per batch member: a member whose traversal
+// detached from term tails holds partial accumulator sums, and any
+// candidate superset of the true top-k resolves to a byte-identical
+// final ranking because documents outside the superset score strictly
+// below the true k-th score.
+//
+// v should already be bound to the member's execution state; the caller
+// settles it (topk.ExecState.Finish does, for views it bound).
+func ResolveTopK(q model.Query, v postings.View, cands []model.DocID, k int) (model.TopK, int64) {
+	var ra int64
+	resolved := make(model.TopK, 0, len(cands))
+	for _, d := range cands {
+		var s model.Score
+		for _, t := range q {
+			if ts, ok := v.RandomAccess(t, d); ok {
+				s += ts
+			}
+			ra++
+		}
+		resolved = append(resolved, model.Result{Doc: d, Score: s})
+	}
+	resolved.Sort()
+	if len(resolved) > k {
+		resolved = resolved[:k]
+	}
+	return resolved, ra
+}
+
 // ResolveExact replaces every merged candidate's (possibly lower-bound)
 // score with its true score, resolved by per-term random accesses
 // against the part's own view, then re-ranks and truncates to k. The

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sparta/internal/batchexec"
+	"sparta/internal/fusedexec"
 	"sparta/internal/metrics"
 	"sparta/internal/model"
 	"sparta/internal/postings"
@@ -91,6 +92,18 @@ type SearcherConfig struct {
 	// the view beneath it, so it cannot discover the view itself). Views
 	// that cannot warm (in-memory ones) are ignored.
 	BatchWarmView View
+
+	// FusedExec enables fused multi-query execution (package fusedexec)
+	// for closed batches: each term shared by two or more batch members
+	// is traversed once, scoring every subscriber in a single pass, with
+	// per-member early detach and an exact resolution step that keeps
+	// results byte-identical to sequential execution. Requires
+	// BatchWindow > 0 and a BatchWarmView that supports block walking
+	// (postings.BlockWalker — the disk and compressed indexes do); when
+	// the view does not, batches silently run the plain per-member path.
+	// Fused batches skip the warm-up pass: the fused traversal itself is
+	// the warm, hot-admission pass.
+	FusedExec bool
 }
 
 // SearcherCounters is a point-in-time snapshot of a Searcher's
@@ -179,6 +192,11 @@ func NewSearcher(alg topk.Algorithm, cfg SearcherConfig) *Searcher {
 		}
 		if w, ok := cfg.BatchWarmView.(postings.TermWarmer); ok {
 			bcfg.Warmer = w
+		}
+		if cfg.FusedExec {
+			if v, ok := cfg.BatchWarmView.(postings.View); ok && fusedexec.Supported(v) {
+				bcfg.Fused = fusedexec.New(alg, v)
+			}
 		}
 		s.batch = batchexec.New(alg, bcfg)
 		s.alg = s.batch
