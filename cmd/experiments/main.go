@@ -24,7 +24,10 @@
 // The "faults" subcommand serves the exact query log through a
 // replicated group under a seeded fault schedule — the error-rate ×
 // replica-count availability grid, one dark replica when R>1 — and
-// writes BENCH_faults.json.
+// writes BENCH_faults.json. The "netgrid" subcommand serves the exact
+// query log through the same shard sets in-process and over loopback
+// shardserver processes (the shardrpc transport), measuring throughput,
+// tail latency, and the added wire latency, and writes BENCH_net.json.
 package main
 
 import (
@@ -71,6 +74,9 @@ type runner struct {
 	faultsOut string
 	faultRate []float64
 	faultReps []int
+	netOut    string
+	netPs     []int
+	netCs     int
 	out       io.Writer
 	cw, cwx   *bench.Env
 	ram       *bench.Env
@@ -125,6 +131,11 @@ func main() {
 			"per-attempt transient error rates of the faults subcommand's grid")
 		faultReps = flag.String("faultreplicas", "1,2,3",
 			"replica counts of the faults subcommand's grid")
+		netJSON = flag.String("netout", "BENCH_net.json",
+			"output path of the report the netgrid subcommand writes")
+		netPs = flag.String("netshards", "2,4",
+			"shard counts of the netgrid subcommand (each run in-process and over loopback TCP)")
+		netCs = flag.Int("netclients", 8, "closed-loop clients of the netgrid subcommand")
 	)
 	flag.Parse()
 
@@ -139,6 +150,10 @@ func main() {
 	repGrid, err := parseInts(*faultReps)
 	if err != nil {
 		log.Fatalf("-faultreplicas: %v", err)
+	}
+	netGrid, err := parseInts(*netPs)
+	if err != nil {
+		log.Fatalf("-netshards: %v", err)
 	}
 
 	base := corpus.DefaultSpec()
@@ -187,6 +202,9 @@ func main() {
 		faultsOut: *faultsJSON,
 		faultRate: rateGrid,
 		faultReps: repGrid,
+		netOut:    *netJSON,
+		netPs:     netGrid,
+		netCs:     *netCs,
 		out:       os.Stdout,
 		sweepHigh: make(map[string][]bench.SweepPoint),
 	}
@@ -631,6 +649,24 @@ func (r *runner) run(name string) (string, error) {
 			return "", err
 		}
 		return rep.Summary() + "\nwrote " + r.faultsOut, nil
+
+	case "netgrid":
+		// The remote-serving artifact: the same exact query log through
+		// the same shard sets, in-process vs over loopback shardserver
+		// processes, measuring what the wire adds.
+		env, err := r.envCW()
+		if err != nil {
+			return "", err
+		}
+		rep, err := env.RunNetBenchReport(maxInt(r.nQueries*10, 100),
+			maxInt(r.threads/4, 2), r.netCs, r.netPs, r.envOpts.Seed)
+		if err != nil {
+			return "", err
+		}
+		if err := rep.WriteJSON(r.netOut); err != nil {
+			return "", err
+		}
+		return rep.Summary() + "\nwrote " + r.netOut, nil
 
 	case "compression":
 		// Appendix: §5's justification for benchmarking uncompressed —

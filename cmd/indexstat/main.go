@@ -9,6 +9,7 @@
 //	indexstat -index data/cw/index
 //	indexstat -index data/cw/index -term 42     # one term in detail
 //	indexstat -index data/cw/shards -verify     # check manifest digests
+//	indexstat -stats localhost:7070             # remote shardserver counters
 //
 // A live (segmented) index directory — one holding a live.json
 // manifest — prints per-segment statistics instead: generation,
@@ -19,9 +20,15 @@
 // per-segment) Merkle root against the manifest and reports every
 // mismatch — it works on sharded sets (shards.json) and live
 // directories (live.json); single-index directories carry no digests.
+//
+// -stats dials a running cmd/shardserver and prints its counter
+// snapshot (requests, cancels, bad frames, per-shard serving counters,
+// settlement violations) as indented JSON.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"sparta/internal/codec"
 	"sparta/internal/diskindex"
@@ -36,6 +44,7 @@ import (
 	"sparta/internal/liveindex"
 	"sparta/internal/model"
 	"sparta/internal/postings"
+	"sparta/internal/shardrpc"
 	"sparta/internal/shardserve"
 )
 
@@ -43,11 +52,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("indexstat: ")
 	var (
-		indexDir = flag.String("index", "", "index directory (required)")
+		indexDir = flag.String("index", "", "index directory (required unless -stats)")
 		termID   = flag.Int("term", -1, "inspect a single term id")
 		verify   = flag.Bool("verify", false, "verify index files against their manifest digests")
+		statsAt  = flag.String("stats", "", "dial a shardserver at this address and print its counters")
 	)
 	flag.Parse()
+	if *statsAt != "" {
+		remoteStats(*statsAt)
+		return
+	}
 	if *indexDir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -185,6 +199,24 @@ func runVerify(dir string) {
 func statOK(path string) bool {
 	_, err := os.Stat(path)
 	return err == nil
+}
+
+// remoteStats fetches and prints a running shardserver's counter
+// snapshot over its stats RPC.
+func remoteStats(addr string) {
+	cl := shardrpc.NewClient(addr, shardrpc.Config{})
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := cl.ServerStats(ctx)
+	if err != nil {
+		log.Fatalf("%s: %v", addr, err)
+	}
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
 }
 
 // liveStats prints the per-segment breakdown of a segmented live

@@ -41,6 +41,17 @@
 // index's segment lifecycle gauges ("live.segments",
 // "live.compactions", ...), flat JSON.
 //
+// A fifth backend, algo=remote, appears when -remote lists running
+// cmd/shardserver processes (comma-separated, one address per shard):
+// the same scatter/gather group, but every shard is another process
+// reached over the shardrpc transport, and each server's counter
+// snapshot is folded into /stats under "remote.server.<i>".
+//
+// On SIGINT/SIGTERM the server stops accepting, drains in-flight
+// queries through http.Server.Shutdown under a drain deadline (so
+// every query settles its simulated I/O before exit), then closes the
+// remote clients and the live index.
+//
 //	go run ./examples/server &
 //	curl 'localhost:8640/search?q=t12,t733,t5021&algo=sparta&mode=high'
 //	curl -X POST 'localhost:8640/ingest?doc=t12,t12,t733'
@@ -51,12 +62,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"sparta"
@@ -110,6 +124,10 @@ const (
 	liveSeedDocs = 2_000
 	// liveFlushDocs is the live backend's memtable flush threshold.
 	liveFlushDocs = 1_000
+	// drainTimeout bounds graceful shutdown: in-flight queries get up to
+	// one full SLA to finish (plus headroom for the response writes)
+	// before Shutdown gives up on the connections still open.
+	drainTimeout = queryTimeout + 250*time.Millisecond
 )
 
 // searcher is the query surface shared by the sharded searchers and
@@ -128,6 +146,10 @@ type server struct {
 }
 
 func main() {
+	remote := flag.String("remote", "",
+		"comma-separated shardserver addresses (one per shard) to serve as algo=remote")
+	flag.Parse()
+
 	spec := corpus.Spec{
 		Name: "web", Docs: 10_000, Vocab: 20_000, ZipfS: 1.0,
 		MeanDocLen: 120, MinDocLen: 8, QualitySigma: 1.0, Seed: 42,
@@ -189,6 +211,47 @@ func main() {
 			"live":   sparta.NewSearcher(sparta.New(live), scfg),
 		},
 	}
+
+	// The remote backend: every shard is a cmd/shardserver process; the
+	// group treats each address as that shard's (only) replica. Shard
+	// caches and batch coalescing live server-side, so the group config
+	// here carries only the scatter/gather serving knobs.
+	var remoteClients []*sparta.RemoteShard
+	if *remote != "" {
+		var addrs [][]string
+		for _, a := range strings.Split(*remote, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, []string{a})
+			}
+		}
+		g, clients, err := sparta.DialShards(addrs, sparta.ShardGroupConfig{
+			ShardTimeout:   shardTimeout,
+			BudgetFraction: 0.9,
+			Hedge:          sparta.ShardHedgeConfig{Enabled: true},
+			TripAfter:      3,
+		}, sparta.RemoteShardConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		remoteClients = clients
+		s.searchers["remote"] = sparta.NewShardedSearcher(g, scfg)
+		// Fold every shardserver's counter snapshot into /stats; a dead
+		// server reports its error instead of blocking the snapshot.
+		for i, cl := range clients {
+			cl := cl
+			s.registry.RegisterFunc(fmt.Sprintf("remote.server.%d", i), func() any {
+				ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+				defer cancel()
+				st, err := cl.ServerStats(ctx)
+				if err != nil {
+					return map[string]any{"addr": cl.Addr(), "error": err.Error()}
+				}
+				return st
+			})
+		}
+		log.Printf("remote backend: %d shardserver(s) at %s", len(addrs), *remote)
+	}
+
 	s.registry.RegisterFunc("index.docs", func() any { return mem.NumDocs() })
 	s.registry.RegisterFunc("index.terms", func() any { return mem.NumTerms() })
 	s.registry.RegisterFunc("index.postings", func() any { return mem.TotalPostings() })
@@ -203,7 +266,41 @@ func main() {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	log.Printf("serving %d shards on http://%s  (try /search?q=t12,t733,t5021&algo=sparta&mode=high)",
 		numShards, listenAddr)
-	log.Fatal(http.ListenAndServe(listenAddr, mux))
+
+	httpSrv := &http.Server{Addr: listenAddr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	<-ctx.Done()
+	stop()
+
+	// Graceful shutdown: stop accepting, let in-flight queries finish
+	// (and settle their simulated I/O) under the drain deadline, then
+	// release the remote connections and the live index's WAL.
+	log.Printf("shutting down: draining in-flight requests (budget %v)...", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	for name, sr := range s.searchers {
+		ss, ok := sr.(*sparta.ShardedSearcher)
+		if !ok {
+			continue
+		}
+		if d := ss.Group().Unsettled(); d != 0 {
+			log.Printf("warning: backend %q exiting with %v unsettled simulated I/O", name, d)
+		}
+	}
+	sparta.CloseShards(remoteClients)
+	if err := live.Close(); err != nil {
+		log.Printf("closing live index: %v", err)
+	}
+	log.Printf("bye")
 }
 
 type searchResponse struct {
@@ -229,7 +326,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	alg, ok := s.searchers[algoName]
 	if !ok {
-		http.Error(w, "algo must be sparta|pbmw|pjass|live", http.StatusBadRequest)
+		http.Error(w, "algo must be sparta|pbmw|pjass|live (or remote with -remote)", http.StatusBadRequest)
 		return
 	}
 

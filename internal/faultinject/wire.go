@@ -1,0 +1,125 @@
+// Transport-level faults: deterministic per-frame decisions for the
+// shardrpc chaos suite. A WirePlan describes what can happen to a
+// frame in flight — dropped, delayed, garbled, stalled — and a
+// WireInjector scoped to one endpoint decides each frame's fate as a
+// pure function of (seed, scope, frame sequence number), so a chaos
+// run replays bit-for-bit.
+//
+// This package deliberately does not import the transport: the
+// injector returns a WireDecision and the caller adapts it into the
+// transport's own fault-hook type. Decisions are mutually exclusive in
+// severity order (drop > garble > stall > delay): a frame suffers at
+// most one fate, which keeps the configured rates interpretable.
+
+package faultinject
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WirePlan is a declarative frame-fault schedule. Rates are
+// probabilities in [0, 1]; the zero WirePlan injects nothing.
+type WirePlan struct {
+	// Seed roots every decision (same role as Plan.Seed).
+	Seed uint64
+	// DropRate is the probability a frame is silently discarded — the
+	// peer simply never sees it, and the loss surfaces as silence
+	// (bounded by the sender's deadline or cancel grace).
+	DropRate float64
+	// GarbleRate is the probability a frame's payload is corrupted
+	// after its checksum was computed; the receiver detects the
+	// mismatch and kills the connection.
+	GarbleRate float64
+	// StallRate is the probability a frame stalls the connection's
+	// write path for Stall before going out (head-of-line blocking,
+	// like a zero-window TCP peer).
+	StallRate float64
+	// Stall is the stall duration.
+	Stall time.Duration
+	// DelayRate is the probability a frame is delayed Delay — ordinary
+	// network jitter, much shorter than a stall.
+	DelayRate float64
+	// Delay is the jitter duration.
+	Delay time.Duration
+}
+
+// Enabled reports whether the plan can touch any frame.
+func (p WirePlan) Enabled() bool {
+	return p.DropRate > 0 || p.GarbleRate > 0 ||
+		(p.StallRate > 0 && p.Stall > 0) || (p.DelayRate > 0 && p.Delay > 0)
+}
+
+// WireDecision is one frame's fate.
+type WireDecision struct {
+	Drop   bool
+	Garble bool
+	// Delay is the injected write-path wait (a stall or jitter; zero
+	// when neither applies).
+	Delay time.Duration
+}
+
+// Faulted reports whether the decision does anything.
+func (d WireDecision) Faulted() bool { return d.Drop || d.Garble || d.Delay > 0 }
+
+// WireInjector decides frame fates for one endpoint. Safe for
+// concurrent use.
+type WireInjector struct {
+	plan  WirePlan
+	scope uint64
+
+	drops, garbles, stalls, delays atomic.Uint64
+}
+
+// NewWire returns an injector for plan scoped to (shard, replica,
+// side). Side distinguishes the two directions of one replica's
+// connection (0 = client→server, 1 = server→client) so requests and
+// responses fault independently under one seed.
+func NewWire(plan WirePlan, shard, replica, side int) *WireInjector {
+	return &WireInjector{
+		plan:  plan,
+		scope: mix(plan.Seed, 0x31e0fa0175, uint64(shard), uint64(replica), uint64(side)),
+	}
+}
+
+// Plan returns the schedule this injector applies.
+func (w *WireInjector) Plan() WirePlan { return w.plan }
+
+// Decide returns frame seq's fate. Deterministic: the same (plan,
+// scope, seq) always decides the same, regardless of timing. Severity
+// order drop > garble > stall > delay, at most one fate per frame.
+func (w *WireInjector) Decide(seq uint64) WireDecision {
+	h := mix(w.scope, 0xf4a3e, seq)
+	r := toProb(h)
+	p := w.plan
+	switch {
+	case r < p.DropRate:
+		w.drops.Add(1)
+		return WireDecision{Drop: true}
+	case r < p.DropRate+p.GarbleRate:
+		w.garbles.Add(1)
+		return WireDecision{Garble: true}
+	case p.Stall > 0 && r < p.DropRate+p.GarbleRate+p.StallRate:
+		w.stalls.Add(1)
+		return WireDecision{Delay: p.Stall}
+	case p.Delay > 0 && r < p.DropRate+p.GarbleRate+p.StallRate+p.DelayRate:
+		w.delays.Add(1)
+		return WireDecision{Delay: p.Delay}
+	}
+	return WireDecision{}
+}
+
+// WireCounters reports how many frames each fate has claimed.
+type WireCounters struct {
+	Drops, Garbles, Stalls, Delays uint64
+}
+
+// Counters returns the injector's fate counts so far.
+func (w *WireInjector) Counters() WireCounters {
+	return WireCounters{
+		Drops:   w.drops.Load(),
+		Garbles: w.garbles.Load(),
+		Stalls:  w.stalls.Load(),
+		Delays:  w.delays.Load(),
+	}
+}

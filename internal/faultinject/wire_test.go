@@ -1,0 +1,71 @@
+package faultinject
+
+import "testing"
+
+func TestWireInjectorDeterministic(t *testing.T) {
+	plan := WirePlan{Seed: 7, DropRate: 0.1, GarbleRate: 0.05, StallRate: 0.05, Stall: 1, DelayRate: 0.2, Delay: 1}
+	a := NewWire(plan, 2, 1, 0)
+	b := NewWire(plan, 2, 1, 0)
+	for seq := uint64(0); seq < 2000; seq++ {
+		if a.Decide(seq) != b.Decide(seq) {
+			t.Fatalf("seq %d: same scope decided differently", seq)
+		}
+	}
+	// A different scope must not replay the same schedule.
+	c := NewWire(plan, 2, 1, 1)
+	same := 0
+	for seq := uint64(0); seq < 2000; seq++ {
+		if a.Decide(seq) == c.Decide(seq) {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Fatal("different scopes produced identical schedules")
+	}
+}
+
+func TestWireInjectorRates(t *testing.T) {
+	plan := WirePlan{Seed: 42, DropRate: 0.1, GarbleRate: 0.1, StallRate: 0.1, Stall: 1, DelayRate: 0.1, Delay: 1}
+	w := NewWire(plan, 0, 0, 0)
+	const n = 20000
+	faulted := 0
+	for seq := uint64(0); seq < n; seq++ {
+		d := w.Decide(seq)
+		if d.Drop && (d.Garble || d.Delay > 0) {
+			t.Fatal("decision combined fates")
+		}
+		if d.Faulted() {
+			faulted++
+		}
+	}
+	// 40% of frames should be faulted, within generous slack.
+	if frac := float64(faulted) / n; frac < 0.35 || frac > 0.45 {
+		t.Fatalf("faulted fraction %.3f, want ≈0.40", frac)
+	}
+	c := w.Counters()
+	if c.Drops == 0 || c.Garbles == 0 || c.Stalls == 0 || c.Delays == 0 {
+		t.Fatalf("some fate never fired: %+v", c)
+	}
+	if got := c.Drops + c.Garbles + c.Stalls + c.Delays; got != uint64(faulted) {
+		t.Fatalf("counters sum %d != faulted %d", got, faulted)
+	}
+}
+
+func TestWirePlanEnabled(t *testing.T) {
+	if (WirePlan{}).Enabled() {
+		t.Fatal("zero plan enabled")
+	}
+	if (WirePlan{StallRate: 0.5}).Enabled() {
+		t.Fatal("stall without duration enabled")
+	}
+	if !(WirePlan{DropRate: 0.01}).Enabled() {
+		t.Fatal("drop plan not enabled")
+	}
+	// Zero-rate plan decides nothing.
+	w := NewWire(WirePlan{Seed: 1}, 0, 0, 0)
+	for seq := uint64(0); seq < 100; seq++ {
+		if w.Decide(seq).Faulted() {
+			t.Fatal("zero plan faulted a frame")
+		}
+	}
+}

@@ -13,10 +13,12 @@
 package metrics
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -136,14 +138,44 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
-// WriteJSON writes the snapshot as indented JSON with keys sorted
-// (encoding/json sorts map keys), terminated by a newline.
+// WriteJSON writes the snapshot as indented JSON, terminated by a
+// newline. Keys are emitted in sorted order explicitly — scrapers and
+// the tests pin the byte encoding, so the ordering is part of this
+// package's contract, not an accident of how encoding/json happens to
+// serialize maps.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
-	if err != nil {
-		return err
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
 	}
-	b = append(b, '\n')
-	_, err = w.Write(b)
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("\n  ")
+		key, err := json.Marshal(n)
+		if err != nil {
+			return err
+		}
+		buf.Write(key)
+		buf.WriteString(": ")
+		// Nested values indent one level deeper, matching what a single
+		// MarshalIndent of the whole map would emit.
+		val, err := json.MarshalIndent(snap[n], "  ", "  ")
+		if err != nil {
+			return fmt.Errorf("metrics: %q: %w", n, err)
+		}
+		buf.Write(val)
+	}
+	if len(names) > 0 {
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	_, err := w.Write(buf.Bytes())
 	return err
 }

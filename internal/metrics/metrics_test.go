@@ -74,6 +74,49 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// TestWriteJSONEncodingPinned pins the emission byte for byte: sorted
+// keys, two-space indent, nested values one level deeper, trailing
+// newline. Scrapers diff consecutive /stats scrapes, so the encoding is
+// a contract — a change here is a breaking change, not a cleanup.
+func TestWriteJSONEncodingPinned(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.queries").Add(7)
+	r.Gauge("cache.hit_rate").Set(0.25)
+	r.RegisterFunc("breaker", func() any {
+		return map[string]any{"state": "open", "trips": 3}
+	})
+	r.RegisterFunc("addrs", func() any { return []string{"a:1", "b:2"} })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "addrs": [
+    "a:1",
+    "b:2"
+  ],
+  "breaker": {
+    "state": "open",
+    "trips": 3
+  },
+  "cache.hit_rate": 0.25,
+  "serve.queries": 7
+}
+`
+	if buf.String() != want {
+		t.Fatalf("encoding changed:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	// An empty registry emits an empty object, still newline-terminated.
+	var empty bytes.Buffer
+	if err := NewRegistry().WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() != "{}\n" {
+		t.Fatalf("empty registry: %q, want %q", empty.String(), "{}\n")
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

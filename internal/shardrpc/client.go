@@ -1,0 +1,484 @@
+package shardrpc
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/model"
+	"sparta/internal/topk"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Name is the client's topk.Algorithm name (default "remote"). The
+	// serving layer folds it into the group name; it carries no protocol
+	// meaning.
+	Name string
+	// Conns is the connection pool size (default 1). Requests multiplex
+	// over every connection by id, so one connection already carries
+	// arbitrary concurrency; more connections spread head-of-line
+	// blocking risk.
+	Conns int
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// RedialBackoff is the wait after a failed dial before the next dial
+	// is attempted on that connection slot, doubling per consecutive
+	// failure up to RedialBackoffMax (defaults 50ms / 2s). Requests
+	// arriving inside the backoff window fail fast with ErrTransport —
+	// the capped-backoff reconnect contract: a dead server costs one
+	// dial per window, not one per query.
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// CancelGrace bounds how long a cancelled request waits for the
+	// server's anytime partial response after sending the cancel frame
+	// (default 250ms). Past it the request reports ErrTransport; the
+	// connection stays up (a late response for the id is discarded).
+	CancelGrace time.Duration
+	// MaxFrame bounds incoming frames (default DefaultMaxFrame).
+	MaxFrame int
+	// FaultHook, when non-nil, intercepts outgoing frames — the chaos
+	// suite's seam.
+	FaultHook FaultHook
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "remote"
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 50 * time.Millisecond
+	}
+	if c.RedialBackoffMax <= 0 {
+		c.RedialBackoffMax = 2 * time.Second
+	}
+	if c.CancelGrace <= 0 {
+		c.CancelGrace = 250 * time.Millisecond
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// Counters is a client's transport telemetry snapshot.
+type Counters struct {
+	Dials       int64 `json:"dials"`
+	DialFails   int64 `json:"dial_fails"`
+	FastFails   int64 `json:"fast_fails"`
+	ConnDeaths  int64 `json:"conn_deaths"`
+	CancelsSent int64 `json:"cancels_sent"`
+	Garbled     int64 `json:"garbled"`
+}
+
+// Client speaks the shardrpc protocol to one shardserver endpoint. It
+// implements topk.Algorithm (so a shardserve.Replica can point Alg at
+// it) and shardserve.Resolver (so exact resolution batches over the
+// wire). Safe for concurrent use; connections dial lazily and redial
+// with capped backoff.
+type Client struct {
+	addr string
+	cfg  Config
+
+	mu      sync.Mutex
+	conns   []*clientConn // slot i is nil until dialed
+	rr      int           // round-robin cursor over slots
+	retryAt time.Time     // no dials before this instant
+	backoff time.Duration
+	closed  bool
+
+	ids atomic.Uint64
+
+	dials, dialFails, fastFails, connDeaths, cancelsSent, garbled atomic.Int64
+}
+
+// NewClient creates a client for addr. No connection is made until the
+// first request.
+func NewClient(addr string, cfg Config) *Client {
+	return &Client{addr: addr, cfg: cfg.withDefaults()}
+}
+
+// Addr returns the endpoint the client dials.
+func (cl *Client) Addr() string { return cl.addr }
+
+// Name implements topk.Algorithm.
+func (cl *Client) Name() string { return cl.cfg.Name }
+
+// Counters returns the client's transport telemetry.
+func (cl *Client) Counters() Counters {
+	return Counters{
+		Dials:       cl.dials.Load(),
+		DialFails:   cl.dialFails.Load(),
+		FastFails:   cl.fastFails.Load(),
+		ConnDeaths:  cl.connDeaths.Load(),
+		CancelsSent: cl.cancelsSent.Load(),
+		Garbled:     cl.garbled.Load(),
+	}
+}
+
+// Close closes every connection; in-flight requests fail with
+// ErrTransport. The client is unusable afterwards.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	cl.closed = true
+	conns := append([]*clientConn(nil), cl.conns...)
+	cl.mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			c.fail(fmt.Errorf("%w: client closed", ErrTransport))
+		}
+	}
+}
+
+// grab returns a live connection, dialing (under the capped backoff) if
+// the chosen pool slot is dead.
+func (cl *Client) grab() (*clientConn, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil, fmt.Errorf("%w: client closed", ErrTransport)
+	}
+	if cl.conns == nil {
+		cl.conns = make([]*clientConn, cl.cfg.Conns)
+	}
+	slot := cl.rr % len(cl.conns)
+	cl.rr++
+	if c := cl.conns[slot]; c != nil && !c.isDead() {
+		return c, nil
+	}
+	// Slot needs a dial. Inside the backoff window, fail fast: a dead
+	// server costs one dial per window, not one per query. But if any
+	// *other* slot is live, use it instead of failing.
+	if !cl.retryAt.IsZero() && time.Now().Before(cl.retryAt) {
+		for _, c := range cl.conns {
+			if c != nil && !c.isDead() {
+				return c, nil
+			}
+		}
+		cl.fastFails.Add(1)
+		return nil, fmt.Errorf("%w: %s unreachable (in redial backoff)", ErrTransport, cl.addr)
+	}
+	cl.dials.Add(1)
+	nc, err := net.DialTimeout("tcp", cl.addr, cl.cfg.DialTimeout)
+	if err != nil {
+		cl.dialFails.Add(1)
+		if cl.backoff == 0 {
+			cl.backoff = cl.cfg.RedialBackoff
+		} else {
+			cl.backoff *= 2
+			if cl.backoff > cl.cfg.RedialBackoffMax {
+				cl.backoff = cl.cfg.RedialBackoffMax
+			}
+		}
+		cl.retryAt = time.Now().Add(cl.backoff)
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrTransport, cl.addr, err)
+	}
+	cl.backoff = 0
+	cl.retryAt = time.Time{}
+	c := newClientConn(cl, nc)
+	cl.conns[slot] = c
+	return c, nil
+}
+
+// Search implements topk.Algorithm.
+func (cl *Client) Search(q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	return cl.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext implements topk.Algorithm over the wire: the query,
+// the remaining deadline budget, and the scalar options go out; the
+// partial top-k, stats, and stop reason come back. Cancellation sends
+// an explicit cancel frame and waits (bounded by CancelGrace) for the
+// server's anytime partial result, preserving the local contract that
+// a cancelled search returns what it had, with a stop reason and no
+// error. Every connection-level failure wraps ErrTransport.
+func (cl *Client) SearchContext(ctx context.Context, q model.Query, opts topk.Options) (model.TopK, topk.Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, topk.Stats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			// Already expired: the anytime contract without a round trip,
+			// exactly what a local algorithm would report.
+			return nil, topk.Stats{StopReason: topk.StopDeadline}, nil
+		}
+	}
+	body := encodeSearchBody(nil, budget, q, opts)
+	id, ch, c, err := cl.issue(tSearch, body)
+	if err != nil {
+		return nil, topk.Stats{}, err
+	}
+	defer c.unregister(id)
+	select {
+	case r := <-ch:
+		return decodeSearchResp(r)
+	case <-ctx.Done():
+		res, st, err := cl.joinCancelled(c, id, ch)
+		if err == nil && (st.StopReason == "" || st.StopReason == topk.StopCancelled) {
+			// The server stopping on our cancel frame is an artifact of
+			// the protocol; the reason the caller observes must reflect
+			// why this side cancelled, exactly as a local algorithm
+			// watching the same context would report it. (A server-side
+			// StopDeadline — its own budget fired first — stands.)
+			st.StopReason = stopReasonFor(ctx.Err())
+		}
+		return res, st, err
+	}
+}
+
+// Resolve implements shardserve.Resolver: batched exact resolution of
+// candidate scores against the server's view.
+func (cl *Client) Resolve(ctx context.Context, q model.Query, docs []model.DocID) ([]model.Score, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body := encodeResolveBody(nil, q, docs)
+	id, ch, c, err := cl.issue(tResolve, body)
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(id)
+	var r respFrame
+	select {
+	case r = <-ch:
+	case <-ctx.Done():
+		cl.cancelsSent.Add(1)
+		_ = c.send(tCancel, id, nil)
+		t := time.NewTimer(cl.cfg.CancelGrace)
+		defer t.Stop()
+		select {
+		case r = <-ch:
+		case <-t.C:
+			return nil, fmt.Errorf("%w: resolve cancelled, no response within grace", ErrTransport)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTransport, r.err)
+	}
+	switch r.typ {
+	case tResolved:
+		return decodeResolvedBody(r.body)
+	case tError:
+		msg, _ := decodeErrorBody(r.body)
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	default:
+		return nil, fmt.Errorf("%w: unexpected response type %d", ErrTransport, r.typ)
+	}
+}
+
+// ServerStats fetches the server's counter snapshot over the stats RPC.
+func (cl *Client) ServerStats(ctx context.Context) (ServerStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	id, ch, c, err := cl.issue(tStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	defer c.unregister(id)
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return ServerStats{}, fmt.Errorf("%w: %v", ErrTransport, r.err)
+		}
+		switch r.typ {
+		case tStatsResult:
+			return decodeStatsBody(r.body)
+		case tError:
+			msg, _ := decodeErrorBody(r.body)
+			return ServerStats{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+		default:
+			return ServerStats{}, fmt.Errorf("%w: unexpected response type %d", ErrTransport, r.typ)
+		}
+	case <-ctx.Done():
+		return ServerStats{}, fmt.Errorf("%w: %v", ErrTransport, ctx.Err())
+	}
+}
+
+// issue grabs a connection, registers a fresh request id, and sends one
+// request frame. On send failure the connection is torn down (the
+// stream position is unknowable) and ErrTransport reported.
+func (cl *Client) issue(typ byte, body []byte) (uint64, chan respFrame, *clientConn, error) {
+	c, err := cl.grab()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	id := cl.ids.Add(1)
+	ch := c.register(id)
+	if err := c.send(typ, id, body); err != nil {
+		c.unregister(id)
+		c.fail(fmt.Errorf("%w: send: %v", ErrTransport, err))
+		return 0, nil, nil, fmt.Errorf("%w: send: %v", ErrTransport, err)
+	}
+	return id, ch, c, nil
+}
+
+// joinCancelled handles a request whose context fired: send the cancel
+// frame, then wait — bounded by CancelGrace — for the server's partial
+// response so the request is joined, never leaked. The connection
+// survives a grace miss; only this request reports ErrTransport.
+func (cl *Client) joinCancelled(c *clientConn, id uint64, ch chan respFrame) (model.TopK, topk.Stats, error) {
+	cl.cancelsSent.Add(1)
+	_ = c.send(tCancel, id, nil)
+	t := time.NewTimer(cl.cfg.CancelGrace)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return decodeSearchResp(r)
+	case <-t.C:
+		return nil, topk.Stats{}, fmt.Errorf("%w: cancelled, no response within grace", ErrTransport)
+	}
+}
+
+func decodeSearchResp(r respFrame) (model.TopK, topk.Stats, error) {
+	if r.err != nil {
+		return nil, topk.Stats{}, fmt.Errorf("%w: %v", ErrTransport, r.err)
+	}
+	switch r.typ {
+	case tResult:
+		return decodeResultBody(r.body)
+	case tError:
+		msg, _ := decodeErrorBody(r.body)
+		return nil, topk.Stats{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+	default:
+		return nil, topk.Stats{}, fmt.Errorf("%w: unexpected response type %d", ErrTransport, r.typ)
+	}
+}
+
+// stopReasonFor maps a context error onto the anytime stop vocabulary.
+func stopReasonFor(err error) string {
+	if err == context.DeadlineExceeded {
+		return topk.StopDeadline
+	}
+	return topk.StopCancelled
+}
+
+// respFrame is one response delivered to a waiting request: the frame,
+// or the connection-level error that killed it.
+type respFrame struct {
+	typ  byte
+	body []byte
+	err  error
+}
+
+// clientConn is one pooled connection: a write path (frameWriter), a
+// read loop dispatching responses by request id, and the pending-map
+// bookkeeping that joins the two.
+type clientConn struct {
+	c     net.Conn
+	owner *Client
+	fw    frameWriter
+
+	mu      sync.Mutex
+	pending map[uint64]chan respFrame
+	dead    bool
+}
+
+func newClientConn(cl *Client, nc net.Conn) *clientConn {
+	c := &clientConn{
+		c:       nc,
+		owner:   cl,
+		pending: make(map[uint64]chan respFrame),
+	}
+	c.fw = frameWriter{w: nc, hook: cl.cfg.FaultHook}
+	go c.readLoop(cl.cfg.MaxFrame)
+	return c
+}
+
+func (c *clientConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+func (c *clientConn) register(id uint64) chan respFrame {
+	ch := make(chan respFrame, 1)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		ch <- respFrame{err: fmt.Errorf("connection closed")}
+		return ch
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *clientConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *clientConn) send(typ byte, id uint64, body []byte) error {
+	payload := appendHeader(make([]byte, 0, payloadHeaderLen+len(body)), typ, id)
+	payload = append(payload, body...)
+	return c.fw.send(payload)
+}
+
+// fail kills the connection: every pending request learns the error,
+// future registrations refuse, and the socket closes. Idempotent.
+func (c *clientConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	pend := c.pending
+	c.pending = make(map[uint64]chan respFrame)
+	c.mu.Unlock()
+	c.owner.connDeaths.Add(1)
+	for _, ch := range pend {
+		select {
+		case ch <- respFrame{err: err}:
+		default:
+		}
+	}
+	_ = c.c.Close()
+}
+
+// readLoop dispatches response frames to their waiting requests. Any
+// read error — including a CRC mismatch, after which the stream cannot
+// be trusted — kills the connection.
+func (c *clientConn) readLoop(maxFrame int) {
+	br := bufio.NewReader(c.c)
+	for {
+		payload, err := readFrame(br, maxFrame)
+		if err != nil {
+			if err == ErrGarbled {
+				c.owner.garbled.Add(1)
+			}
+			c.fail(fmt.Errorf("%w: read: %v", ErrTransport, err))
+			return
+		}
+		typ, id, body := splitHeader(payload)
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- respFrame{typ: typ, body: body}:
+			default:
+			}
+		}
+		// No waiter: a response that outlived its request's cancel grace.
+		// Discard — the request already reported.
+	}
+}

@@ -1,0 +1,472 @@
+// External test package: these tests want bench.MakeAlgorithm for the
+// full exact-algorithm family, and internal/bench imports shardrpc for
+// the netgrid report — an in-package test would close an import cycle.
+package shardrpc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparta/internal/algos/algotest"
+	"sparta/internal/bench"
+	"sparta/internal/core"
+	"sparta/internal/index"
+	"sparta/internal/iomodel"
+	"sparta/internal/model"
+	"sparta/internal/postings"
+	"sparta/internal/shardrpc"
+	"sparta/internal/shardserve"
+	"sparta/internal/topk"
+)
+
+// exactAlgos is the exact-capable family the repository's agreement
+// tests cover (sNRA excluded there too).
+var exactAlgos = []bench.AlgoID{
+	bench.AlgoRA, bench.AlgoNRA, bench.AlgoSelNRA, bench.AlgoMaxScore,
+	bench.AlgoWAND, bench.AlgoBMW, bench.AlgoJASS, bench.AlgoSparta,
+	bench.AlgoPRA, bench.AlgoPNRA, bench.AlgoPBMW, bench.AlgoPWAND,
+	bench.AlgoPJASS,
+}
+
+// assertMergedExact checks got against the canonical reference (brute
+// force): scores byte-identical rank for rank, documents byte-identical
+// above the cutoff, any tied document admissible at the cutoff score —
+// the same byte-identity contract every exactness test here grants.
+func assertMergedExact(t *testing.T, name string, want, got model.TopK) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d\ngot  %v\nwant %v", name, len(got), len(want), got, want)
+	}
+	if len(want) == 0 {
+		return
+	}
+	cut := want[len(want)-1].Score
+	for i := range want {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d score %d, want %d\ngot  %v\nwant %v",
+				name, i, got[i].Score, want[i].Score, got, want)
+		}
+		if want[i].Score > cut && got[i].Doc != want[i].Doc {
+			t.Fatalf("%s: rank %d doc %d, want %d\ngot  %v\nwant %v",
+				name, i, got[i].Doc, want[i].Doc, got, want)
+		}
+	}
+}
+
+// writeShards writes x as a p-shard verified set in a temp dir.
+func writeShards(t *testing.T, x *index.Index, p int) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := shardserve.WriteDir(x, p, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// startServers opens every shard of dir as its own single-shard group
+// (the cmd/shardserver arrangement) and serves each on loopback,
+// returning the per-shard endpoints.
+func startServers(t *testing.T, dir string, p int, factory shardserve.Factory, scfg shardserve.Config) ([]*shardrpc.Server, [][]string) {
+	t.Helper()
+	servers := make([]*shardrpc.Server, p)
+	addrs := make([][]string, p)
+	for s := 0; s < p; s++ {
+		g, err := shardserve.OpenShard(dir, s, factory, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := shardrpc.Listen("127.0.0.1:0", g, shardrpc.ServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		servers[s] = srv
+		addrs[s] = []string{srv.Addr().String()}
+	}
+	return servers, addrs
+}
+
+// deadAddr returns a loopback address that refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// waitIdle blocks until the server has no requests in flight.
+func waitIdle(t *testing.T, srv *shardrpc.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never went idle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRemoteMatchesInProcessExact is the over-the-wire form of the
+// merge-equivalence property: for every exact algorithm and
+// P ∈ {1,2,4}, scatter/gather over loopback shardserver processes is
+// byte-identical to both the in-process group over the same shard set
+// and the single-index brute-force reference. Runs under -race in CI.
+func TestRemoteMatchesInProcessExact(t *testing.T) {
+	x := algotest.MediumIndex(t, 420)
+	ram := iomodel.RAMConfig()
+	queries := []model.Query{
+		algotest.RandomQuery(x, 3, 17),
+		algotest.RandomQuery(x, 7, 23),
+	}
+	for _, p := range []int{1, 2, 4} {
+		dir := writeShards(t, x, p)
+		for _, id := range exactAlgos {
+			id := id
+			factory := func(v postings.View) topk.Algorithm { return bench.MakeAlgorithm(id, v) }
+			// The server side forgoes its own resolution pass: parts must
+			// cross the wire with the same lower-bound scores an
+			// in-process shard would contribute to the merge.
+			servers, addrs := startServers(t, dir, p, factory, shardserve.Config{IO: &ram, NoExactResolve: true})
+			remote, clients, err := shardrpc.DialGroup(addrs, shardserve.Config{}, shardrpc.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inproc, err := shardserve.OpenDir(dir, factory, shardserve.Config{IO: &ram})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				k := 10 + qi*15
+				name := fmt.Sprintf("P=%d/%s/q%d", p, id, qi)
+				want := topk.BruteForce(x, q, k)
+				opts := topk.Options{K: k, Exact: true, Threads: 2}
+				gotR, stR, err := remote.Search(q, opts)
+				if err != nil {
+					t.Fatalf("%s: remote: %v", name, err)
+				}
+				if stR.ShardsDropped != 0 || stR.StopReason != shardserve.StopMerged {
+					t.Fatalf("%s: remote dropped=%d reason=%q, want clean merge", name, stR.ShardsDropped, stR.StopReason)
+				}
+				gotL, _, err := inproc.Search(q, opts)
+				if err != nil {
+					t.Fatalf("%s: in-process: %v", name, err)
+				}
+				assertMergedExact(t, name+"/remote", want, gotR)
+				assertMergedExact(t, name+"/inproc", want, gotL)
+			}
+			shardrpc.CloseClients(clients)
+			for _, srv := range servers {
+				waitIdle(t, srv)
+				if v := srv.UnsettledViolations(); v != 0 {
+					t.Fatalf("P=%d/%s: %d unsettled violations server-side", p, id, v)
+				}
+				if d := srv.Group().Unsettled(); d != 0 {
+					t.Fatalf("P=%d/%s: %v unsettled I/O server-side", p, id, d)
+				}
+			}
+		}
+	}
+}
+
+// slowIO is a disk-modeled store config that makes medium-index queries
+// take long enough to cancel mid-flight.
+func slowIO() iomodel.Config {
+	return iomodel.Config{
+		BlockSize: 4096, CacheBlocks: 64,
+		SeqLatency: 2 * time.Microsecond, RandLatency: 8 * time.Microsecond,
+		SleepBatch: 20 * time.Microsecond, StuckLatency: 2 * time.Millisecond,
+	}
+}
+
+// TestRemoteCancelAndDisconnectSettle drives every remote completion
+// path that can strand work — deadline expiry, explicit client cancel,
+// and a client that vanishes mid-flight — and checks the server ends
+// each one settled: partial results come back with their stop reason,
+// and Store.Unsettled()==0 holds at every idle instant (the server's
+// violation counter stays zero).
+func TestRemoteCancelAndDisconnectSettle(t *testing.T) {
+	x := algotest.MediumIndex(t, 99)
+	dir := writeShards(t, x, 1)
+	io := slowIO()
+	g, err := shardserve.OpenShard(dir, 0, func(v postings.View) topk.Algorithm { return core.New(v) },
+		shardserve.Config{IO: &io, NoExactResolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := shardrpc.Listen("127.0.0.1:0", g, shardrpc.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	q := algotest.RandomQuery(x, 8, 7)
+	opts := topk.Options{K: 50, Exact: true}
+
+	cl := shardrpc.NewClient(srv.Addr().String(), shardrpc.Config{})
+	defer cl.Close()
+
+	// Deadline path: the budget crosses the wire and the server's
+	// anytime partial comes back without an error. Whether the server's
+	// restarted budget or the client's own deadline (via the cancel
+	// frame) fires first, the caller must see StopDeadline — the same
+	// reason a local algorithm watching this context would report.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Microsecond)
+	res, st, err := cl.SearchContext(ctx, q, opts)
+	cancel()
+	if err != nil {
+		t.Fatalf("deadline search: %v", err)
+	}
+	if st.StopReason != topk.StopDeadline {
+		t.Fatalf("deadline search: stop reason %q, want %q", st.StopReason, topk.StopDeadline)
+	}
+	if len(res) > opts.K {
+		t.Fatalf("deadline search: %d results exceed k=%d", len(res), opts.K)
+	}
+
+	// Explicit cancel path: the cancel frame reaches the in-flight id;
+	// the server joins the request with its partial result.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Microsecond)
+		cancel2()
+	}()
+	_, st2, err := cl.SearchContext(ctx2, q, opts)
+	cancel2()
+	if err != nil {
+		t.Fatalf("cancelled search: %v", err)
+	}
+	if st2.StopReason != topk.StopCancelled && st2.StopReason != topk.StopDeadline {
+		// The race between the cancel frame and a fast completion can
+		// legitimately finish the query; but with slow simulated I/O it
+		// must not happen every time — this specific run should cancel.
+		t.Fatalf("cancelled search: stop reason %q, want an anytime stop", st2.StopReason)
+	}
+
+	waitIdle(t, srv)
+	if d := g.Unsettled(); d != 0 {
+		t.Fatalf("unsettled after cancels: %v", d)
+	}
+
+	// Mid-flight disconnect: the client dies with a request executing.
+	// The server cancels the stranded request, runs it to completion,
+	// and still ends settled.
+	cl2 := shardrpc.NewClient(srv.Addr().String(), shardrpc.Config{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cl2.SearchContext(context.Background(), q, opts)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the server")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	cl2.Close()
+	if err := <-done; !errors.Is(err, shardrpc.ErrTransport) {
+		t.Fatalf("disconnected search: err %v, want ErrTransport", err)
+	}
+	waitIdle(t, srv)
+	if d := g.Unsettled(); d != 0 {
+		t.Fatalf("unsettled after disconnect: %v", d)
+	}
+	if v := srv.UnsettledViolations(); v != 0 {
+		t.Fatalf("%d unsettled violations", v)
+	}
+	if s := srv.Stats(); s.Disconnects == 0 {
+		t.Fatalf("disconnect not counted: %+v", s)
+	}
+}
+
+// TestRemoteStopReasonsDistinguishable is the ShardedStats stop-reason
+// merging contract over the wire: a remote shard that answers a partial
+// (deadline), one that fails at the transport, and one skipped by its
+// breaker must stay distinguishable — per run and in the shard
+// counters.
+func TestRemoteStopReasonsDistinguishable(t *testing.T) {
+	x := algotest.MediumIndex(t, 5)
+	dir := writeShards(t, x, 3)
+	ram := iomodel.RAMConfig()
+	slow := slowIO()
+	factory := func(v postings.View) topk.Algorithm { return core.New(v) }
+
+	g0, err := shardserve.OpenShard(dir, 0, factory, shardserve.Config{IO: &ram, NoExactResolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := shardrpc.Listen("127.0.0.1:0", g0, shardrpc.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Close()
+	g1, err := shardserve.OpenShard(dir, 1, factory, shardserve.Config{IO: &slow, NoExactResolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := shardrpc.Listen("127.0.0.1:0", g1, shardrpc.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	addrs := [][]string{{s0.Addr().String()}, {s1.Addr().String()}, {deadAddr(t)}}
+	gcfg := shardserve.Config{
+		// Shard 1 gets a budget far below its slow-I/O evaluation time;
+		// the others keep the full query budget.
+		ShardTimeoutFor: func(i int) time.Duration {
+			if i == 1 {
+				return 300 * time.Microsecond
+			}
+			return 0
+		},
+		TripAfter:  1,
+		ProbeEvery: 1 << 20, // no probes during this test
+		RetryMax:   -1,      // single attempt per shard per query
+	}
+	g, clients, err := shardrpc.DialGroup(addrs, gcfg, shardrpc.Config{CancelGrace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shardrpc.CloseClients(clients)
+
+	q := algotest.RandomQuery(x, 8, 11)
+	opts := topk.Options{K: 10, Exact: true}
+
+	_, sst, err := g.SearchShards(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := sst.Shards
+	if runs[0].Dropped || runs[0].Err != nil {
+		t.Fatalf("healthy shard degraded: %+v", runs[0])
+	}
+	if !runs[1].Dropped || runs[1].Err != nil || runs[1].Stats.StopReason != topk.StopDeadline {
+		t.Fatalf("partial shard: dropped=%v err=%v reason=%q, want dropped deadline partial without error",
+			runs[1].Dropped, runs[1].Err, runs[1].Stats.StopReason)
+	}
+	if !runs[2].Dropped || runs[2].Err == nil || runs[2].Skipped {
+		t.Fatalf("transport-failed shard: %+v, want dropped with an error on its first attempt", runs[2])
+	}
+	if !errors.Is(runs[2].Err, shardrpc.ErrTransport) {
+		t.Fatalf("transport error not ErrTransport: %v", runs[2].Err)
+	}
+	if sst.ShardsDropped != 2 || sst.StopReason != shardserve.StopPartial {
+		t.Fatalf("aggregate: dropped=%d reason=%q, want 2 partial", sst.ShardsDropped, sst.StopReason)
+	}
+
+	// Second query: shard 2's breaker (TripAfter=1) is now open — the
+	// shard is skipped, which must read differently from an error.
+	_, sst2, err := g.SearchShards(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sst2.Shards[2].Skipped || sst2.Shards[2].Err != nil {
+		t.Fatalf("breaker-skipped shard: %+v, want skipped without error", sst2.Shards[2])
+	}
+
+	// The three outcomes stay distinguishable in the counters.
+	if c := g.Counters(0); c.Errors != 0 || c.DeadlineMisses != 0 || c.Skips != 0 {
+		t.Fatalf("healthy shard counters polluted: %+v", c)
+	}
+	if c := g.Counters(1); c.DeadlineMisses < 1 || c.Errors != 0 || c.Skips != 0 {
+		t.Fatalf("partial shard counters: %+v, want deadline misses only", c)
+	}
+	if c := g.Counters(2); c.Errors != 1 || c.Skips != 1 || c.DeadlineMisses != 0 {
+		t.Fatalf("failed shard counters: %+v, want 1 error and 1 skip", c)
+	}
+}
+
+// TestGarbledFrameKillsConnection: a CRC mismatch must kill the
+// connection (never deliver corrupt bytes), count as a bad frame, and
+// leave the client able to redial and succeed.
+func TestGarbledFrameKillsConnection(t *testing.T) {
+	x := algotest.SmallIndex(t, 3)
+	dir := writeShards(t, x, 1)
+	ram := iomodel.RAMConfig()
+	g, err := shardserve.OpenShard(dir, 0, func(v postings.View) topk.Algorithm { return core.New(v) },
+		shardserve.Config{IO: &ram, NoExactResolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := shardrpc.Listen("127.0.0.1:0", g, shardrpc.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// One-shot: frame sequence numbers restart per connection, so
+	// keying on seq would garble every redial's first frame too.
+	var garbledOnce atomic.Bool
+	hook := func(_ uint64, _ byte) shardrpc.WireFault {
+		return shardrpc.WireFault{Garble: garbledOnce.CompareAndSwap(false, true)}
+	}
+	cl := shardrpc.NewClient(srv.Addr().String(), shardrpc.Config{
+		FaultHook:     hook,
+		RedialBackoff: time.Millisecond,
+	})
+	defer cl.Close()
+	q := algotest.RandomQuery(x, 3, 1)
+	if _, _, err := cl.Search(q, topk.Options{K: 5}); !errors.Is(err, shardrpc.ErrTransport) {
+		t.Fatalf("garbled request: err %v, want ErrTransport", err)
+	}
+	// The client redials (capped backoff) and the next clean frame works.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := cl.Search(q, topk.Options{K: 5}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after garbled frame")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s := srv.Stats(); s.BadFrames == 0 {
+		t.Fatalf("garbled frame not counted: %+v", s)
+	}
+}
+
+// TestServerStatsRPC exercises the admin plane: counters cross the wire
+// and carry the shard breakdown.
+func TestServerStatsRPC(t *testing.T) {
+	x := algotest.SmallIndex(t, 8)
+	dir := writeShards(t, x, 1)
+	ram := iomodel.RAMConfig()
+	g, err := shardserve.OpenShard(dir, 0, func(v postings.View) topk.Algorithm { return core.New(v) },
+		shardserve.Config{IO: &ram, NoExactResolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := shardrpc.Listen("127.0.0.1:0", g, shardrpc.ServerConfig{Name: "s0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := shardrpc.NewClient(srv.Addr().String(), shardrpc.Config{})
+	defer cl.Close()
+	q := algotest.RandomQuery(x, 3, 2)
+	if _, _, err := cl.Search(q, topk.Options{K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.ServerStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "s0" || st.Requests != 1 || len(st.Shards) != 1 {
+		t.Fatalf("stats: %+v, want name s0, 1 request, 1 shard", st)
+	}
+	if st.Shards[0].Queries != 1 {
+		t.Fatalf("shard counters did not cross the wire: %+v", st.Shards[0])
+	}
+	if st.UnsettledViolations != 0 {
+		t.Fatalf("unsettled violations: %d", st.UnsettledViolations)
+	}
+}

@@ -1,0 +1,150 @@
+package shardrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+	"time"
+
+	"sparta/internal/model"
+	"sparta/internal/topk"
+)
+
+func TestSearchBodyRoundTrip(t *testing.T) {
+	q := model.Query{3, 90, 7}
+	opts := topk.Options{
+		K: 25, Threads: 4, Exact: true, Delta: -3,
+		BoostF: 1.5, FracP: 0.25, SegSize: 512, Phi: 9, Shards: 3,
+	}
+	budget, gotQ, gotOpts, err := decodeSearchBody(encodeSearchBody(nil, 750*time.Millisecond, q, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget != 750*time.Millisecond {
+		t.Fatalf("budget %v, want 750ms", budget)
+	}
+	if !reflect.DeepEqual(gotQ, q) {
+		t.Fatalf("query %v, want %v", gotQ, q)
+	}
+	if !reflect.DeepEqual(gotOpts, opts) {
+		t.Fatalf("opts %+v, want %+v", gotOpts, opts)
+	}
+	// Zero budget means "no deadline" and must survive too.
+	budget, _, _, err = decodeSearchBody(encodeSearchBody(nil, 0, q, topk.Options{K: 1}))
+	if err != nil || budget != 0 {
+		t.Fatalf("zero budget: %v %v", budget, err)
+	}
+	// Truncations decode to errors, never panics.
+	full := encodeSearchBody(nil, time.Second, q, opts)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := decodeSearchBody(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestResultBodyRoundTrip(t *testing.T) {
+	res := model.TopK{{Doc: 4, Score: 100}, {Doc: 9, Score: 3}}
+	st := topk.Stats{Postings: 42, StopReason: topk.StopDeadline, Duration: time.Millisecond}
+	gotRes, gotSt, err := decodeResultBody(encodeResultBody(nil, st, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRes, res) || !reflect.DeepEqual(gotSt, st) {
+		t.Fatalf("got %v %+v, want %v %+v", gotRes, gotSt, res, st)
+	}
+	// Empty result set decodes to nil, stats intact.
+	gotRes, gotSt, err = decodeResultBody(encodeResultBody(nil, st, nil))
+	if err != nil || gotRes != nil || gotSt.Postings != 42 {
+		t.Fatalf("empty result: %v %+v %v", gotRes, gotSt, err)
+	}
+	// A result count pointing past the body is corruption, not a request
+	// for a huge allocation.
+	bad := encodeResultBody(nil, st, nil)
+	bad = bad[:len(bad)-1]
+	bad = binary.AppendUvarint(bad, 1<<40)
+	if _, _, err := decodeResultBody(bad); err == nil {
+		t.Fatal("absurd result count accepted")
+	}
+}
+
+func TestResolveBodyRoundTrip(t *testing.T) {
+	q := model.Query{1, 2}
+	docs := []model.DocID{0, 7, 1 << 30}
+	gotQ, gotDocs, err := decodeResolveBody(encodeResolveBody(nil, q, docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotQ, q) || !reflect.DeepEqual(gotDocs, docs) {
+		t.Fatalf("got %v %v, want %v %v", gotQ, gotDocs, q, docs)
+	}
+	scores := []model.Score{5, 0, 123456}
+	gotScores, err := decodeResolvedBody(encodeResolvedBody(nil, scores))
+	if err != nil || !reflect.DeepEqual(gotScores, scores) {
+		t.Fatalf("scores %v %v, want %v", gotScores, err, scores)
+	}
+}
+
+func TestFrameRejectsCorruptionAndRunts(t *testing.T) {
+	payload := appendHeader(nil, tResult, 7)
+	payload = append(payload, "body"...)
+	var buf bytes.Buffer
+	fw := frameWriter{w: &buf}
+	if err := fw.send(payload); err != nil {
+		t.Fatal(err)
+	}
+	clean := append([]byte(nil), buf.Bytes()...)
+
+	got, err := readFrame(bytes.NewReader(clean), DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, id, body := splitHeader(got)
+	if typ != tResult || id != 7 || string(body) != "body" {
+		t.Fatalf("clean frame: %d %d %q", typ, id, body)
+	}
+
+	// Flip one payload bit: the checksum must catch it.
+	bad := append([]byte(nil), clean...)
+	bad[len(bad)-1] ^= 1
+	if _, err := readFrame(bytes.NewReader(bad), DefaultMaxFrame); err != ErrGarbled {
+		t.Fatalf("corrupt frame: err %v, want ErrGarbled", err)
+	}
+
+	// An oversized frame is rejected before allocation.
+	if _, err := readFrame(bytes.NewReader(clean), 4); err == nil || err == ErrGarbled {
+		t.Fatalf("oversized frame: err %v, want a size error", err)
+	}
+
+	// A runt payload (shorter than type + request id) is rejected even
+	// with a valid checksum.
+	runt := make([]byte, frameHeaderLen+1)
+	runt[frameHeaderLen] = tResult
+	binary.BigEndian.PutUint32(runt[0:4], 1)
+	binary.BigEndian.PutUint32(runt[4:8], crc32.ChecksumIEEE(runt[frameHeaderLen:]))
+	if _, err := readFrame(bytes.NewReader(runt), DefaultMaxFrame); err == nil {
+		t.Fatal("runt frame accepted")
+	}
+
+	// An injected garble is detected exactly like real corruption.
+	var gbuf bytes.Buffer
+	gw := frameWriter{w: &gbuf, hook: func(uint64, byte) WireFault { return WireFault{Garble: true} }}
+	if err := gw.send(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(bytes.NewReader(gbuf.Bytes()), DefaultMaxFrame); err != ErrGarbled {
+		t.Fatalf("injected garble: err %v, want ErrGarbled", err)
+	}
+
+	// An injected drop writes nothing at all.
+	var dbuf bytes.Buffer
+	dw := frameWriter{w: &dbuf, hook: func(uint64, byte) WireFault { return WireFault{Drop: true} }}
+	if err := dw.send(payload); err != nil {
+		t.Fatal(err)
+	}
+	if dbuf.Len() != 0 {
+		t.Fatalf("dropped frame wrote %d bytes", dbuf.Len())
+	}
+}

@@ -90,8 +90,8 @@ func TestChaosReplicatedServingStaysExact(t *testing.T) {
 	const p, r = 2, 3
 	planFor := func(shard, replica int) faultinject.Plan {
 		pl := faultinject.Plan{
-			Seed:    4242,
-			ErrRate: 0.10, // every replica drops 10% of attempts
+			Seed:        4242,
+			ErrRate:     0.10, // every replica drops 10% of attempts
 			LatencyRate: 0.20, Latency: 10 * time.Microsecond,
 			StuckRate: 0.02,
 		}
@@ -171,8 +171,8 @@ func TestSettlementUnderRandomFaultSchedules(t *testing.T) {
 		}
 		planFor := func(shard, replica int) faultinject.Plan {
 			return faultinject.Plan{
-				Seed:    uint64(seed),
-				ErrRate: 0.15,
+				Seed:        uint64(seed),
+				ErrRate:     0.15,
 				LatencyRate: 0.30, Latency: 30 * time.Microsecond,
 				StuckRate: 0.10,
 			}

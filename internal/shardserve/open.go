@@ -261,6 +261,44 @@ func OpenDir(dir string, factory Factory, cfg Config) (*Group, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := make([]Shard, len(m.Shards))
+	for s, sm := range m.Shards {
+		shards[s], err = openManifestShard(dir, s, sm, factory, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return New(cfg, shards...)
+}
+
+// OpenShard opens a single shard of a set written by WriteDir as its
+// own one-shard group — the serving unit cmd/shardserver hosts. The
+// replica set (cfg.Replicas independently opened backends), per-replica
+// caches, manifest digest verification at open, and the re-verify hook
+// used at promotion all live on this side of the wire; the remote
+// caller sees one logical shard behind a shardrpc.Client.
+func OpenShard(dir string, shard int, factory Factory, cfg Config) (*Group, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= len(m.Shards) {
+		return nil, fmt.Errorf("shardserve: shard %d out of range [0,%d)", shard, len(m.Shards))
+	}
+	sh, err := openManifestShard(dir, shard, m.Shards[shard], factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg, sh)
+}
+
+// openManifestShard opens one shard of a written set: cfg.Replicas
+// (default 1) independently opened backends, each with its own
+// simulated store (cfg.IO) and optional cache (cfg.CacheBytes), served
+// by factory's algorithm. Shards carrying manifest digests are verified
+// before the bytes are trusted, and every replica keeps a Verify hook
+// re-run before it can be promoted to primary.
+func openManifestShard(dir string, s int, sm ShardManifest, factory Factory, cfg Config) (Shard, error) {
 	io := iomodel.DefaultConfig()
 	if cfg.IO != nil {
 		io = *cfg.IO
@@ -269,31 +307,27 @@ func OpenDir(dir string, factory Factory, cfg Config) (*Group, error) {
 	if replicas <= 0 {
 		replicas = 1
 	}
-	shards := make([]Shard, len(m.Shards))
-	for s, sm := range m.Shards {
-		shardDir := filepath.Join(dir, sm.Dir)
-		var verify func() error
-		if sm.Verified() {
-			files, root := sm.Files, sm.MerkleRoot
-			verify = func() error { return merkle.VerifyDir(shardDir, files, root) }
-			if err := verify(); err != nil {
-				return nil, fmt.Errorf("shardserve: shard %d failed verification: %w", s, err)
-			}
+	shardDir := filepath.Join(dir, sm.Dir)
+	var verify func() error
+	if sm.Verified() {
+		files, root := sm.Files, sm.MerkleRoot
+		verify = func() error { return merkle.VerifyDir(shardDir, files, root) }
+		if err := verify(); err != nil {
+			return Shard{}, fmt.Errorf("shardserve: shard %d failed verification: %w", s, err)
 		}
-		reps := make([]Replica, replicas)
-		for r := range reps {
-			di, err := diskindex.OpenDir(shardDir, io)
-			if err != nil {
-				return nil, fmt.Errorf("shardserve: opening shard %d replica %d: %w", s, r, err)
-			}
-			reps[r] = Replica{View: di, Alg: factory(di), Store: di.Store(), Verify: verify}
-			if cfg.CacheBytes > 0 {
-				c := plcache.NewWithBudget(cfg.CacheBytes)
-				di.SetPostingCache(c)
-				reps[r].Cache = c
-			}
-		}
-		shards[s] = Shard{Replicas: reps, Lo: model.DocID(sm.LoDoc), Hi: model.DocID(sm.HiDoc)}
 	}
-	return New(cfg, shards...)
+	reps := make([]Replica, replicas)
+	for r := range reps {
+		di, err := diskindex.OpenDir(shardDir, io)
+		if err != nil {
+			return Shard{}, fmt.Errorf("shardserve: opening shard %d replica %d: %w", s, r, err)
+		}
+		reps[r] = Replica{View: di, Alg: factory(di), Store: di.Store(), Verify: verify}
+		if cfg.CacheBytes > 0 {
+			c := plcache.NewWithBudget(cfg.CacheBytes)
+			di.SetPostingCache(c)
+			reps[r].Cache = c
+		}
+	}
+	return Shard{Name: fmt.Sprintf("shard%d", s), Replicas: reps, Lo: model.DocID(sm.LoDoc), Hi: model.DocID(sm.HiDoc)}, nil
 }

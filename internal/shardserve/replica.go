@@ -23,24 +23,45 @@
 package shardserve
 
 import (
+	"context"
 	"sync/atomic"
 
 	"sparta/internal/iomodel"
+	"sparta/internal/model"
 	"sparta/internal/plcache"
 	"sparta/internal/postings"
 	"sparta/internal/topk"
 )
 
+// Resolver computes exact scores for a batch of candidate documents —
+// the remote form of the per-term random accesses exact resolution
+// performs against a local view. A replica served over the wire
+// (shardrpc.Client) cannot expose a postings.View, but it can answer
+// "what do these documents really score for q" in one round trip; the
+// shard group uses that to keep sharded exact results byte-identical
+// even when every shard lives in another process. Implementations must
+// return exactly one score per requested document, in order.
+type Resolver interface {
+	Resolve(ctx context.Context, q model.Query, docs []model.DocID) ([]model.Score, error)
+}
+
 // Replica is one opened backend copy of a shard: its own view, its own
 // simulated store (so replica failures and latencies are independent),
-// and optionally its own decoded-block cache.
+// and optionally its own decoded-block cache. A *remote* replica has no
+// View — its Alg is a transport client and exact resolution goes
+// through Resolver instead.
 type Replica struct {
 	// Name labels the replica in counters ("r0", "r1", ... if empty).
 	Name string
-	// View is the replica's index view (required).
+	// View is the replica's index view. Required unless Resolver is set
+	// (a remote replica, whose index lives in another process).
 	View postings.View
 	// Alg evaluates queries over View (required).
 	Alg topk.Algorithm
+	// Resolver, when non-nil, resolves exact candidate scores for this
+	// replica without a local View — the wire path of the post-merge
+	// exactness pass.
+	Resolver Resolver
 	// Store, when non-nil, is the replica's simulated storage, used for
 	// settlement accounting and stats.
 	Store *iomodel.Store

@@ -320,8 +320,11 @@ func New(cfg Config, shards ...Shard) (*Group, error) {
 		}
 		st := &shardState{Shard: sh}
 		for ri, rep := range reps {
-			if rep.View == nil || rep.Alg == nil {
-				return nil, fmt.Errorf("shardserve: shard %d replica %d needs View and Alg", i, ri)
+			if rep.Alg == nil {
+				return nil, fmt.Errorf("shardserve: shard %d replica %d needs Alg", i, ri)
+			}
+			if rep.View == nil && rep.Resolver == nil {
+				return nil, fmt.Errorf("shardserve: shard %d replica %d needs a View or a Resolver", i, ri)
 			}
 			if rep.Name == "" {
 				rep.Name = fmt.Sprintf("r%d", ri)
@@ -330,7 +333,7 @@ func New(cfg Config, shards ...Shard) (*Group, error) {
 				return nil, fmt.Errorf("shardserve: shard %d (%s) replica %d: cache supplied but not attached to its view", i, sh.Name, ri)
 			}
 			rs := &replicaState{Replica: rep, alg: rep.Alg, hedgeAlg: rep.Alg}
-			if cfg.BatchWindow > 0 {
+			if cfg.BatchWindow > 0 && rep.View != nil {
 				// Per-shard coalescing: concurrent queries fanning out
 				// to this replica batch here. Hedged retries stay
 				// latency-critical through the unwrapped algorithm — a
@@ -500,8 +503,14 @@ func (g *Group) SearchShards(ctx context.Context, q model.Query, opts topk.Optio
 	agg := topk.Stats{}
 	if opts.Exact && !g.cfg.NoExactResolve {
 		var ra int64
-		merged, ra = g.resolveExact(ctx, q, parts, k)
+		var unresolved int
+		merged, ra, unresolved = g.resolveExact(ctx, q, parts, k)
 		agg.RandomAccesses += ra
+		// A part whose scores could not be resolved (a remote shard whose
+		// resolve round trip failed) may mis-rank the result boundary;
+		// count it dropped so "byte-identical unless ShardsDropped > 0"
+		// stays an honest contract.
+		agg.ShardsDropped += unresolved
 	}
 
 	out := ShardedStats{Shards: runs}
@@ -763,15 +772,129 @@ func (g *Group) shardDeadline(i int, ctx context.Context) time.Duration {
 }
 
 // resolveExact replaces every merged candidate's (possibly lower-bound)
-// score with its true score, resolved by per-term random accesses
-// against the owning shard's current primary replica, then re-ranks.
-// The resolution logic is topk.ResolveExact, shared with the live
-// segmented index, whose per-segment lists merge the same way.
-func (g *Group) resolveExact(ctx context.Context, q model.Query, parts []model.TopK, k int) (model.TopK, int64) {
-	return topk.ResolveExact(ctx, q, parts, func(i int) postings.View {
+// score with its true score, then re-ranks and truncates to k. Parts
+// from shards with a local view resolve by per-term random accesses
+// against the current primary replica (topk.ResolveExact, shared with
+// the live segmented index); parts from remote shards resolve in one
+// batched Resolve round trip per part, the random accesses running on
+// the server against the same view the shard searched. Returns the
+// resolved top-k, the random accesses charged, and the number of parts
+// left unresolved (remote resolution failed on every replica) — those
+// keep their lower-bound scores and are reported as dropped.
+func (g *Group) resolveExact(ctx context.Context, q model.Query, parts []model.TopK, k int) (model.TopK, int64, int) {
+	var ra int64
+	unresolved := 0
+	resolved := make(model.TopK, 0, len(parts)*8)
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
 		sh := g.shards[i]
-		return sh.replicas[sh.primary.Load()].View
-	}, k)
+		rep := sh.replicas[sh.primary.Load()]
+		if rep.View != nil {
+			r, n := topk.ResolveExact(ctx, q, parts[i:i+1], func(int) postings.View { return rep.View }, len(part))
+			resolved = append(resolved, r...)
+			ra += n
+			continue
+		}
+		docs := make([]model.DocID, len(part))
+		for j, r := range part {
+			docs[j] = r.Doc
+		}
+		if scores, err := g.resolveRemote(ctx, sh, q, docs); err == nil {
+			for j, d := range docs {
+				resolved = append(resolved, model.Result{Doc: d, Score: scores[j]})
+			}
+			// Charge what local resolution of this part would have: the
+			// server performed one random access per (candidate, term).
+			ra += int64(len(docs)) * int64(len(q))
+			continue
+		}
+		resolved = append(resolved, part...)
+		unresolved++
+	}
+	resolved.Sort()
+	if len(resolved) > k {
+		resolved = resolved[:k]
+	}
+	return resolved, ra, unresolved
+}
+
+// resolveRemote asks a remote shard's replicas to batch-resolve exact
+// candidate scores, starting at the current primary and failing over in
+// pickReplica order. Resolution is a single small round trip, so it
+// carries no breaker interplay: a transport error just tries the next
+// copy.
+func (g *Group) resolveRemote(ctx context.Context, sh *shardState, q model.Query, docs []model.DocID) ([]model.Score, error) {
+	n := len(sh.replicas)
+	start := int(sh.primary.Load())
+	lastErr := errors.New("shardserve: no replica can resolve")
+	for off := 0; off < n; off++ {
+		r := sh.replicas[(start+off)%n]
+		if r.Resolver == nil || r.corrupt.Load() {
+			continue
+		}
+		// Bound each attempt by the per-shard timeout even when the query
+		// carries no deadline: a resolve whose frames are lost must fail
+		// over to the next replica, not hang the merge.
+		actx := ctx
+		if g.cfg.ShardTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, g.cfg.ShardTimeout)
+			defer cancel()
+		}
+		scores, err := r.Resolver.Resolve(actx, q, docs)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(scores) != len(docs) {
+			lastErr = fmt.Errorf("shardserve: resolver returned %d scores for %d docs", len(scores), len(docs))
+			continue
+		}
+		return scores, nil
+	}
+	return nil, lastErr
+}
+
+// ResolveScores computes each document's exact score for q by per-term
+// random access against every shard's primary replica view, returning
+// one score per document plus the random accesses charged. Shards cover
+// disjoint document ranges, so at most one shard contributes to each
+// document's sum; views that charge simulated I/O are bound and settled
+// here, never leaving debt outstanding. This is the server side of
+// remote exact resolution: shardrpc's Resolve RPC calls it on the
+// shardserver's (typically single-shard) group.
+func (g *Group) ResolveScores(ctx context.Context, q model.Query, docs []model.DocID) ([]model.Score, int64) {
+	out := make([]model.Score, len(docs))
+	var ra int64
+	for _, sh := range g.shards {
+		rep := sh.replicas[sh.primary.Load()]
+		v := rep.View
+		if v == nil {
+			continue
+		}
+		var settler postings.Settler
+		if b, ok := v.(postings.ExecBinder); ok {
+			bound := b.BindExec(ctx, nil, nil, nil)
+			if s, ok := bound.(postings.Settler); ok {
+				settler = s
+			}
+			v = bound
+		}
+		for j, d := range docs {
+			for _, t := range q {
+				if ts, ok := v.RandomAccess(t, d); ok {
+					out[j] += ts
+				}
+				ra++
+			}
+		}
+		if settler != nil {
+			settler.SettleAll()
+		}
+	}
+	return out, ra
 }
 
 // ReplicaCounters is one replica's health and traffic snapshot — the
@@ -960,6 +1083,13 @@ func (g *Group) FusedCounters() fusedexec.Counters {
 	}
 	return c
 }
+
+// Batching reports whether the group wraps its replicas in batch
+// executors (Config.BatchWindow > 0 on at least one view-backed
+// replica). Batch warm-ups settle asynchronously, so a batching group
+// being idle does not imply it is settled — shardrpc's per-request
+// settlement enforcement keys off this.
+func (g *Group) Batching() bool { return len(g.batchers) > 0 }
 
 // Drain blocks until every dispatched shard batch (member queries and
 // warm-up passes) has completed; afterwards all batch I/O is settled,

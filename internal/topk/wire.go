@@ -1,0 +1,85 @@
+package topk
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// statsWireVersion is bumped whenever the binary layout of AppendStats
+// changes. DecodeStats rejects versions it does not understand, so a
+// mixed-version client/server pair fails loudly instead of
+// misinterpreting counters.
+const statsWireVersion = 1
+
+// AppendStats appends the binary wire encoding of st to b and returns
+// the extended slice. The encoding is a version byte followed by the
+// varint-encoded numeric fields and the length-prefixed StopReason
+// string; it is the payload shardrpc ships with every remote partial
+// result so that scatter/gather accounting (ShardedStats, stop-reason
+// counters, exact resolution bookkeeping) is identical whether a shard
+// answered in-process or over a socket.
+func AppendStats(b []byte, st Stats) []byte {
+	b = append(b, statsWireVersion)
+	b = binary.AppendVarint(b, int64(st.Duration))
+	b = binary.AppendVarint(b, st.Postings)
+	b = binary.AppendVarint(b, st.RandomAccesses)
+	b = binary.AppendVarint(b, st.HeapInserts)
+	b = binary.AppendVarint(b, st.CandidatesPeak)
+	b = binary.AppendVarint(b, st.Cleanings)
+	b = binary.AppendVarint(b, int64(st.ShardsDropped))
+	b = binary.AppendUvarint(b, uint64(len(st.StopReason)))
+	b = append(b, st.StopReason...)
+	return b
+}
+
+// DecodeStats decodes a Stats encoded by AppendStats from the front of
+// b, returning the value and the number of bytes consumed.
+func DecodeStats(b []byte) (Stats, int, error) {
+	var st Stats
+	if len(b) == 0 {
+		return st, 0, fmt.Errorf("topk: stats: empty buffer")
+	}
+	if b[0] != statsWireVersion {
+		return st, 0, fmt.Errorf("topk: stats: unknown wire version %d", b[0])
+	}
+	off := 1
+	next := func() (int64, error) {
+		v, n := binary.Varint(b[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("topk: stats: truncated varint at offset %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	fields := []*int64{
+		(*int64)(&st.Duration),
+		&st.Postings,
+		&st.RandomAccesses,
+		&st.HeapInserts,
+		&st.CandidatesPeak,
+		&st.Cleanings,
+	}
+	for _, f := range fields {
+		v, err := next()
+		if err != nil {
+			return Stats{}, 0, err
+		}
+		*f = v
+	}
+	dropped, err := next()
+	if err != nil {
+		return Stats{}, 0, err
+	}
+	st.ShardsDropped = int(dropped)
+	slen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return Stats{}, 0, fmt.Errorf("topk: stats: truncated stop-reason length")
+	}
+	off += n
+	if uint64(len(b)-off) < slen {
+		return Stats{}, 0, fmt.Errorf("topk: stats: stop reason truncated (want %d bytes, have %d)", slen, len(b)-off)
+	}
+	st.StopReason = string(b[off : off+int(slen)])
+	off += int(slen)
+	return st, off, nil
+}

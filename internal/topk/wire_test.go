@@ -1,0 +1,67 @@
+package topk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStatsWireRoundTrip(t *testing.T) {
+	cases := []Stats{
+		{},
+		{
+			Duration:       1234567 * time.Nanosecond,
+			Postings:       987654321,
+			RandomAccesses: 42,
+			HeapInserts:    7,
+			CandidatesPeak: 100000,
+			Cleanings:      3,
+			StopReason:     StopDeadline,
+			ShardsDropped:  2,
+		},
+		{Duration: -1, Postings: -5, StopReason: "exhausted"},
+		{StopReason: ""},
+	}
+	for i, want := range cases {
+		b := AppendStats([]byte{0xAA}, want) // non-empty prefix: Append semantics
+		got, n, err := DecodeStats(b[1:])
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(b)-1 {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(b)-1)
+		}
+		if got != want {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestStatsWireTrailingBytes(t *testing.T) {
+	// Stats embedded in a larger payload: decode must report its own
+	// length so the caller can continue from there.
+	st := Stats{Postings: 9, StopReason: "safe"}
+	b := AppendStats(nil, st)
+	b = append(b, 0xDE, 0xAD)
+	got, n, err := DecodeStats(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != st || n != len(b)-2 {
+		t.Fatalf("got %+v consumed %d, want %+v consumed %d", got, n, st, len(b)-2)
+	}
+}
+
+func TestStatsWireRejects(t *testing.T) {
+	if _, _, err := DecodeStats(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	if _, _, err := DecodeStats([]byte{99}); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	full := AppendStats(nil, Stats{Postings: 1 << 40, StopReason: "delta"})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeStats(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+}
