@@ -28,6 +28,11 @@
 // query log through the same shard sets in-process and over loopback
 // shardserver processes (the shardrpc transport), measuring throughput,
 // tail latency, and the added wire latency, and writes BENCH_net.json.
+// The "scale" subcommand builds the corpus at each -scalefactors
+// multiple of the base size, compresses it with the group codec, and
+// serves exact queries at each scale, writing BENCH_scale.json; each
+// scale is built and released before the next so the 100x stretch fits
+// in RAM.
 package main
 
 import (
@@ -77,6 +82,8 @@ type runner struct {
 	netOut    string
 	netPs     []int
 	netCs     int
+	scaleOut  string
+	scaleFs   []int
 	out       io.Writer
 	cw, cwx   *bench.Env
 	ram       *bench.Env
@@ -135,7 +142,11 @@ func main() {
 			"output path of the report the netgrid subcommand writes")
 		netPs = flag.String("netshards", "2,4",
 			"shard counts of the netgrid subcommand (each run in-process and over loopback TCP)")
-		netCs = flag.Int("netclients", 8, "closed-loop clients of the netgrid subcommand")
+		netCs     = flag.Int("netclients", 8, "closed-loop clients of the netgrid subcommand")
+		scaleJSON = flag.String("scaleout", "BENCH_scale.json",
+			"output path of the report the scale subcommand writes")
+		scaleFs = flag.String("scalefactors", "1,10,100",
+			"corpus scale factors of the scale subcommand (1 = base size)")
 	)
 	flag.Parse()
 
@@ -154,6 +165,10 @@ func main() {
 	netGrid, err := parseInts(*netPs)
 	if err != nil {
 		log.Fatalf("-netshards: %v", err)
+	}
+	scaleGrid, err := parseInts(*scaleFs)
+	if err != nil {
+		log.Fatalf("-scalefactors: %v", err)
 	}
 
 	base := corpus.DefaultSpec()
@@ -205,6 +220,8 @@ func main() {
 		netOut:    *netJSON,
 		netPs:     netGrid,
 		netCs:     *netCs,
+		scaleOut:  *scaleJSON,
+		scaleFs:   scaleGrid,
 		out:       os.Stdout,
 		sweepHigh: make(map[string][]bench.SweepPoint),
 	}
@@ -667,6 +684,23 @@ func (r *runner) run(name string) (string, error) {
 			return "", err
 		}
 		return rep.Summary() + "\nwrote " + r.netOut, nil
+
+	case "scale":
+		// The scale-envelope artifact: compression ratio and serving
+		// metrics as the corpus grows past the base scale. Each factor
+		// builds, measures, and frees its indexes before the next one so
+		// the peak resident set is a single corpus.
+		rep, err := bench.RunScaleReport(r.base, r.scaleFs, r.cfg, r.envOpts,
+			maxInt(r.nQueries, 5), r.threads,
+			[]bench.AlgoID{bench.AlgoSparta, bench.AlgoPBMW, bench.AlgoPJASS},
+			func(msg string) { log.Print(msg) })
+		if err != nil {
+			return "", err
+		}
+		if err := rep.WriteJSON(r.scaleOut); err != nil {
+			return "", err
+		}
+		return rep.Summary() + "\nwrote " + r.scaleOut, nil
 
 	case "compression":
 		// Appendix: §5's justification for benchmarking uncompressed —

@@ -16,6 +16,11 @@
 // document range, block count and byte size of every segment in the
 // current epoch.
 //
+// A compressed index directory — one holding a cmanifest.json — prints
+// the posting codec it was written with and its measured compression
+// ratio, aggregate and over the longest lists. Directories written by
+// an older cindex format version are refused with a rebuild hint.
+//
 // -verify recomputes every file's SHA-256 digest and the per-shard (or
 // per-segment) Merkle root against the manifest and reports every
 // mismatch — it works on sharded sets (shards.json) and live
@@ -29,6 +34,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"sparta/internal/cindex"
 	"sparta/internal/codec"
 	"sparta/internal/diskindex"
 	"sparta/internal/iomodel"
@@ -72,6 +79,10 @@ func main() {
 	}
 	if _, err := os.Stat(filepath.Join(*indexDir, liveindex.ManifestFile)); err == nil {
 		liveStats(*indexDir)
+		return
+	}
+	if _, err := os.Stat(filepath.Join(*indexDir, cindex.ManifestFile)); err == nil {
+		cindexStats(*indexDir)
 		return
 	}
 
@@ -217,6 +228,56 @@ func remoteStats(addr string) {
 		log.Fatal(err)
 	}
 	fmt.Println(string(out))
+}
+
+// cindexStats prints the codec and compression breakdown of a
+// compressed index directory. A directory written by an older format
+// version gets a rebuild hint instead of a parse failure.
+func cindexStats(dir string) {
+	ci, err := cindex.OpenDir(dir, iomodel.RAMConfig())
+	var ve *cindex.VersionError
+	if errors.As(err, &ve) {
+		log.Fatalf("%s: compressed index uses format version %d, this build reads version %d — rebuild with cmd/indexbuild",
+			dir, ve.Got, ve.Want)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("compressed index: docs=%d terms=%d codec=%s\n",
+		ci.NumDocs(), ci.NumTerms(), ci.Codec())
+	ratio := 0.0
+	if ci.CompressedBytes() > 0 {
+		ratio = float64(ci.RawBytes()) / float64(ci.CompressedBytes())
+	}
+	fmt.Printf("aggregate: %d raw -> %d compressed bytes (%.2fx)\n",
+		ci.RawBytes(), ci.CompressedBytes(), ratio)
+
+	// Per-term ratios over the longest lists, where block structure
+	// dominates and the codec choice actually shows.
+	type tl struct {
+		t  model.TermID
+		df int
+	}
+	longest := make([]tl, 0, ci.NumTerms())
+	for t := 0; t < ci.NumTerms(); t++ {
+		if df := ci.DF(model.TermID(t)); df > 0 {
+			longest = append(longest, tl{model.TermID(t), df})
+		}
+	}
+	sort.Slice(longest, func(i, j int) bool { return longest[i].df > longest[j].df })
+	fmt.Printf("per-term compression of the 10 longest lists:\n")
+	fmt.Printf("  %-8s %-9s %-11s %-11s %s\n", "term", "df", "raw B", "compressed", "ratio")
+	for i := 0; i < 10 && i < len(longest); i++ {
+		t, df := longest[i].t, longest[i].df
+		raw := int64(df) * codec.RawPostingBytes
+		comp := ci.TermCompressedBytes(t)
+		r := 0.0
+		if comp > 0 {
+			r = float64(raw) / float64(comp)
+		}
+		fmt.Printf("  %-8d %-9d %-11d %-11d %.2fx\n", t, df, raw, comp, r)
+	}
 }
 
 // liveStats prints the per-segment breakdown of a segmented live

@@ -7,6 +7,7 @@ import (
 	"sparta/internal/algos/algotest"
 	"sparta/internal/bench"
 	"sparta/internal/cindex"
+	"sparta/internal/codec"
 	"sparta/internal/diskindex"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
@@ -180,13 +181,18 @@ func TestBlockCursorsMatchReference(t *testing.T) {
 
 // TestAllVariantsAgreeAcrossViews runs all fourteen algorithm variants
 // in exact mode over the in-memory, block-decoded and compressed views
-// (the latter two also with a warm decoded-block cache) and requires
-// identical top-k sets; the sequential deterministic variants must also
-// report identical traversal Stats across views.
+// (the compressed one under both posting codecs, and the charged views
+// also with a warm decoded-block cache) and requires identical top-k
+// sets; the sequential deterministic variants must also report
+// identical traversal Stats across views.
 func TestAllVariantsAgreeAcrossViews(t *testing.T) {
 	mem, disk, comp := equivViews(t, 99)
 	disk.SetPostingCache(plcache.NewWithBudget(64 << 20))
 	comp.SetPostingCache(plcache.NewWithBudget(64 << 20))
+	leb, err := cindex.FromIndexWith(mem, equivShards, iomodel.RAMConfig(), codec.LEB128)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	allIDs := []bench.AlgoID{
 		bench.AlgoSparta, bench.AlgoPRA, bench.AlgoPNRA, bench.AlgoSNRA,
@@ -217,6 +223,7 @@ func TestAllVariantsAgreeAcrossViews(t *testing.T) {
 				{"mem", mem},
 				{"disk", disk}, {"disk-warm", disk},
 				{"cindex", comp}, {"cindex-warm", comp},
+				{"cindex-leb128", leb},
 			} {
 				name := fmt.Sprintf("m%d/%s/%s", m, id, view.label)
 				got, st, err := bench.MakeAlgorithm(id, view.v).Search(q, opts)

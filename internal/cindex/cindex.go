@@ -1,22 +1,27 @@
 // Package cindex is the compressed counterpart of package diskindex: an
 // on-(simulated-)disk inverted index whose posting lists are stored as
-// varint-delta compressed blocks (package codec) read through the
-// iomodel page cache. Block directories — offsets, last doc ids, block
-// maxima, score bounds — stay RAM-resident like real engines' skip
-// data; posting bytes are charged.
+// compressed blocks (package codec) read through the iomodel page
+// cache. Block directories — offsets, last doc ids, block maxima,
+// score bounds — stay RAM-resident like real engines' skip data;
+// posting bytes are charged.
 //
-// The package exists to validate, inside the reproduction, the claim
-// the paper leans on when it abstracts compression away (§5): that
-// decompression's end-to-end impact is marginal while the index
-// shrinks 2–3x. BenchmarkCompressionImpact in the repository root runs
-// identical queries over diskindex and cindex views and reports both
-// sides.
+// Two block codecs are supported, selected per index by a codec id the
+// manifest persists: the original byte-at-a-time LEB128 varints and
+// the branch-light group codec (stream-vbyte + frame-of-reference,
+// codec.Group), which new indexes default to. The package exists to
+// validate, inside the reproduction, the claim the paper leans on when
+// it abstracts compression away (§5): that decompression's end-to-end
+// impact is marginal while the index shrinks 2–3x.
+// BenchmarkCompressionImpact in the repository root runs identical
+// queries over diskindex and cindex views and reports both sides.
 package cindex
 
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"sparta/internal/codec"
 	"sparta/internal/index"
@@ -30,6 +35,9 @@ import (
 // postings.BlockSize so block-max pruning granularity matches the
 // uncompressed index.
 const BlockLen = postings.BlockSize
+
+// DefaultCodec is the codec new compressed indexes are built with.
+const DefaultCodec = codec.Group
 
 // docBlockMeta directs one compressed doc-ordered block.
 type docBlockMeta struct {
@@ -50,44 +58,73 @@ type impBlockMeta struct {
 	lastSc  model.Score
 }
 
+// termMeta is one fixed-width term record: spans into the flat block
+// directories. Shard records live at terms[t] × shards in shardRecs.
 type termMeta struct {
-	df        int
-	max       model.Score
-	docBlocks []docBlockMeta
-	impBlocks []impBlockMeta
-	shards    [][]impBlockMeta
-	shardMax  []model.Score // per shard: sublist max, the tight initial Bound
-	shardLen  []int         // per shard: sublist posting count
+	df       int32
+	max      model.Score
+	docStart int32
+	docLen   int32
+	impStart int32
+	impLen   int32
+}
+
+// shardRec directs one term × shard sublist: its posting count, its
+// max score (the tight initial Bound), and its block span in the
+// shared impact-block directory.
+type shardRec struct {
+	n        int32
+	max      model.Score
+	blkStart int32
+	blkLen   int32
 }
 
 // Index is an opened compressed index. It implements postings.View.
+//
+// The block directory is flat: fixed-width term records indexing into
+// shared docMeta/impMeta arrays, mirroring the v3 on-disk layout so
+// OpenDir is a bulk copy instead of a per-term decode.
 type Index struct {
-	numDocs  int
-	shards   int
-	terms    []termMeta
-	store    *iomodel.Store
-	postFile int
-	rawBytes int64 // uncompressed size, for ratio reporting
+	numDocs   int
+	shards    int
+	codecID   codec.ID
+	terms     []termMeta
+	docMeta   []docBlockMeta
+	impMeta   []impBlockMeta // impact blocks, then shard blocks
+	shardRecs []shardRec     // len(terms) * shards
+	docDir    []postings.BlockMeta // (last, max) mirror of docMeta, shared via DocBlockMeta
+	store     *iomodel.Store
+	postFile  int
+	rawBytes  int64 // uncompressed size, for ratio reporting
 
 	cache atomic.Pointer[plcache.Cache] // decoded-block cache, optional
 }
 
 var _ postings.View = (*Index)(nil)
 
-// FromIndex compresses an in-memory index into a charged store.
+// FromIndex compresses an in-memory index into a charged store using
+// the default codec.
 func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
+	return FromIndexWith(x, shards, cfg, DefaultCodec)
+}
+
+// FromIndexWith compresses an in-memory index with an explicit codec.
+func FromIndexWith(x *index.Index, shards int, cfg iomodel.Config, id codec.ID) (*Index, error) {
 	if shards <= 0 {
 		shards = 12
+	}
+	if !id.Valid() {
+		return nil, fmt.Errorf("cindex: unknown codec id %d", uint8(id))
 	}
 	ci := &Index{
 		numDocs: x.NumDocs(),
 		shards:  shards,
+		codecID: id,
 		terms:   make([]termMeta, x.NumTerms()),
 	}
 	var region []byte
 
-	appendDocBlocks := func(list []model.Posting) ([]docBlockMeta, error) {
-		var metas []docBlockMeta
+	appendDocBlocks := func(list []model.Posting) error {
 		base := model.DocID(0)
 		for start := 0; start < len(list); start += BlockLen {
 			end := start + BlockLen
@@ -95,9 +132,9 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 				end = len(list)
 			}
 			block := list[start:end]
-			buf, err := codec.EncodeDocBlock(base, block)
+			buf, err := codec.EncodeDoc(id, base, block)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var max model.Score
 			for _, p := range block {
@@ -105,7 +142,7 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 					max = p.Score
 				}
 			}
-			metas = append(metas, docBlockMeta{
+			ci.docMeta = append(ci.docMeta, docBlockMeta{
 				off:     int64(len(region)),
 				byteLen: int32(len(buf)),
 				count:   int32(len(block)),
@@ -116,21 +153,20 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 			region = append(region, buf...)
 			base = block[len(block)-1].Doc
 		}
-		return metas, nil
+		return nil
 	}
-	appendImpBlocks := func(list []model.Posting, ceil model.Score) ([]impBlockMeta, error) {
-		var metas []impBlockMeta
+	appendImpBlocks := func(list []model.Posting, ceil model.Score) error {
 		for start := 0; start < len(list); start += BlockLen {
 			end := start + BlockLen
 			if end > len(list) {
 				end = len(list)
 			}
 			block := list[start:end]
-			buf, err := codec.EncodeImpactBlock(ceil, block)
+			buf, err := codec.EncodeImpact(id, ceil, block)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			metas = append(metas, impBlockMeta{
+			ci.impMeta = append(ci.impMeta, impBlockMeta{
 				off:     int64(len(region)),
 				byteLen: int32(len(buf)),
 				count:   int32(len(block)),
@@ -140,22 +176,22 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 			region = append(region, buf...)
 			ceil = block[len(block)-1].Score
 		}
-		return metas, nil
+		return nil
 	}
 
 	for t := 0; t < x.NumTerms(); t++ {
 		term := model.TermID(t)
-		tm := termMeta{df: x.DF(term), max: x.MaxScore(term)}
-		var err error
-		if tm.docBlocks, err = appendDocBlocks(x.Postings(term)); err != nil {
+		tm := termMeta{df: int32(x.DF(term)), max: x.MaxScore(term)}
+		tm.docStart = int32(len(ci.docMeta))
+		if err := appendDocBlocks(x.Postings(term)); err != nil {
 			return nil, fmt.Errorf("cindex: term %d doc blocks: %w", t, err)
 		}
-		if tm.impBlocks, err = appendImpBlocks(x.Impact(term), tm.max); err != nil {
+		tm.docLen = int32(len(ci.docMeta)) - tm.docStart
+		tm.impStart = int32(len(ci.impMeta))
+		if err := appendImpBlocks(x.Impact(term), tm.max); err != nil {
 			return nil, fmt.Errorf("cindex: term %d impact blocks: %w", t, err)
 		}
-		tm.shards = make([][]impBlockMeta, shards)
-		tm.shardMax = make([]model.Score, shards)
-		tm.shardLen = make([]int, shards)
+		tm.impLen = int32(len(ci.impMeta)) - tm.impStart
 		sharded := make([][]model.Posting, shards)
 		numDocs := int64(x.NumDocs())
 		for _, p := range x.Impact(term) {
@@ -163,25 +199,41 @@ func FromIndex(x *index.Index, shards int, cfg iomodel.Config) (*Index, error) {
 			sharded[s] = append(sharded[s], p)
 		}
 		for s := 0; s < shards; s++ {
-			if tm.shards[s], err = appendImpBlocks(sharded[s], tm.max); err != nil {
+			rec := shardRec{n: int32(len(sharded[s])), blkStart: int32(len(ci.impMeta))}
+			if err := appendImpBlocks(sharded[s], tm.max); err != nil {
 				return nil, fmt.Errorf("cindex: term %d shard %d: %w", t, s, err)
 			}
-			tm.shardLen[s] = len(sharded[s])
+			rec.blkLen = int32(len(ci.impMeta)) - rec.blkStart
 			if len(sharded[s]) > 0 {
-				tm.shardMax[s] = sharded[s][0].Score // impact-ordered: first is max
+				rec.max = sharded[s][0].Score // impact-ordered: first is max
 			}
+			ci.shardRecs = append(ci.shardRecs, rec)
 		}
 		ci.terms[t] = tm
 		ci.rawBytes += int64(tm.df) * 8 * 3 // doc + impact + shard copies
 	}
+	ci.buildDocDir()
 
 	ci.store = iomodel.NewStore(cfg)
-	ci.postFile = ci.store.AddFile("cpostings.bin", region)
+	ci.postFile = ci.store.AddFile(PostingsFile, region)
 	return ci, nil
+}
+
+// buildDocDir materializes the uniform (last, max) mirror of the doc
+// block directory once, so DocBlockMeta hands out shared subslices
+// instead of allocating per call.
+func (x *Index) buildDocDir() {
+	x.docDir = make([]postings.BlockMeta, len(x.docMeta))
+	for i, b := range x.docMeta {
+		x.docDir[i] = postings.BlockMeta{Last: b.last, Max: b.max}
+	}
 }
 
 // Store exposes the simulated storage.
 func (x *Index) Store() *iomodel.Store { return x.store }
+
+// Codec returns the block codec this index was built with.
+func (x *Index) Codec() codec.ID { return x.codecID }
 
 // SetPostingCache attaches an app-level cache of decoded (that is,
 // decompressed) posting blocks, shared by every cursor over this index.
@@ -203,6 +255,17 @@ func (x *Index) CompressedBytes() int64 { return x.store.FileSize(x.postFile) }
 // RawBytes returns the size the uncompressed layout would occupy.
 func (x *Index) RawBytes() int64 { return x.rawBytes }
 
+// TermCompressedBytes returns the compressed byte size of term t's
+// doc-ordered region (the region tooling reports per-term ratios on).
+func (x *Index) TermCompressedBytes(t model.TermID) int64 {
+	tm := &x.terms[t]
+	var n int64
+	for _, b := range x.docMeta[tm.docStart : tm.docStart+tm.docLen] {
+		n += int64(b.byteLen)
+	}
+	return n
+}
+
 // NumDocs implements postings.View.
 func (x *Index) NumDocs() int { return x.numDocs }
 
@@ -210,52 +273,73 @@ func (x *Index) NumDocs() int { return x.numDocs }
 func (x *Index) NumTerms() int { return len(x.terms) }
 
 // DF implements postings.View.
-func (x *Index) DF(t model.TermID) int { return x.terms[t].df }
+func (x *Index) DF(t model.TermID) int { return int(x.terms[t].df) }
 
 // MaxScore implements postings.View.
 func (x *Index) MaxScore(t model.TermID) model.Score { return x.terms[t].max }
 
 // DocCursor implements postings.View.
 func (x *Index) DocCursor(t model.TermID) postings.DocCursor {
+	return x.docCursor(t, x.store.NewReader(x.postFile), nil)
+}
+
+func (x *Index) docCursor(t model.TermID, rd *iomodel.Reader, onCache func(bool)) postings.DocCursor {
 	tm := &x.terms[t]
 	return &docCursor{
-		rd:     x.store.NewReader(x.postFile),
-		cache:  x.cache.Load(),
-		key:    plcache.Key{Term: t, Kind: plcache.KindDoc},
-		blocks: tm.docBlocks,
-		max:    tm.max,
-		df:     tm.df,
-		blk:    -1,
+		rd:      rd,
+		cid:     x.codecID,
+		cache:   x.cache.Load(),
+		onCache: onCache,
+		key:     plcache.Key{Term: t, Kind: plcache.KindDoc},
+		blocks:  x.docMeta[tm.docStart : tm.docStart+tm.docLen],
+		max:     tm.max,
+		df:      int(tm.df),
+		blk:     -1,
 	}
 }
 
 // ScoreCursor implements postings.View.
 func (x *Index) ScoreCursor(t model.TermID) postings.ScoreCursor {
+	return x.scoreCursor(t, x.store.NewReader(x.postFile), nil)
+}
+
+func (x *Index) scoreCursor(t model.TermID, rd *iomodel.Reader, onCache func(bool)) postings.ScoreCursor {
 	tm := &x.terms[t]
-	return newImpCursor(x.store.NewReader(x.postFile), x.cache.Load(),
-		plcache.Key{Term: t, Kind: plcache.KindImpact}, tm.impBlocks, tm.max, tm.df)
+	return newImpCursor(rd, x.codecID, x.cache.Load(), onCache,
+		plcache.Key{Term: t, Kind: plcache.KindImpact},
+		x.impMeta[tm.impStart:tm.impStart+tm.impLen], tm.max, int(tm.df))
 }
 
 // ScoreCursorShard implements postings.View.
 func (x *Index) ScoreCursorShard(t model.TermID, shard, nShards int) postings.ScoreCursor {
+	return x.scoreCursorShard(t, shard, nShards, x.store.NewReader(x.postFile), nil)
+}
+
+func (x *Index) scoreCursorShard(t model.TermID, shard, nShards int, rd *iomodel.Reader, onCache func(bool)) postings.ScoreCursor {
 	if nShards <= 1 {
-		return x.ScoreCursor(t)
+		return x.scoreCursor(t, rd, onCache)
 	}
 	if nShards != x.shards {
 		panic(fmt.Sprintf("cindex: built with %d shards, requested %d", x.shards, nShards))
 	}
-	tm := &x.terms[t]
-	return newImpCursor(x.store.NewReader(x.postFile), x.cache.Load(),
+	rec := x.shardRecs[int(t)*x.shards+shard]
+	return newImpCursor(rd, x.codecID, x.cache.Load(), onCache,
 		plcache.Key{Term: t, Kind: plcache.KindShard(shard)},
-		tm.shards[shard], tm.shardMax[shard], tm.shardLen[shard])
+		x.impMeta[rec.blkStart:rec.blkStart+rec.blkLen], rec.max, int(rec.n))
 }
 
 // RandomAccess implements postings.View: a RAM directory search plus
 // one charged block decode — the compressed analogue of the secondary
 // index lookup.
 func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) {
+	return x.randomAccess(t, d, func() *iomodel.Reader {
+		return x.store.NewReader(x.postFile)
+	})
+}
+
+func (x *Index) randomAccess(t model.TermID, d model.DocID, newRd func() *iomodel.Reader) (model.Score, bool) {
 	tm := &x.terms[t]
-	blocks := tm.docBlocks
+	blocks := x.docMeta[tm.docStart : tm.docStart+tm.docLen]
 	lo, hi := 0, len(blocks)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -276,11 +360,11 @@ func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) 
 		}
 	}
 	if decoded == nil {
-		rd := x.store.NewReader(x.postFile)
+		rd := newRd()
 		defer rd.Settle()
 		buf := rd.View(b.off, int64(b.byteLen))
 		var err error
-		decoded, err = codec.DecodeDocBlock(b.base, buf, int(b.count), nil)
+		decoded, err = codec.DecodeDoc(x.codecID, b.base, buf, int(b.count), nil)
 		if err != nil {
 			panic(fmt.Sprintf("cindex: corrupt block for term %d: %v", t, err))
 		}
@@ -296,22 +380,103 @@ func (x *Index) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) 
 	return 0, false
 }
 
+// BindExec implements postings.ExecBinder: the returned view opens
+// cursors whose simulated I/O waits end early once ctx is done, whose
+// physical fetches are reported to onIO, and whose posting-cache
+// lookups are reported to onCache. It shares the index, page cache and
+// posting cache with the receiver, tracks every reader it hands out,
+// and implements postings.Settler so the execution layer can pay any
+// outstanding I/O charges when the query finishes — including on
+// cancelled compressed-view queries.
+func (x *Index) BindExec(ctx context.Context, onIO func(time.Duration), onStop func(), onCache func(hit bool)) postings.View {
+	return &execView{Index: x, ctx: ctx, onIO: onIO, onStop: onStop, onCache: onCache}
+}
+
+var _ postings.ExecBinder = (*Index)(nil)
+
+// execView is a per-query binding of an Index to an execution context.
+type execView struct {
+	*Index
+	ctx     context.Context
+	onIO    func(time.Duration)
+	onStop  func()
+	onCache func(bool)
+
+	mu      sync.Mutex
+	readers []*iomodel.Reader
+}
+
+var _ postings.Settler = (*execView)(nil)
+
+// newReader opens a bound reader and records it for settlement when the
+// query finishes.
+func (v *execView) newReader() *iomodel.Reader {
+	rd := v.store.NewReader(v.postFile)
+	rd.Bind(v.ctx, v.onIO, v.onStop)
+	v.mu.Lock()
+	v.readers = append(v.readers, rd)
+	v.mu.Unlock()
+	return rd
+}
+
+// SettleAll implements postings.Settler: it pays the accrued-but-unpaid
+// simulated latency of every reader this view handed out. Callers must
+// ensure the query's workers have quiesced first. Readers settle
+// concurrently, mirroring diskindex: each owed tail is a wait its
+// owning worker would have performed in parallel with the others.
+func (v *execView) SettleAll() {
+	v.mu.Lock()
+	readers := v.readers
+	v.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, rd := range readers {
+		if !rd.Owes() {
+			rd.Settle() // no wait involved: just flushes accounting
+			continue
+		}
+		wg.Add(1)
+		go func(rd *iomodel.Reader) {
+			defer wg.Done()
+			rd.Settle()
+		}(rd)
+	}
+	wg.Wait()
+}
+
+func (v *execView) DocCursor(t model.TermID) postings.DocCursor {
+	return v.Index.docCursor(t, v.newReader(), v.onCache)
+}
+
+func (v *execView) ScoreCursor(t model.TermID) postings.ScoreCursor {
+	return v.Index.scoreCursor(t, v.newReader(), v.onCache)
+}
+
+func (v *execView) ScoreCursorShard(t model.TermID, shard, nShards int) postings.ScoreCursor {
+	return v.Index.scoreCursorShard(t, shard, nShards, v.newReader(), v.onCache)
+}
+
+// RandomAccess probes through a bound reader that randomAccess settles
+// before returning, so lookups interrupted by cancellation still pay
+// their charge immediately.
+func (v *execView) RandomAccess(t model.TermID, d model.DocID) (model.Score, bool) {
+	return v.Index.randomAccess(t, d, func() *iomodel.Reader {
+		rd := v.store.NewReader(v.postFile)
+		rd.Bind(v.ctx, v.onIO, v.onStop)
+		return rd
+	})
+}
+
 var _ postings.BlockWalker = (*Index)(nil)
 
-// DocBlockMeta implements postings.BlockWalker. The compressed block
-// directory stores offsets and byte lengths alongside the (last, max)
-// pair, so the uniform view is materialized per call; it is small
-// (df/64 entries) and RAM-only.
+// DocBlockMeta implements postings.BlockWalker. The (last, max) mirror
+// of the compressed block directory is materialized once at build/open
+// time, so this is a shared read-only subslice — no per-call work.
 func (x *Index) DocBlockMeta(t model.TermID) []postings.BlockMeta {
 	if int(t) >= len(x.terms) {
 		return nil
 	}
 	tm := &x.terms[t]
-	out := make([]postings.BlockMeta, len(tm.docBlocks))
-	for i, b := range tm.docBlocks {
-		out[i] = postings.BlockMeta{Last: b.last, Max: b.max}
-	}
-	return out
+	return x.docDir[tm.docStart : tm.docStart+tm.docLen]
 }
 
 // WalkDocBlocks implements postings.BlockWalker over the compressed
@@ -326,23 +491,24 @@ func (x *Index) WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sin
 	if tm.df == 0 {
 		return 0, 0
 	}
+	metas := x.docMeta[tm.docStart : tm.docStart+tm.docLen]
 	rd := x.store.NewReader(x.postFile)
 	rd.Bind(ctx, nil, nil)
 	defer rd.Settle()
 	cache := x.cache.Load()
 	var scratch []model.Posting
-	for i := range tm.docBlocks {
+	for i := range metas {
 		if ctx.Err() != nil {
 			break
 		}
-		b := tm.docBlocks[i]
+		b := metas[i]
 		var post []model.Posting
 		if cache != nil {
 			fill := func() ([]model.Posting, error) {
 				buf := rd.View(b.off, int64(b.byteLen))
 				// Decode into a fresh slice the cache retains — never into
 				// the owned scratch, which this walk reuses.
-				post, err := codec.DecodeDocBlock(b.base, buf, int(b.count), nil)
+				post, err := codec.DecodeDoc(x.codecID, b.base, buf, int(b.count), nil)
 				if err != nil {
 					panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
 				}
@@ -361,7 +527,7 @@ func (x *Index) WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sin
 		} else {
 			buf := rd.View(b.off, int64(b.byteLen))
 			var err error
-			scratch, err = codec.DecodeDocBlock(b.base, buf, int(b.count), scratch)
+			scratch, err = codec.DecodeDoc(x.codecID, b.base, buf, int(b.count), scratch)
 			if err != nil {
 				panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
 			}
@@ -379,7 +545,9 @@ func (x *Index) WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sin
 // docCursor walks compressed doc-ordered blocks.
 type docCursor struct {
 	rd      *iomodel.Reader
+	cid     codec.ID
 	cache   *plcache.Cache
+	onCache func(bool)
 	key     plcache.Key // Block set per load
 	blocks  []docBlockMeta
 	max     model.Score
@@ -401,16 +569,19 @@ func (c *docCursor) loadBlock(i int) bool {
 		// Single-flight: concurrent cursors missing on this block share
 		// one fetch+decode; only the fill leader charges the store.
 		c.key.Block = int32(i)
-		post, _, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
+		post, filled, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
 			buf := c.rd.View(b.off, int64(b.byteLen))
 			// Decode into a fresh slice the cache retains — never into
 			// the owned scratch, which this cursor reuses.
-			post, err := codec.DecodeDocBlock(b.base, buf, int(b.count), nil)
+			post, err := codec.DecodeDoc(c.cid, b.base, buf, int(b.count), nil)
 			if err != nil {
 				panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
 			}
 			return post, nil
 		})
+		if c.onCache != nil {
+			c.onCache(!filled) // a waiter served by another's fill is a hit
+		}
 		c.decoded = post
 		c.blk, c.pos = i, 0
 		return true
@@ -419,7 +590,7 @@ func (c *docCursor) loadBlock(i int) bool {
 	var err error
 	// Decode into the owned scratch buffer — never into c.decoded,
 	// which may alias a cache entry other queries are reading.
-	c.scratch, err = codec.DecodeDocBlock(b.base, buf, int(b.count), c.scratch)
+	c.scratch, err = codec.DecodeDoc(c.cid, b.base, buf, int(b.count), c.scratch)
 	if err != nil {
 		panic(fmt.Sprintf("cindex: corrupt doc block: %v", err))
 	}
@@ -516,7 +687,9 @@ func (c *docCursor) blockAt(d model.DocID) int {
 // impCursor walks compressed impact-ordered blocks.
 type impCursor struct {
 	rd      *iomodel.Reader
+	cid     codec.ID
 	cache   *plcache.Cache
+	onCache func(bool)
 	key     plcache.Key // Block set per load
 	blocks  []impBlockMeta
 	max     model.Score
@@ -527,8 +700,8 @@ type impCursor struct {
 	scratch []model.Posting // owned decode buffer
 }
 
-func newImpCursor(rd *iomodel.Reader, cache *plcache.Cache, key plcache.Key, blocks []impBlockMeta, max model.Score, n int) *impCursor {
-	return &impCursor{rd: rd, cache: cache, key: key, blocks: blocks, max: max, n: n, blk: -1}
+func newImpCursor(rd *iomodel.Reader, cid codec.ID, cache *plcache.Cache, onCache func(bool), key plcache.Key, blocks []impBlockMeta, max model.Score, n int) *impCursor {
+	return &impCursor{rd: rd, cid: cid, cache: cache, onCache: onCache, key: key, blocks: blocks, max: max, n: n, blk: -1}
 }
 
 func (c *impCursor) loadBlock(i int) bool {
@@ -540,21 +713,24 @@ func (c *impCursor) loadBlock(i int) bool {
 	b := c.blocks[i]
 	if c.cache != nil {
 		c.key.Block = int32(i)
-		post, _, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
+		post, filled, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
 			buf := c.rd.View(b.off, int64(b.byteLen))
-			post, err := codec.DecodeImpactBlock(b.ceil, buf, int(b.count), nil)
+			post, err := codec.DecodeImpact(c.cid, b.ceil, buf, int(b.count), nil)
 			if err != nil {
 				panic(fmt.Sprintf("cindex: corrupt impact block: %v", err))
 			}
 			return post, nil
 		})
+		if c.onCache != nil {
+			c.onCache(!filled)
+		}
 		c.decoded = post
 		c.blk, c.pos = i, 0
 		return true
 	}
 	buf := c.rd.View(b.off, int64(b.byteLen))
 	var err error
-	c.scratch, err = codec.DecodeImpactBlock(b.ceil, buf, int(b.count), c.scratch)
+	c.scratch, err = codec.DecodeImpact(c.cid, b.ceil, buf, int(b.count), c.scratch)
 	if err != nil {
 		panic(fmt.Sprintf("cindex: corrupt impact block: %v", err))
 	}

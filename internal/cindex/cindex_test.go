@@ -1,11 +1,15 @@
 package cindex
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"sparta/internal/algos/algotest"
+	"sparta/internal/codec"
 	"sparta/internal/core"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
@@ -23,6 +27,16 @@ func buildBoth(t *testing.T, seed uint64) (*index.Index, *Index) {
 	t.Helper()
 	mem := algotest.MediumIndex(t, seed)
 	ci, err := FromIndex(mem, 4, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, ci
+}
+
+func buildBothWith(t *testing.T, seed uint64, id codec.ID) (*index.Index, *Index) {
+	t.Helper()
+	mem := algotest.MediumIndex(t, seed)
+	ci, err := FromIndexWith(mem, 4, testCfg(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,5 +289,161 @@ func TestOpenDirCorrupt(t *testing.T) {
 	}
 	if _, err := OpenDir(t.TempDir(), testCfg()); err == nil {
 		t.Error("empty dir accepted")
+	}
+}
+
+// TestBothCodecsMatchUncompressed runs the traversal-equivalence check
+// under each codec id: the codec changes bytes on disk, never what a
+// cursor yields.
+func TestBothCodecsMatchUncompressed(t *testing.T) {
+	for _, id := range []codec.ID{codec.LEB128, codec.Group} {
+		t.Run(id.String(), func(t *testing.T) {
+			mem, ci := buildBothWith(t, 21, id)
+			if ci.Codec() != id {
+				t.Fatalf("built with codec %v, index reports %v", id, ci.Codec())
+			}
+			for tid := 0; tid < mem.NumTerms(); tid += 7 {
+				term := model.TermID(tid)
+				cc, mc := ci.DocCursor(term), mem.DocCursor(term)
+				for mc.Next() {
+					if !cc.Next() || cc.Doc() != mc.Doc() || cc.Score() != mc.Score() {
+						t.Fatalf("term %d doc traversal mismatch", tid)
+					}
+				}
+				if cc.Next() {
+					t.Fatalf("term %d compressed cursor long", tid)
+				}
+				cs, ms := ci.ScoreCursor(term), mem.ScoreCursor(term)
+				for ms.Next() {
+					if !cs.Next() || cs.Doc() != ms.Doc() || cs.Score() != ms.Score() {
+						t.Fatalf("term %d impact traversal mismatch", tid)
+					}
+				}
+			}
+			// Sparta end to end over this codec.
+			q := algotest.RandomQuery(mem, 5, 29)
+			exact := topk.BruteForce(mem, q, 15)
+			got, _, err := core.New(ci).Search(q, topk.Options{K: 15, Exact: true, Threads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec := model.Recall(exact, got); rec != 1 {
+				t.Errorf("recall %v over %v cindex", rec, id)
+			}
+		})
+	}
+}
+
+// TestCodecPersistsAcrossWriteOpen writes a directory with an explicit
+// non-default codec and checks the reopened index both reports it and
+// still decodes with it.
+func TestCodecPersistsAcrossWriteOpen(t *testing.T) {
+	mem := algotest.MediumIndex(t, 22)
+	dir := t.TempDir()
+	if err := WriteDirWith(mem, 4, dir, codec.LEB128); err != nil {
+		t.Fatal(err)
+	}
+	ver, id, err := ReadManifestVersion(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != formatVersion || id != codec.LEB128 {
+		t.Fatalf("manifest says version %d codec %v, want %d %v", ver, id, formatVersion, codec.LEB128)
+	}
+	ci, err := OpenDir(dir, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Codec() != codec.LEB128 {
+		t.Fatalf("reopened codec %v, want %v", ci.Codec(), codec.LEB128)
+	}
+	for tid := 0; tid < mem.NumTerms(); tid += 13 {
+		term := model.TermID(tid)
+		cc, mc := ci.DocCursor(term), mem.DocCursor(term)
+		for mc.Next() {
+			if !cc.Next() || cc.Doc() != mc.Doc() || cc.Score() != mc.Score() {
+				t.Fatalf("term %d mismatch after LEB128 reopen", tid)
+			}
+		}
+	}
+	// Default path writes the default codec.
+	dir2 := t.TempDir()
+	if err := WriteDir(mem, 4, dir2); err != nil {
+		t.Fatal(err)
+	}
+	ci2, err := OpenDir(dir2, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci2.Codec() != DefaultCodec {
+		t.Fatalf("default write produced codec %v, want %v", ci2.Codec(), DefaultCodec)
+	}
+}
+
+// TestOpenDirRefusesOldVersion hand-writes a pre-v3 manifest: OpenDir
+// must return *VersionError so tooling can tell "rebuild" apart from
+// "corrupt".
+func TestOpenDirRefusesOldVersion(t *testing.T) {
+	mem := algotest.SmallIndex(t, 23)
+	dir := t.TempDir()
+	if err := WriteDir(mem, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	old := []byte(`{"Version":2,"NumDocs":10,"NumTerms":5,"Shards":2,"RawBytes":400}`)
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenDir(dir, testCfg())
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("OpenDir on v2 dir returned %v, want *VersionError", err)
+	}
+	if ve.Got != 2 || ve.Want != formatVersion {
+		t.Errorf("VersionError{Got:%d, Want:%d}", ve.Got, ve.Want)
+	}
+	// An unknown codec id in a current-version manifest is also refused.
+	bad := []byte(`{"Version":3,"NumDocs":10,"NumTerms":5,"Shards":2,"Codec":9,"RawBytes":400}`)
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir, testCfg()); err == nil {
+		t.Error("unknown codec id accepted")
+	}
+}
+
+// TestCancelledCompressedQuerySettles cancels Sparta mid-flight over a
+// compressed view with real (sleeping) I/O charges and checks the
+// store settles on the cancellation path. A completed query must
+// settle too.
+func TestCancelledCompressedQuerySettles(t *testing.T) {
+	mem := algotest.MediumIndex(t, 24)
+	ci, err := FromIndex(mem, 4, iomodel.DefaultConfig()) // sleeps on, so cancel lands mid-read
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := algotest.RandomQuery(mem, 6, 37)
+	opts := topk.Options{K: 50, Exact: true, Threads: 4}
+
+	for round := 0; round < 4; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		delay := time.Duration(round) * 300 * time.Microsecond
+		if delay == 0 {
+			cancel() // pre-cancelled
+		} else {
+			time.AfterFunc(delay, cancel)
+		}
+		if _, _, err := core.New(ci).SearchContext(ctx, q, opts); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cancel()
+		algotest.AssertSettled(t, "cancelled compressed query", ci.Store())
+	}
+	// Uncancelled completion settles as well and pays simulated I/O.
+	if _, _, err := core.New(ci).Search(q, opts); err != nil {
+		t.Fatal(err)
+	}
+	algotest.AssertSettled(t, "completed compressed query", ci.Store())
+	if io := ci.Store().Snapshot(); io.SimulatedIO == 0 {
+		t.Fatal("no simulated I/O charged; settlement was not exercised")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"sparta/internal/codec"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
 	"sparta/internal/model"
@@ -16,17 +17,30 @@ import (
 // directory file holding the RAM-resident block metadata, and the
 // compressed postings region. Mirrors diskindex's three-file layout so
 // tooling treats the two interchangeably.
+//
+// Format v3 stores the directory as flat fixed-width tables — a header
+// with the table lengths, then the term records, shard records, doc
+// block metas and impact block metas back to back. Opening is one
+// size check plus a constant-stride bulk decode per table (the layout
+// an mmap could use directly), instead of v2's per-term variable-length
+// walk; the manifest carries the codec id the postings were written
+// with.
 const (
 	ManifestFile = "cmanifest.json"
 	DirFile      = "cdir.bin"
 	PostingsFile = "cpostings.bin"
 
-	// Version 2 added the per-shard sublist max and posting count
-	// (the tight initial Bound the shard cursors report without I/O).
-	formatVersion = 2
+	// Version 2 added the per-shard sublist max and posting count.
+	// Version 3 added the codec id and the flat fixed-width directory.
+	formatVersion = 3
 
-	docMetaSize = 8 + 4 + 4 + 4 + 4 + 4 // off, len, count, base, last, max
-	impMetaSize = 8 + 4 + 4 + 4 + 4     // off, len, count, ceil, lastSc
+	dirMagic = 0x63647833 // "cdx3"
+
+	dirHeaderSize = 4 * 5                       // magic, nTerms, nShardRecs, nDocMeta, nImpMeta
+	termRecSize   = 4 * 6                       // df, max, docStart, docLen, impStart, impLen
+	shardRecSize  = 4 * 4                       // n, max, blkStart, blkLen
+	docMetaSize   = 8 + 4 + 4 + 4 + 4 + 4       // off, len, count, base, last, max
+	impMetaSize   = 8 + 4 + 4 + 4 + 4           // off, len, count, ceil, lastSc
 )
 
 // manifest is the corpus-level metadata of a compressed index.
@@ -35,13 +49,30 @@ type manifest struct {
 	NumDocs  int
 	NumTerms int
 	Shards   int
+	Codec    uint8
 	RawBytes int64
 }
 
-// WriteDir serializes a compressed index built from x into dir.
+// VersionError reports a compressed index directory written by a
+// different format version than this build serves.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("cindex: format version %d, want %d", e.Got, e.Want)
+}
+
+// WriteDir serializes a compressed index built from x into dir using
+// the default codec.
 func WriteDir(x *index.Index, shards int, dir string) error {
+	return WriteDirWith(x, shards, dir, DefaultCodec)
+}
+
+// WriteDirWith serializes with an explicit codec.
+func WriteDirWith(x *index.Index, shards int, dir string, id codec.ID) error {
 	// Build in memory (cheap store: no charges), then dump.
-	ci, err := FromIndex(x, shards, iomodel.RAMConfig())
+	ci, err := FromIndexWith(x, shards, iomodel.RAMConfig(), id)
 	if err != nil {
 		return err
 	}
@@ -53,6 +84,7 @@ func WriteDir(x *index.Index, shards int, dir string) error {
 		NumDocs:  ci.numDocs,
 		NumTerms: len(ci.terms),
 		Shards:   ci.shards,
+		Codec:    uint8(ci.codecID),
 		RawBytes: ci.rawBytes,
 	}
 	mb, err := json.Marshal(m)
@@ -60,10 +92,31 @@ func WriteDir(x *index.Index, shards int, dir string) error {
 		return err
 	}
 
-	var dirBuf []byte
+	dirBuf := make([]byte, 0, dirHeaderSize+
+		len(ci.terms)*termRecSize+len(ci.shardRecs)*shardRecSize+
+		len(ci.docMeta)*docMetaSize+len(ci.impMeta)*impMetaSize)
 	u32 := func(v uint32) { dirBuf = binary.LittleEndian.AppendUint32(dirBuf, v) }
 	u64 := func(v uint64) { dirBuf = binary.LittleEndian.AppendUint64(dirBuf, v) }
-	putDoc := func(b docBlockMeta) {
+	u32(dirMagic)
+	u32(uint32(len(ci.terms)))
+	u32(uint32(len(ci.shardRecs)))
+	u32(uint32(len(ci.docMeta)))
+	u32(uint32(len(ci.impMeta)))
+	for _, tm := range ci.terms {
+		u32(uint32(tm.df))
+		u32(uint32(tm.max))
+		u32(uint32(tm.docStart))
+		u32(uint32(tm.docLen))
+		u32(uint32(tm.impStart))
+		u32(uint32(tm.impLen))
+	}
+	for _, r := range ci.shardRecs {
+		u32(uint32(r.n))
+		u32(uint32(r.max))
+		u32(uint32(r.blkStart))
+		u32(uint32(r.blkLen))
+	}
+	for _, b := range ci.docMeta {
 		u64(uint64(b.off))
 		u32(uint32(b.byteLen))
 		u32(uint32(b.count))
@@ -71,32 +124,12 @@ func WriteDir(x *index.Index, shards int, dir string) error {
 		u32(uint32(b.last))
 		u32(uint32(b.max))
 	}
-	putImp := func(b impBlockMeta) {
+	for _, b := range ci.impMeta {
 		u64(uint64(b.off))
 		u32(uint32(b.byteLen))
 		u32(uint32(b.count))
 		u32(uint32(b.ceil))
 		u32(uint32(b.lastSc))
-	}
-	for _, tm := range ci.terms {
-		u32(uint32(tm.df))
-		u32(uint32(tm.max))
-		u32(uint32(len(tm.docBlocks)))
-		u32(uint32(len(tm.impBlocks)))
-		for _, b := range tm.docBlocks {
-			putDoc(b)
-		}
-		for _, b := range tm.impBlocks {
-			putImp(b)
-		}
-		for s := 0; s < ci.shards; s++ {
-			u32(uint32(len(tm.shards[s])))
-			u32(uint32(tm.shardMax[s]))
-			u32(uint32(tm.shardLen[s]))
-			for _, b := range tm.shards[s] {
-				putImp(b)
-			}
-		}
 	}
 
 	postFile, err := ci.store.Lookup(PostingsFile)
@@ -116,7 +149,22 @@ func WriteDir(x *index.Index, shards int, dir string) error {
 	return nil
 }
 
-// OpenDir loads a compressed index directory into a charged store.
+// ReadManifestVersion reports the format version (and codec id, where
+// present) of a compressed index directory without opening it.
+func ReadManifestVersion(dir string) (version int, id codec.ID, err error) {
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return 0, 0, fmt.Errorf("cindex: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return 0, 0, fmt.Errorf("cindex: parsing manifest: %w", err)
+	}
+	return m.Version, codec.ID(m.Codec), nil
+}
+
+// OpenDir loads a compressed index directory into a charged store. A
+// directory written by an older format returns a *VersionError.
 func OpenDir(dir string, cfg iomodel.Config) (*Index, error) {
 	mb, err := os.ReadFile(filepath.Join(dir, ManifestFile))
 	if err != nil {
@@ -127,7 +175,11 @@ func OpenDir(dir string, cfg iomodel.Config) (*Index, error) {
 		return nil, fmt.Errorf("cindex: parsing manifest: %w", err)
 	}
 	if m.Version != formatVersion {
-		return nil, fmt.Errorf("cindex: format version %d, want %d", m.Version, formatVersion)
+		return nil, &VersionError{Got: m.Version, Want: formatVersion}
+	}
+	id := codec.ID(m.Codec)
+	if !id.Valid() {
+		return nil, fmt.Errorf("cindex: unknown codec id %d", m.Codec)
 	}
 	dirBuf, err := os.ReadFile(filepath.Join(dir, DirFile))
 	if err != nil {
@@ -138,19 +190,38 @@ func OpenDir(dir string, cfg iomodel.Config) (*Index, error) {
 		return nil, fmt.Errorf("cindex: %w", err)
 	}
 
+	if len(dirBuf) < dirHeaderSize {
+		return nil, fmt.Errorf("cindex: directory header truncated (%d bytes)", len(dirBuf))
+	}
+	if got := binary.LittleEndian.Uint32(dirBuf); got != dirMagic {
+		return nil, fmt.Errorf("cindex: bad directory magic %#x", got)
+	}
+	nTerms := int(binary.LittleEndian.Uint32(dirBuf[4:]))
+	nShard := int(binary.LittleEndian.Uint32(dirBuf[8:]))
+	nDoc := int(binary.LittleEndian.Uint32(dirBuf[12:]))
+	nImp := int(binary.LittleEndian.Uint32(dirBuf[16:]))
+	if nTerms != m.NumTerms {
+		return nil, fmt.Errorf("cindex: directory has %d terms, manifest %d", nTerms, m.NumTerms)
+	}
+	if nShard != nTerms*m.Shards {
+		return nil, fmt.Errorf("cindex: %d shard records, want %d", nShard, nTerms*m.Shards)
+	}
+	want := dirHeaderSize + nTerms*termRecSize + nShard*shardRecSize + nDoc*docMetaSize + nImp*impMetaSize
+	if len(dirBuf) != want {
+		return nil, fmt.Errorf("cindex: directory is %d bytes, want %d", len(dirBuf), want)
+	}
+
 	ci := &Index{
-		numDocs:  m.NumDocs,
-		shards:   m.Shards,
-		terms:    make([]termMeta, m.NumTerms),
-		rawBytes: m.RawBytes,
+		numDocs:   m.NumDocs,
+		shards:    m.Shards,
+		codecID:   id,
+		terms:     make([]termMeta, nTerms),
+		shardRecs: make([]shardRec, nShard),
+		docMeta:   make([]docBlockMeta, nDoc),
+		impMeta:   make([]impBlockMeta, nImp),
+		rawBytes:  m.RawBytes,
 	}
-	pos := 0
-	need := func(n int) error {
-		if pos+n > len(dirBuf) {
-			return fmt.Errorf("cindex: truncated directory at offset %d", pos)
-		}
-		return nil
-	}
+	pos := dirHeaderSize
 	u32 := func() uint32 {
 		v := binary.LittleEndian.Uint32(dirBuf[pos:])
 		pos += 4
@@ -161,68 +232,56 @@ func OpenDir(dir string, cfg iomodel.Config) (*Index, error) {
 		pos += 8
 		return v
 	}
-	for t := 0; t < m.NumTerms; t++ {
-		if err := need(16); err != nil {
-			return nil, err
+	for t := range ci.terms {
+		ci.terms[t] = termMeta{
+			df:       int32(u32()),
+			max:      model.Score(u32()),
+			docStart: int32(u32()),
+			docLen:   int32(u32()),
+			impStart: int32(u32()),
+			impLen:   int32(u32()),
 		}
-		tm := termMeta{}
-		tm.df = int(u32())
-		tm.max = model.Score(u32())
-		nDoc := int(u32())
-		nImp := int(u32())
-		if err := need(nDoc*docMetaSize + nImp*impMetaSize); err != nil {
-			return nil, err
-		}
-		tm.docBlocks = make([]docBlockMeta, nDoc)
-		for i := range tm.docBlocks {
-			tm.docBlocks[i] = docBlockMeta{
-				off:     int64(u64()),
-				byteLen: int32(u32()),
-				count:   int32(u32()),
-				base:    model.DocID(u32()),
-				last:    model.DocID(u32()),
-				max:     model.Score(u32()),
-			}
-		}
-		tm.impBlocks = make([]impBlockMeta, nImp)
-		for i := range tm.impBlocks {
-			tm.impBlocks[i] = impBlockMeta{
-				off:     int64(u64()),
-				byteLen: int32(u32()),
-				count:   int32(u32()),
-				ceil:    model.Score(u32()),
-				lastSc:  model.Score(u32()),
-			}
-		}
-		tm.shards = make([][]impBlockMeta, m.Shards)
-		tm.shardMax = make([]model.Score, m.Shards)
-		tm.shardLen = make([]int, m.Shards)
-		for s := 0; s < m.Shards; s++ {
-			if err := need(12); err != nil {
-				return nil, err
-			}
-			n := int(u32())
-			tm.shardMax[s] = model.Score(u32())
-			tm.shardLen[s] = int(u32())
-			if err := need(n * impMetaSize); err != nil {
-				return nil, err
-			}
-			tm.shards[s] = make([]impBlockMeta, n)
-			for i := range tm.shards[s] {
-				tm.shards[s][i] = impBlockMeta{
-					off:     int64(u64()),
-					byteLen: int32(u32()),
-					count:   int32(u32()),
-					ceil:    model.Score(u32()),
-					lastSc:  model.Score(u32()),
-				}
-			}
-		}
-		ci.terms[t] = tm
 	}
-	if pos != len(dirBuf) {
-		return nil, fmt.Errorf("cindex: %d trailing directory bytes", len(dirBuf)-pos)
+	for i := range ci.shardRecs {
+		ci.shardRecs[i] = shardRec{
+			n:        int32(u32()),
+			max:      model.Score(u32()),
+			blkStart: int32(u32()),
+			blkLen:   int32(u32()),
+		}
 	}
+	for i := range ci.docMeta {
+		ci.docMeta[i] = docBlockMeta{
+			off:     int64(u64()),
+			byteLen: int32(u32()),
+			count:   int32(u32()),
+			base:    model.DocID(u32()),
+			last:    model.DocID(u32()),
+			max:     model.Score(u32()),
+		}
+	}
+	for i := range ci.impMeta {
+		ci.impMeta[i] = impBlockMeta{
+			off:     int64(u64()),
+			byteLen: int32(u32()),
+			count:   int32(u32()),
+			ceil:    model.Score(u32()),
+			lastSc:  model.Score(u32()),
+		}
+	}
+	// Validate the spans before trusting them as slice bounds.
+	for t, tm := range ci.terms {
+		if tm.docStart < 0 || tm.docLen < 0 || int(tm.docStart)+int(tm.docLen) > nDoc ||
+			tm.impStart < 0 || tm.impLen < 0 || int(tm.impStart)+int(tm.impLen) > nImp {
+			return nil, fmt.Errorf("cindex: term %d block span out of range", t)
+		}
+	}
+	for i, r := range ci.shardRecs {
+		if r.blkStart < 0 || r.blkLen < 0 || int(r.blkStart)+int(r.blkLen) > nImp {
+			return nil, fmt.Errorf("cindex: shard record %d block span out of range", i)
+		}
+	}
+	ci.buildDocDir()
 
 	ci.store = iomodel.NewStore(cfg)
 	ci.postFile = ci.store.AddFile(PostingsFile, region)

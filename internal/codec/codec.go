@@ -52,6 +52,11 @@ func uvarint32(buf []byte, pos int) (uint32, int) {
 		}
 		b := buf[pos]
 		pos++
+		if shift == 28 && b&0x7f > 0x0f {
+			// Non-canonical 5-byte varint: bits 32+ are set, so the
+			// value would silently truncate. Reject it as corrupt.
+			return 0, -1
+		}
 		v |= uint32(b&0x7f) << shift
 		if b < 0x80 {
 			return v, pos

@@ -138,6 +138,31 @@ func TestDecodeCorruptData(t *testing.T) {
 	}
 }
 
+func TestVarintRejectsNonCanonicalOverflow(t *testing.T) {
+	// A 5-byte varint whose 5th byte sets bits past 31 encodes a value
+	// that does not fit uint32; the old decoder silently truncated it.
+	over := []byte{0xff, 0xff, 0xff, 0xff, 0x1f}
+	if _, next := uvarint32(over, 0); next >= 0 {
+		t.Error("overflowing 5-byte varint accepted")
+	}
+	// The worst case 0x7f payload byte, too.
+	over[4] = 0x7f
+	if _, next := uvarint32(over, 0); next >= 0 {
+		t.Error("overflowing 5-byte varint accepted")
+	}
+	// The canonical encoding of MaxUint32 still decodes.
+	maxEnc := putUvarint32(nil, 0xffffffff)
+	v, next := uvarint32(maxEnc, 0)
+	if next != len(maxEnc) || v != 0xffffffff {
+		t.Errorf("canonical MaxUint32 decode: got %#x next %d", v, next)
+	}
+	// Overflow inside a posting block surfaces as ErrCorrupt.
+	block := append(append([]byte{}, over...), 0x01) // delta overflow + score
+	if _, err := DecodeDocBlock(0, block, 1, nil); err == nil {
+		t.Error("doc block with overflowing delta accepted")
+	}
+}
+
 func TestVarintRoundTripProperty(t *testing.T) {
 	f := func(vals []uint32) bool {
 		var buf []byte
@@ -193,31 +218,44 @@ func TestDecodeReusesBuffer(t *testing.T) {
 }
 
 func FuzzDecodeDocBlock(f *testing.F) {
-	valid, _ := EncodeDocBlock(0, []model.Posting{{Doc: 3, Score: 9}, {Doc: 8, Score: 2}})
+	sample := []model.Posting{{Doc: 3, Score: 9}, {Doc: 8, Score: 2}}
+	valid, _ := EncodeDocBlock(0, sample)
 	f.Add(valid, 2)
+	gvalid, _ := EncodeGroupDocBlock(0, sample)
+	f.Add(gvalid, 2)
 	f.Add([]byte{0xff, 0x01}, 1)
+	f.Add([]byte{0x02, 0x0f, 0xff}, 3) // FOR tags with short payloads
 	f.Fuzz(func(t *testing.T, data []byte, n int) {
 		if n < 0 || n > 1024 {
 			return
 		}
-		// Must never panic; errors are fine.
-		out, err := DecodeDocBlock(0, data, n, nil)
-		if err == nil && len(out) != n {
-			t.Fatalf("no error but %d postings, want %d", len(out), n)
+		// Both codecs must never panic on arbitrary bytes; errors are
+		// fine, but a nil error must deliver exactly n postings.
+		for _, id := range []ID{LEB128, Group} {
+			out, err := DecodeDoc(id, 0, data, n, nil)
+			if err == nil && len(out) != n {
+				t.Fatalf("%v: no error but %d postings, want %d", id, len(out), n)
+			}
 		}
 	})
 }
 
 func FuzzDecodeImpactBlock(f *testing.F) {
-	valid, _ := EncodeImpactBlock(100, []model.Posting{{Doc: 3, Score: 90}, {Doc: 8, Score: 20}})
+	sample := []model.Posting{{Doc: 3, Score: 90}, {Doc: 8, Score: 20}}
+	valid, _ := EncodeImpactBlock(100, sample)
 	f.Add(valid, 2)
+	gvalid, _ := EncodeGroupImpactBlock(100, sample)
+	f.Add(gvalid, 2)
+	f.Add([]byte{0x10, 0x00, 0xff}, 2)
 	f.Fuzz(func(t *testing.T, data []byte, n int) {
 		if n < 0 || n > 1024 {
 			return
 		}
-		out, err := DecodeImpactBlock(1<<31, data, n, nil)
-		if err == nil && len(out) != n {
-			t.Fatalf("no error but %d postings, want %d", len(out), n)
+		for _, id := range []ID{LEB128, Group} {
+			out, err := DecodeImpact(id, 1<<31, data, n, nil)
+			if err == nil && len(out) != n {
+				t.Fatalf("%v: no error but %d postings, want %d", id, len(out), n)
+			}
 		}
 	})
 }

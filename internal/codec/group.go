@@ -1,0 +1,446 @@
+// Group codec: a branch-light block codec layered over the same
+// 64-posting blocks the LEB128 codec uses, selectable per index through
+// a codec id.
+//
+// Each block carries two tagged streams (doc order: doc-id deltas then
+// scores; impact order: downward score deltas then doc ids). A stream
+// is one tag byte followed by its payload:
+//
+//   - tag 0..16: frame-of-reference bitpacking at that fixed width —
+//     the fast path when the block's max value fits ≤16 bits. Values
+//     are packed little-endian into ceil(n*w/8) bytes; decode is a
+//     constant-stride loop of unaligned 64-bit loads, a shift, and a
+//     mask — no per-value branches.
+//   - tag 0xff: stream-vbyte. All ceil(n/4) control bytes come first
+//     (2-bit length codes, 4 values per control byte), then the data
+//     bytes. The decode loop reads one unaligned 32-bit load per value
+//     masked by a table lookup; lengths come from shifting the control
+//     byte, so the loop body is branch-free and Go keeps the state in
+//     registers.
+//
+// Both layouts decode with guarded fast paths (enough lookahead for the
+// wide loads) and a bounds-checked tail, so corrupt input returns
+// ErrCorrupt rather than reading out of range.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"sparta/internal/model"
+)
+
+// ID selects a posting-block codec. It is persisted in index manifests
+// (cindex format v3) so old directories keep decoding with the codec
+// they were written with.
+type ID uint8
+
+const (
+	// LEB128 is the original byte-at-a-time varint codec.
+	LEB128 ID = 0
+	// Group is the branch-light stream-vbyte + frame-of-reference codec.
+	Group ID = 1
+)
+
+// Valid reports whether id names a known codec.
+func (id ID) Valid() bool { return id == LEB128 || id == Group }
+
+func (id ID) String() string {
+	switch id {
+	case LEB128:
+		return "leb128"
+	case Group:
+		return "group"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(id))
+}
+
+// EncodeDoc compresses a doc-ordered block with the named codec.
+func EncodeDoc(id ID, base model.DocID, block []model.Posting) ([]byte, error) {
+	switch id {
+	case LEB128:
+		return EncodeDocBlock(base, block)
+	case Group:
+		return EncodeGroupDocBlock(base, block)
+	}
+	return nil, fmt.Errorf("codec: unknown codec id %d", uint8(id))
+}
+
+// DecodeDoc decompresses a doc-ordered block with the named codec.
+func DecodeDoc(id ID, base model.DocID, buf []byte, n int, out []model.Posting) ([]model.Posting, error) {
+	switch id {
+	case LEB128:
+		return DecodeDocBlock(base, buf, n, out)
+	case Group:
+		return DecodeGroupDocBlock(base, buf, n, out)
+	}
+	return nil, fmt.Errorf("codec: unknown codec id %d", uint8(id))
+}
+
+// EncodeImpact compresses an impact-ordered block with the named codec.
+func EncodeImpact(id ID, ceil model.Score, block []model.Posting) ([]byte, error) {
+	switch id {
+	case LEB128:
+		return EncodeImpactBlock(ceil, block)
+	case Group:
+		return EncodeGroupImpactBlock(ceil, block)
+	}
+	return nil, fmt.Errorf("codec: unknown codec id %d", uint8(id))
+}
+
+// DecodeImpact decompresses an impact-ordered block with the named codec.
+func DecodeImpact(id ID, ceil model.Score, buf []byte, n int, out []model.Posting) ([]model.Posting, error) {
+	switch id {
+	case LEB128:
+		return DecodeImpactBlock(ceil, buf, n, out)
+	case Group:
+		return DecodeGroupImpactBlock(ceil, buf, n, out)
+	}
+	return nil, fmt.Errorf("codec: unknown codec id %d", uint8(id))
+}
+
+const (
+	// forMaxBits caps the frame-of-reference width; wider values fall
+	// back to stream-vbyte, which handles 17–32 bit values in 3–4 bytes.
+	forMaxBits = 16
+	// tagSVB marks a stream-vbyte payload.
+	tagSVB = 0xff
+)
+
+// appendStream appends one tagged stream of vals to dst.
+func appendStream(dst []byte, vals []uint32) []byte {
+	var maxv uint32
+	for _, v := range vals {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if w := bits.Len32(maxv); w <= forMaxBits {
+		dst = append(dst, byte(w))
+		return appendFOR(dst, vals, uint(w))
+	}
+	dst = append(dst, tagSVB)
+	return appendSVB(dst, vals)
+}
+
+// decodeStream decodes one tagged stream of n values at buf[pos:] into
+// out[:n], returning the position after the stream.
+func decodeStream(buf []byte, pos, n int, out []uint32) (int, error) {
+	if pos >= len(buf) {
+		return 0, ErrCorrupt
+	}
+	tag := buf[pos]
+	pos++
+	switch {
+	case tag <= forMaxBits:
+		need := (n*int(tag) + 7) / 8
+		if pos+need > len(buf) {
+			return 0, ErrCorrupt
+		}
+		decodeFOR(buf[pos:pos+need], n, uint(tag), out)
+		return pos + need, nil
+	case tag == tagSVB:
+		return decodeSVB(buf, pos, n, out)
+	}
+	return 0, ErrCorrupt
+}
+
+// appendFOR bitpacks vals at width w (0..16) little-endian, exactly
+// ceil(len(vals)*w/8) bytes.
+func appendFOR(dst []byte, vals []uint32, w uint) []byte {
+	if w == 0 {
+		return dst
+	}
+	var acc uint64
+	var nb uint
+	for _, v := range vals {
+		acc |= uint64(v) << nb
+		nb += w
+		for nb >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nb -= 8
+		}
+	}
+	if nb > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// decodeFOR unpacks n values of width w from data (exactly
+// ceil(n*w/8) bytes, verified by the caller) into out[:n].
+func decodeFOR(data []byte, n int, w uint, out []uint32) {
+	if w == 0 {
+		for i := 0; i < n; i++ {
+			out[i] = 0
+		}
+		return
+	}
+	mask := uint32(1)<<w - 1
+	// Fast path: one unaligned 64-bit load per value while the load
+	// stays in bounds. At w ≤ 16 the value plus the bit offset always
+	// fits in 64 bits.
+	fast := 0
+	if len(data) >= 8 {
+		fast = (len(data)-8)*8/int(w) + 1
+		if fast > n {
+			fast = n
+		}
+	}
+	bit := uint(0)
+	for i := 0; i < fast; i++ {
+		out[i] = uint32(binary.LittleEndian.Uint64(data[bit>>3:])>>(bit&7)) & mask
+		bit += w
+	}
+	// Tail: assemble through a stack window so the final values never
+	// load past the end of data.
+	for i := fast; i < n; i++ {
+		var win [8]byte
+		copy(win[:], data[bit>>3:])
+		out[i] = uint32(binary.LittleEndian.Uint64(win[:])>>(bit&7)) & mask
+		bit += w
+	}
+}
+
+// svbMask masks an unaligned 32-bit load down to a 1–4 byte value.
+var svbMask = [5]uint32{0, 0xff, 0xffff, 0xffffff, 0xffffffff}
+
+// appendSVB appends the stream-vbyte payload: ceil(n/4) control bytes,
+// then 1–4 data bytes per value.
+func appendSVB(dst []byte, vals []uint32) []byte {
+	nc := (len(vals) + 3) / 4
+	ctrlAt := len(dst)
+	for i := 0; i < nc; i++ {
+		dst = append(dst, 0)
+	}
+	for i, v := range vals {
+		l := (bits.Len32(v|1) + 7) / 8 // bytes needed, 1..4
+		dst[ctrlAt+(i>>2)] |= byte(l-1) << ((i & 3) * 2)
+		for j := 0; j < l; j++ {
+			dst = append(dst, byte(v))
+			v >>= 8
+		}
+	}
+	return dst
+}
+
+// decodeSVB decodes n stream-vbyte values at buf[pos:] into out[:n].
+func decodeSVB(buf []byte, pos, n int, out []uint32) (int, error) {
+	nc := (n + 3) / 4
+	if pos+nc > len(buf) {
+		return 0, ErrCorrupt
+	}
+	ctrl := buf[pos : pos+nc]
+	p := pos + nc
+	i := 0
+	// Fast path: whole control bytes with 16 bytes of lookahead (four
+	// values consume at most 16 data bytes), four masked loads per
+	// iteration, no per-value branches.
+	for g := 0; g < n>>2 && p+16 <= len(buf); g++ {
+		c := ctrl[g]
+		l0 := int(c&3) + 1
+		out[i] = binary.LittleEndian.Uint32(buf[p:]) & svbMask[l0]
+		p += l0
+		l1 := int(c>>2&3) + 1
+		out[i+1] = binary.LittleEndian.Uint32(buf[p:]) & svbMask[l1]
+		p += l1
+		l2 := int(c>>4&3) + 1
+		out[i+2] = binary.LittleEndian.Uint32(buf[p:]) & svbMask[l2]
+		p += l2
+		l3 := int(c>>6&3) + 1
+		out[i+3] = binary.LittleEndian.Uint32(buf[p:]) & svbMask[l3]
+		p += l3
+		i += 4
+	}
+	// Tail (and low-lookahead finish): bounds-checked byte assembly.
+	for ; i < n; i++ {
+		l := int(ctrl[i>>2]>>((i&3)*2)&3) + 1
+		if p+l > len(buf) {
+			return 0, ErrCorrupt
+		}
+		var v uint32
+		for j := 0; j < l; j++ {
+			v |= uint32(buf[p+j]) << (8 * j)
+		}
+		out[i] = v
+		p += l
+	}
+	return p, nil
+}
+
+// groupScratch holds the two per-block value streams. Blocks are
+// postings.BlockSize (64) long; the arrays stay on the stack for any
+// block up to that size.
+const groupScratchLen = 64
+
+// EncodeGroupDocBlock compresses a doc-ordered block with the group
+// codec. Same contract as EncodeDocBlock.
+func EncodeGroupDocBlock(base model.DocID, block []model.Posting) ([]byte, error) {
+	n := len(block)
+	var da, sa [groupScratchLen]uint32
+	deltas, scores := scratchPair(&da, &sa, n)
+	prev := uint32(base)
+	for i, p := range block {
+		doc := uint32(p.Doc)
+		if i == 0 && doc < prev {
+			return nil, fmt.Errorf("codec: block starts at doc %d before base %d", doc, prev)
+		}
+		if i > 0 && doc <= prev {
+			return nil, fmt.Errorf("codec: doc ids not strictly increasing at %d", i)
+		}
+		deltas[i] = doc - prev
+		scores[i] = uint32(p.Score)
+		prev = doc
+	}
+	buf := make([]byte, 0, 2+n*3)
+	buf = appendStream(buf, deltas)
+	buf = appendStream(buf, scores)
+	return buf, nil
+}
+
+// DecodeGroupDocBlock decompresses a group-coded doc-ordered block of n
+// postings into out (reused if big enough).
+func DecodeGroupDocBlock(base model.DocID, buf []byte, n int, out []model.Posting) ([]model.Posting, error) {
+	if cap(out) < n {
+		out = make([]model.Posting, n)
+	}
+	out = out[:n]
+	var da, sa [groupScratchLen]uint32
+	deltas, scores := scratchPair(&da, &sa, n)
+	pos, err := decodeStream(buf, 0, n, deltas)
+	if err != nil {
+		return nil, err
+	}
+	pos, err = decodeStream(buf, pos, n, scores)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(buf) {
+		return nil, ErrCorrupt
+	}
+	prev := uint32(base)
+	for i := 0; i < n; i++ {
+		prev += deltas[i]
+		out[i] = model.Posting{Doc: model.DocID(prev), Score: model.Score(scores[i])}
+	}
+	return out, nil
+}
+
+// EncodeGroupImpactBlock compresses an impact-ordered block with the
+// group codec. Same contract as EncodeImpactBlock.
+func EncodeGroupImpactBlock(ceil model.Score, block []model.Posting) ([]byte, error) {
+	n := len(block)
+	var da, sa [groupScratchLen]uint32
+	deltas, docs := scratchPair(&da, &sa, n)
+	prev := uint32(ceil)
+	for i, p := range block {
+		s := uint32(p.Score)
+		if s > prev {
+			return nil, fmt.Errorf("codec: scores increase at %d (%d > %d)", i, s, prev)
+		}
+		deltas[i] = prev - s
+		docs[i] = uint32(p.Doc)
+		prev = s
+	}
+	buf := make([]byte, 0, 2+n*3)
+	buf = appendStream(buf, deltas)
+	buf = appendStream(buf, docs)
+	return buf, nil
+}
+
+// DecodeGroupImpactBlock decompresses a group-coded impact-ordered
+// block of n postings.
+func DecodeGroupImpactBlock(ceil model.Score, buf []byte, n int, out []model.Posting) ([]model.Posting, error) {
+	if cap(out) < n {
+		out = make([]model.Posting, n)
+	}
+	out = out[:n]
+	var da, sa [groupScratchLen]uint32
+	deltas, docs := scratchPair(&da, &sa, n)
+	pos, err := decodeStream(buf, 0, n, deltas)
+	if err != nil {
+		return nil, err
+	}
+	pos, err = decodeStream(buf, pos, n, docs)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(buf) {
+		return nil, ErrCorrupt
+	}
+	prev := uint32(ceil)
+	for i := 0; i < n; i++ {
+		d := deltas[i]
+		if d > prev {
+			return nil, ErrCorrupt
+		}
+		prev -= d
+		out[i] = model.Posting{Doc: model.DocID(docs[i]), Score: model.Score(prev)}
+	}
+	return out, nil
+}
+
+// scratchPair returns two n-length uint32 slices, backed by the stack
+// arrays when n fits (the normal 64-posting block case).
+func scratchPair(a, b *[groupScratchLen]uint32, n int) ([]uint32, []uint32) {
+	if n <= groupScratchLen {
+		return a[:n], b[:n]
+	}
+	return make([]uint32, n), make([]uint32, n)
+}
+
+// AppendUint32Stream appends one tagged group stream of vals — the
+// same layout posting streams use, reused for standalone u32 arrays
+// such as the live index's per-segment doc-length sidecar.
+func AppendUint32Stream(dst []byte, vals []uint32) []byte {
+	return appendStream(dst, vals)
+}
+
+// DecodeUint32Stream decodes a stream of exactly n values written by
+// AppendUint32Stream; buf must contain the stream and nothing else.
+func DecodeUint32Stream(buf []byte, n int, out []uint32) ([]uint32, error) {
+	if cap(out) < n {
+		out = make([]uint32, n)
+	}
+	out = out[:n]
+	pos, err := decodeStream(buf, 0, n, out)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(buf) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// RawPostingBytes is the fixed on-disk size of one uncompressed posting
+// (doc id + score, both little-endian uint32) — the layout the
+// uncompressed diskindex format stores.
+const RawPostingBytes = 8
+
+// AppendRawPostings appends list in the fixed 8-byte layout.
+func AppendRawPostings(buf []byte, list []model.Posting) []byte {
+	for _, p := range list {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Doc))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Score))
+	}
+	return buf
+}
+
+// DecodeRawPostings decodes len(out) fixed-layout postings from raw,
+// which the caller has sized (raw views are length-checked by the
+// store).
+func DecodeRawPostings(raw []byte, out []model.Posting) {
+	if len(out) == 0 {
+		return
+	}
+	_ = raw[len(out)*RawPostingBytes-1] // one bounds check for the loop
+	for i := range out {
+		out[i] = model.Posting{
+			Doc:   model.DocID(binary.LittleEndian.Uint32(raw[i*RawPostingBytes:])),
+			Score: model.Score(binary.LittleEndian.Uint32(raw[i*RawPostingBytes+4:])),
+		}
+	}
+}

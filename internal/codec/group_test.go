@@ -1,0 +1,243 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparta/internal/model"
+)
+
+// docBlockWide draws doc blocks from several delta/score regimes so
+// both the FOR and stream-vbyte layouts get exercised.
+func docBlockWide(rng *rand.Rand, n int, wideGaps, wideScores bool) []model.Posting {
+	out := make([]model.Posting, n)
+	doc := uint32(0)
+	for i := range out {
+		if wideGaps {
+			doc += rng.Uint32()%5_000_000 + 1
+		} else {
+			doc += rng.Uint32()%200 + 1
+		}
+		sc := rng.Uint32() % 60_000
+		if wideScores {
+			sc = rng.Uint32() % 3_000_000_000
+		}
+		out[i] = model.Posting{Doc: model.DocID(doc), Score: model.Score(sc)}
+	}
+	return out
+}
+
+func TestGroupDocBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200) + 1
+		block := docBlockWide(rng, n, trial%2 == 0, trial%3 == 0)
+		buf, err := EncodeGroupDocBlock(0, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeGroupDocBlock(0, buf, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range block {
+			if got[i] != block[i] {
+				t.Fatalf("trial %d posting %d: %+v != %+v", trial, i, got[i], block[i])
+			}
+		}
+	}
+}
+
+func TestGroupImpactBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200) + 1
+		block := make([]model.Posting, n)
+		score := model.Score(rng.Uint32()%2_000_000_000 + uint32(n))
+		for i := range block {
+			block[i] = model.Posting{Doc: model.DocID(rng.Uint32()), Score: score}
+			if rng.Intn(2) == 0 {
+				drop := model.Score(rng.Intn(100_000))
+				if drop > score {
+					drop = score
+				}
+				score -= drop
+			}
+		}
+		ceil := block[0].Score
+		buf, err := EncodeGroupImpactBlock(ceil, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeGroupImpactBlock(ceil, buf, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range block {
+			if got[i] != block[i] {
+				t.Fatalf("trial %d posting %d: %+v != %+v", trial, i, got[i], block[i])
+			}
+		}
+	}
+}
+
+func TestGroupMatchesLEB128(t *testing.T) {
+	// Both codecs must decode to identical postings from their own
+	// encodings of the same blocks — the cross-codec equivalence the
+	// index formats rely on.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(64) + 1
+		block := docBlockWide(rng, n, trial%2 == 0, false)
+		base := model.DocID(0)
+		for _, id := range []ID{LEB128, Group} {
+			buf, err := EncodeDoc(id, base, block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeDoc(id, base, buf, n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range block {
+				if got[i] != block[i] {
+					t.Fatalf("%v trial %d posting %d: %+v != %+v", id, trial, i, got[i], block[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGroupRejectsInvalidBlocks(t *testing.T) {
+	if _, err := EncodeGroupDocBlock(0, []model.Posting{{Doc: 5, Score: 1}, {Doc: 5, Score: 2}}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := EncodeGroupDocBlock(10, []model.Posting{{Doc: 5, Score: 1}}); err == nil {
+		t.Error("doc before base accepted")
+	}
+	if _, err := EncodeGroupImpactBlock(10, []model.Posting{{Doc: 1, Score: 20}}); err == nil {
+		t.Error("score above ceiling accepted")
+	}
+}
+
+func TestGroupDecodeCorrupt(t *testing.T) {
+	block := []model.Posting{{Doc: 1, Score: 1 << 30}, {Doc: 2, Score: 1 << 29}}
+	buf, err := EncodeGroupDocBlock(0, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGroupDocBlock(0, buf[:len(buf)-1], 2, nil); err == nil {
+		t.Error("truncated group doc block accepted")
+	}
+	if _, err := DecodeGroupDocBlock(0, append(append([]byte{}, buf...), 0), 2, nil); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeGroupDocBlock(0, nil, 1, nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	// Unknown stream tag.
+	if _, err := DecodeGroupDocBlock(0, []byte{0x42, 0, 0}, 1, nil); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	// FOR payload shorter than the width demands.
+	if _, err := DecodeGroupDocBlock(0, []byte{16, 0x01}, 1, nil); err == nil {
+		t.Error("short FOR payload accepted")
+	}
+	// Stream-vbyte control bytes demanding more data than present.
+	if _, err := DecodeGroupDocBlock(0, []byte{0xff, 0xff, 0x01}, 4, nil); err == nil {
+		t.Error("short svb payload accepted")
+	}
+	// Impact deltas that underflow the ceiling.
+	ibuf, err := EncodeGroupImpactBlock(5, []model.Posting{{Doc: 1, Score: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeGroupImpactBlock(2, ibuf, 1, nil); err == nil {
+		t.Error("underflowing impact delta accepted")
+	}
+}
+
+func TestGroupDecodeReusesBuffer(t *testing.T) {
+	block := docBlockWide(rand.New(rand.NewSource(14)), 64, false, false)
+	buf, _ := EncodeGroupDocBlock(0, block)
+	scratch := make([]model.Posting, 0, 128)
+	out, err := DecodeGroupDocBlock(0, buf, 64, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &scratch[:1][0] {
+		t.Error("decode did not reuse the provided buffer")
+	}
+}
+
+func TestGroupCompressionRatio(t *testing.T) {
+	// Typical dense blocks (small deltas, bounded scores) must beat the
+	// 8-byte raw layout by at least 2x, and not lose to LEB128.
+	rng := rand.New(rand.NewSource(15))
+	var groupBytes, lebBytes, rawBytes int
+	for trial := 0; trial < 50; trial++ {
+		block := docBlockWide(rng, 64, false, false)
+		g, err := EncodeGroupDocBlock(0, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := EncodeDocBlock(0, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groupBytes += len(g)
+		lebBytes += len(l)
+		rawBytes += len(block) * 8
+	}
+	if groupBytes*2 > rawBytes {
+		t.Errorf("group codec: %d bytes vs %d raw; want at least 2x", groupBytes, rawBytes)
+	}
+	if groupBytes > lebBytes*11/10 {
+		t.Errorf("group codec %d bytes noticeably worse than LEB128 %d", groupBytes, lebBytes)
+	}
+}
+
+func TestUint32StreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(3000)
+		vals := make([]uint32, n)
+		for i := range vals {
+			if trial%2 == 0 {
+				vals[i] = rng.Uint32() % 4096 // doc-length-like
+			} else {
+				vals[i] = rng.Uint32()
+			}
+		}
+		buf := AppendUint32Stream(nil, vals)
+		got, err := DecodeUint32Stream(buf, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("trial %d value %d: %d != %d", trial, i, got[i], vals[i])
+			}
+		}
+		if n > 0 {
+			if _, err := DecodeUint32Stream(buf[:len(buf)-1], n, nil); err == nil {
+				t.Error("truncated stream accepted")
+			}
+		}
+	}
+}
+
+func TestRawPostingsRoundTrip(t *testing.T) {
+	block := docBlockWide(rand.New(rand.NewSource(17)), 64, true, true)
+	raw := AppendRawPostings(nil, block)
+	if len(raw) != len(block)*RawPostingBytes {
+		t.Fatalf("raw size %d, want %d", len(raw), len(block)*RawPostingBytes)
+	}
+	out := make([]model.Posting, len(block))
+	DecodeRawPostings(raw, out)
+	for i := range block {
+		if out[i] != block[i] {
+			t.Fatalf("posting %d: %+v != %+v", i, out[i], block[i])
+		}
+	}
+}

@@ -295,9 +295,7 @@ func (x *Index) warmTerm(rd *iomodel.Reader, cache *plcache.Cache, t model.TermI
 			_, did, _ := cache.GetOrFillHot(key, func() ([]model.Posting, error) {
 				raw := rd.View(off, int64(count)*postingSize)
 				buf := make([]model.Posting, count)
-				for j := 0; j < count; j++ {
-					buf[j] = decodePosting(raw[j*postingSize:])
-				}
+				decodePostingBlock(raw, buf)
 				return buf, nil
 			})
 			if did {
@@ -367,9 +365,7 @@ func (x *Index) WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sin
 			fill := func() ([]model.Posting, error) {
 				raw := rd.View(off, int64(count)*postingSize)
 				buf := make([]model.Posting, count) // retained by the cache; never pooled
-				for j := 0; j < count; j++ {
-					buf[j] = decodePosting(raw[j*postingSize:])
-				}
+				decodePostingBlock(raw, buf)
 				return buf, nil
 			}
 			key := plcache.Key{Term: t, Kind: plcache.KindDoc, Block: int32(i)}
@@ -388,9 +384,7 @@ func (x *Index) WalkDocBlocks(ctx context.Context, t model.TermID, hot bool, sin
 				scratch = blockPool.Get().(*[]model.Posting)
 			}
 			buf := (*scratch)[:count]
-			for j := 0; j < count; j++ {
-				buf[j] = decodePosting(raw[j*postingSize:])
-			}
+			decodePostingBlock(raw, buf)
 			post = buf
 			fills++
 		}
@@ -679,9 +673,7 @@ func (c *blockCursor) loadBlock(i int) bool {
 		post, filled, _ := c.cache.GetOrFill(c.key, func() ([]model.Posting, error) {
 			raw := c.rd.View(c.base+int64(i)*blockBytes, int64(count)*postingSize)
 			buf := make([]model.Posting, count) // retained by the cache; never pooled
-			for j := 0; j < count; j++ {
-				buf[j] = decodePosting(raw[j*postingSize:])
-			}
+			decodePostingBlock(raw, buf)
 			return buf, nil
 		})
 		if c.onCache != nil {
@@ -696,9 +688,7 @@ func (c *blockCursor) loadBlock(i int) bool {
 		c.scratch = blockPool.Get().(*[]model.Posting)
 	}
 	buf := (*c.scratch)[:count]
-	for j := 0; j < count; j++ {
-		buf[j] = decodePosting(raw[j*postingSize:])
-	}
+	decodePostingBlock(raw, buf)
 	c.cur = buf
 	c.blk, c.pos = i, 0
 	return true

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"sparta/internal/codec"
 	"sparta/internal/index"
 	"sparta/internal/model"
 	"sparta/internal/postings"
@@ -48,7 +49,7 @@ const DefaultShards = 12
 
 const (
 	dictRecSize = 40
-	postingSize = 8
+	postingSize = codec.RawPostingBytes
 )
 
 // Manifest is the JSON-encoded corpus-level metadata.
@@ -151,12 +152,11 @@ func Encode(x *index.Index, shards int) (manifest []byte, dict []byte, post []by
 	return manifest, dict, post, nil
 }
 
+// appendPostings serializes a posting list in the fixed raw layout; the
+// codec package owns the byte-level encoding so the disk and compressed
+// formats share one definition of a posting's bytes.
 func appendPostings(buf []byte, list []model.Posting) []byte {
-	for _, p := range list {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Doc))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Score))
-	}
-	return buf
+	return codec.AppendRawPostings(buf, list)
 }
 
 func align8(n int64) int64 { return (n + 7) &^ 7 }
@@ -166,4 +166,10 @@ func decodePosting(b []byte) model.Posting {
 		Doc:   model.DocID(binary.LittleEndian.Uint32(b)),
 		Score: model.Score(binary.LittleEndian.Uint32(b[4:])),
 	}
+}
+
+// decodePostingBlock bulk-decodes one raw block through the codec's
+// constant-stride raw decoder (no per-posting slice reslicing).
+func decodePostingBlock(raw []byte, out []model.Posting) {
+	codec.DecodeRawPostings(raw, out)
 }

@@ -108,7 +108,7 @@ func (l *Live) compactOnce(ctx context.Context) (bool, error) {
 	if err := writeFrozen(segDir, seg); err != nil {
 		return false, err
 	}
-	fz, err := openFrozen(segDir, gen, seg.lo, seg.hi, *l.cfg.IO)
+	fz, err := openFrozen(segDir, gen, seg.lo, seg.hi, segLensGroup, *l.cfg.IO)
 	if err != nil {
 		os.RemoveAll(segDir)
 		return false, err

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"sparta/internal/codec"
 	"sparta/internal/diskindex"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
@@ -37,6 +38,15 @@ import (
 // segLensFile is the per-segment sidecar of u32 document lengths.
 const segLensFile = "seglens.bin"
 
+// Seglens sidecar codecs, recorded per segment in the live manifest:
+// v1/v2 segments store a raw u32 array; segments flushed by this
+// version store one group stream (codec.AppendUint32Stream), which
+// bitpacks typical doc-length distributions ~3x tighter.
+const (
+	segLensRaw   = 0
+	segLensGroup = 1
+)
+
 // frozenStoredShards is the sNRA pre-partition count written into
 // frozen payloads. Stored sublists are built against segment-local
 // statistics and unusable for epoch-global shard ranges, so they are
@@ -45,10 +55,11 @@ const frozenStoredShards = 1
 
 // frozenSeg is one immutable on-disk segment.
 type frozenSeg struct {
-	dir     string
-	gen     int
-	lo, hi  model.DocID
-	docLens []uint32 // per local document, RAM-resident
+	dir       string
+	gen       int
+	lo, hi    model.DocID
+	lensCodec uint8    // seglens sidecar codec (segLensRaw or segLensGroup)
+	docLens   []uint32 // per local document, RAM-resident
 	inner   *diskindex.Index
 	dfs     []int32 // local df per term (dictionary cache)
 	nBlocks int     // total block-max blocks, for stats
@@ -127,10 +138,11 @@ func writeFrozen(dir string, seg *memSegment) error {
 	if err := diskindex.WriteDir(raw, frozenStoredShards, dir); err != nil {
 		return err
 	}
-	lens := make([]byte, 0, 4*len(seg.docLens))
-	for _, n := range seg.docLens {
-		lens = binary.LittleEndian.AppendUint32(lens, uint32(n))
+	lensVals := make([]uint32, len(seg.docLens))
+	for i, n := range seg.docLens {
+		lensVals[i] = uint32(n)
 	}
+	lens := codec.AppendUint32Stream(make([]byte, 0, len(lensVals)+8), lensVals)
 	if err := os.WriteFile(filepath.Join(dir, segLensFile), lens, 0o644); err != nil {
 		return fmt.Errorf("liveindex: writing %s: %w", segLensFile, err)
 	}
@@ -138,8 +150,9 @@ func writeFrozen(dir string, seg *memSegment) error {
 }
 
 // openFrozen opens a frozen segment directory over a fresh simulated
-// store. gen, lo and hi come from the live manifest.
-func openFrozen(dir string, gen int, lo, hi model.DocID, cfg iomodel.Config) (*frozenSeg, error) {
+// store. gen, lo, hi and the seglens codec come from the live manifest
+// (v1/v2 manifests imply the raw sidecar).
+func openFrozen(dir string, gen int, lo, hi model.DocID, lensCodec uint8, cfg iomodel.Config) (*frozenSeg, error) {
 	inner, err := diskindex.OpenDir(dir, cfg)
 	if err != nil {
 		return nil, err
@@ -148,16 +161,28 @@ func openFrozen(dir string, gen int, lo, hi model.DocID, cfg iomodel.Config) (*f
 	if err != nil {
 		return nil, fmt.Errorf("liveindex: %w", err)
 	}
-	if len(raw) != 4*int(hi-lo) {
-		return nil, fmt.Errorf("liveindex: %s in %s holds %d docs, manifest says %d",
-			segLensFile, dir, len(raw)/4, hi-lo)
-	}
-	docLens := make([]uint32, hi-lo)
-	for i := range docLens {
-		docLens[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	n := int(hi - lo)
+	var docLens []uint32
+	switch lensCodec {
+	case segLensRaw:
+		if len(raw) != 4*n {
+			return nil, fmt.Errorf("liveindex: %s in %s holds %d docs, manifest says %d",
+				segLensFile, dir, len(raw)/4, n)
+		}
+		docLens = make([]uint32, n)
+		for i := range docLens {
+			docLens[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+	case segLensGroup:
+		docLens, err = codec.DecodeUint32Stream(raw, n, nil)
+		if err != nil {
+			return nil, fmt.Errorf("liveindex: decoding %s in %s: %w", segLensFile, dir, err)
+		}
+	default:
+		return nil, fmt.Errorf("liveindex: unknown seglens codec %d for %s", lensCodec, dir)
 	}
 	s := &frozenSeg{
-		dir: dir, gen: gen, lo: lo, hi: hi,
+		dir: dir, gen: gen, lo: lo, hi: hi, lensCodec: lensCodec,
 		docLens: docLens, inner: inner,
 		dfs: make([]int32, inner.NumTerms()),
 	}

@@ -47,10 +47,14 @@ const (
 
 	// Manifest versions: v1 trusted segment directories blindly; v2
 	// records per-file SHA-256 digests plus a per-segment Merkle root,
-	// verified before a segment is served. v1 manifests remain readable
-	// (legacy, unverified); newly written manifests are always v2.
+	// verified before a segment is served; v3 records the per-segment
+	// seglens sidecar codec (segments written at v3 group-stream-code
+	// the doc-length array). v1/v2 manifests remain readable — their
+	// segments imply the raw sidecar; newly written manifests are
+	// always v3.
 	manifestVersion   = 1
 	manifestVersionV2 = 2
+	manifestVersionV3 = 3
 )
 
 // Config parameterizes a live index. The zero value serves.
@@ -122,6 +126,9 @@ type segManifest struct {
 	// (empty in v1 manifests).
 	Files      []merkle.FileDigest `json:"files,omitempty"`
 	MerkleRoot string              `json:"merkle_root,omitempty"`
+	// LensCodec names the seglens sidecar encoding (segLensRaw for
+	// segments written before manifest v3, segLensGroup after).
+	LensCodec uint8 `json:"lens_codec,omitempty"`
 }
 
 // VerifyDir recomputes every frozen segment's file digests and Merkle
@@ -236,9 +243,10 @@ func Open(dir string, cfg Config) (*Live, error) {
 		if err := json.Unmarshal(raw, &man); err != nil {
 			return nil, fmt.Errorf("liveindex: parsing %s: %w", ManifestFile, err)
 		}
-		if man.Version != manifestVersion && man.Version != manifestVersionV2 {
-			return nil, fmt.Errorf("liveindex: manifest version %d, want %d or %d",
-				man.Version, manifestVersion, manifestVersionV2)
+		if man.Version != manifestVersion && man.Version != manifestVersionV2 &&
+			man.Version != manifestVersionV3 {
+			return nil, fmt.Errorf("liveindex: manifest version %d, want %d..%d",
+				man.Version, manifestVersion, manifestVersionV3)
 		}
 	case os.IsNotExist(err):
 		man = manifest{Version: manifestVersion, NextGen: 1}
@@ -273,7 +281,7 @@ func Open(dir string, cfg Config) (*Live, error) {
 				return nil, fmt.Errorf("liveindex: segment %s failed verification: %w", sm.Dir, err)
 			}
 		}
-		fz, err := openFrozen(segDir, sm.Gen, sm.Lo, sm.Hi, *cfg.IO)
+		fz, err := openFrozen(segDir, sm.Gen, sm.Lo, sm.Hi, sm.LensCodec, *cfg.IO)
 		if err != nil {
 			return nil, err
 		}
@@ -553,7 +561,7 @@ func (l *Live) flushLocked() error {
 	if err := writeFrozen(filepath.Join(l.dir, segDir), seg); err != nil {
 		return err
 	}
-	fz, err := openFrozen(filepath.Join(l.dir, segDir), gen, seg.lo, seg.hi, *l.cfg.IO)
+	fz, err := openFrozen(filepath.Join(l.dir, segDir), gen, seg.lo, seg.hi, segLensGroup, *l.cfg.IO)
 	if err != nil {
 		return err
 	}
@@ -593,11 +601,11 @@ func (l *Live) flushLocked() error {
 func segDirName(gen int) string { return fmt.Sprintf("seg-%06d", gen) }
 
 func (l *Live) writeManifestLocked() error {
-	man := manifest{Version: manifestVersionV2, NextGen: l.nextGen, WALStart: l.walStart}
+	man := manifest{Version: manifestVersionV3, NextGen: l.nextGen, WALStart: l.walStart}
 	for _, fz := range l.frozen {
 		man.Segments = append(man.Segments, segManifest{
 			Dir: filepath.Base(fz.dir), Gen: fz.gen, Lo: fz.lo, Hi: fz.hi, Docs: fz.docs(),
-			Files: fz.files, MerkleRoot: fz.root,
+			Files: fz.files, MerkleRoot: fz.root, LensCodec: fz.lensCodec,
 		})
 	}
 	rawMan, err := json.MarshalIndent(man, "", "  ")

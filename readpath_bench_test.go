@@ -1,13 +1,16 @@
 package sparta_test
 
 import (
+	"fmt"
 	"testing"
 
+	"sparta/internal/codec"
 	"sparta/internal/corpus"
 	"sparta/internal/diskindex"
 	"sparta/internal/index"
 	"sparta/internal/iomodel"
 	"sparta/internal/model"
+	"sparta/internal/xrand"
 )
 
 // BenchmarkCursorTraversalRAM measures the charged cursors' raw
@@ -61,4 +64,117 @@ func BenchmarkCursorTraversalRAM(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchBlocks synthesizes full 64-posting doc blocks with the given gap
+// distribution: "uniform" draws small near-constant gaps (the dense
+// head of a Zipfian list, the FOR fast path), "zipf" draws heavy-tailed
+// gaps spanning one to five bytes per varint (the sparse tail, where
+// stream-vbyte's table decode replaces per-byte branches).
+func benchBlocks(dist string, nBlocks int) (bases []model.DocID, blocks [][]model.Posting) {
+	rng := xrand.New(77)
+	zipf := xrand.NewZipf(xrand.New(78), 1.2, 1<<20)
+	next := model.DocID(0)
+	for b := 0; b < nBlocks; b++ {
+		base := next
+		block := make([]model.Posting, 64)
+		for i := range block {
+			var gap model.DocID
+			switch dist {
+			case "uniform":
+				gap = model.DocID(1 + rng.Intn(16))
+			case "zipf":
+				gap = model.DocID(1 + zipf.Next())
+			}
+			next += gap
+			block[i] = model.Posting{Doc: next, Score: model.Score(1 + rng.Intn(1000))}
+		}
+		bases = append(bases, base)
+		blocks = append(blocks, block)
+	}
+	return bases, blocks
+}
+
+// BenchmarkDecodeDocBlock measures the raw per-posting decode cost of
+// each codec over identical block contents — the branchy byte-at-a-time
+// LEB128 loop against the group codec's constant-stride FOR/stream-vbyte
+// paths. ns/posting is the number the read path's CPU claim rests on.
+func BenchmarkDecodeDocBlock(b *testing.B) {
+	const nBlocks = 64
+	for _, id := range []codec.ID{codec.LEB128, codec.Group} {
+		for _, dist := range []string{"uniform", "zipf"} {
+			bases, blocks := benchBlocks(dist, nBlocks)
+			encoded := make([][]byte, nBlocks)
+			total := 0
+			for i, blk := range blocks {
+				buf, err := codec.EncodeDoc(id, bases[i], blk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encoded[i] = buf
+				total += len(blk)
+			}
+			b.Run(fmt.Sprintf("%s/%s", id, dist), func(b *testing.B) {
+				out := make([]model.Posting, 0, 64)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j, buf := range encoded {
+						dec, err := codec.DecodeDoc(id, bases[j], buf, len(blocks[j]), out[:0])
+						if err != nil {
+							b.Fatal(err)
+						}
+						out = dec
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*total), "ns/posting")
+			})
+		}
+	}
+}
+
+// BenchmarkDecodeImpactBlock is the score-order counterpart: downward
+// score deltas plus raw doc ids per block.
+func BenchmarkDecodeImpactBlock(b *testing.B) {
+	const nBlocks = 64
+	for _, id := range []codec.ID{codec.LEB128, codec.Group} {
+		for _, dist := range []string{"uniform", "zipf"} {
+			_, blocks := benchBlocks(dist, nBlocks)
+			type enc struct {
+				ceil model.Score
+				buf  []byte
+				n    int
+			}
+			encoded := make([]enc, nBlocks)
+			total := 0
+			for i, blk := range blocks {
+				// Impact blocks are non-increasing by score.
+				imp := make([]model.Posting, len(blk))
+				copy(imp, blk)
+				for a := range imp {
+					imp[a].Score = model.Score(10000 - 100*a)
+				}
+				ceil := imp[0].Score
+				buf, err := codec.EncodeImpact(id, ceil, imp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encoded[i] = enc{ceil: ceil, buf: buf, n: len(imp)}
+				total += len(imp)
+			}
+			b.Run(fmt.Sprintf("%s/%s", id, dist), func(b *testing.B) {
+				out := make([]model.Posting, 0, 64)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, e := range encoded {
+						dec, err := codec.DecodeImpact(id, e.ceil, e.buf, e.n, out[:0])
+						if err != nil {
+							b.Fatal(err)
+						}
+						out = dec
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*total), "ns/posting")
+			})
+		}
+	}
 }
